@@ -1,0 +1,427 @@
+// Benchmark harness regenerating every figure of the paper's evaluation
+// (§VIII) plus the ablations called out in DESIGN.md and micro-benchmarks
+// of each substrate. Figure benches print the same series the paper plots;
+// scale them with GDDR_BENCH_STEPS (PPO steps per policy, default small so
+// `go test -bench .` completes in minutes — see DESIGN.md substitution #5).
+package gddr
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"gddr/internal/ad"
+	"gddr/internal/env"
+	"gddr/internal/gnn"
+	"gddr/internal/graph"
+	"gddr/internal/lp"
+	"gddr/internal/mat"
+	"gddr/internal/policy"
+	"gddr/internal/routing"
+	"gddr/internal/topo"
+	"gddr/internal/traffic"
+)
+
+// benchSteps returns the training budget for figure benches.
+func benchSteps() int {
+	if s := os.Getenv("GDDR_BENCH_STEPS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 2000
+}
+
+func benchOptions() ExperimentOptions {
+	opts := DefaultExperimentOptions()
+	opts.TrainSteps = benchSteps()
+	opts.TrainSeqs = 2
+	opts.TestSeqs = 1
+	opts.SeqLen = 20
+	opts.Cycle = 5
+	opts.Memory = 3
+	opts.GNNHidden = 16
+	opts.GNNSteps = 2
+	return opts
+}
+
+// BenchmarkFigure6 regenerates the paper's Figure 6: mean max-utilisation
+// ratio on held-out Abilene sequences for the MLP, GNN, and iterative GNN
+// policies against the shortest-path dotted line.
+func BenchmarkFigure6(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := Figure6(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\nFigure 6 (steps=%d): policy -> mean U_agent/U_opt (lower is better)\n", opts.TrainSteps)
+		fmt.Printf("  MLP            %8.4f\n", res.MLP)
+		fmt.Printf("  GNN            %8.4f\n", res.GNN)
+		fmt.Printf("  GNN Iterative  %8.4f\n", res.GNNIterative)
+		fmt.Printf("  Shortest path  %8.4f (dotted line)\n", res.ShortestPath)
+		b.ReportMetric(res.MLP, "mlp_ratio")
+		b.ReportMetric(res.GNN, "gnn_ratio")
+		b.ReportMetric(res.GNNIterative, "gnn_iter_ratio")
+		b.ReportMetric(res.ShortestPath, "sp_ratio")
+	}
+}
+
+// BenchmarkFigure7 regenerates the paper's Figure 7 learning curves:
+// total reward per episode against cumulative timesteps for MLP and GNN.
+func BenchmarkFigure7(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := Figure7(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\nFigure 7 (steps=%d): reward per episode (higher is better)\n", opts.TrainSteps)
+		for name, stats := range map[string][]EpisodeStat{"MLP": res.MLP, "GNN": res.GNN} {
+			if len(stats) == 0 {
+				continue
+			}
+			first, last := stats[0], stats[len(stats)-1]
+			fmt.Printf("  %-4s episodes=%3d first=%8.2f last=%8.2f\n",
+				name, len(stats), first.TotalReward, last.TotalReward)
+			step := len(stats) / 8
+			if step == 0 {
+				step = 1
+			}
+			for j := 0; j < len(stats); j += step {
+				fmt.Printf("    %-4s t=%6d reward=%8.2f\n", name, stats[j].Timestep, stats[j].TotalReward)
+			}
+		}
+		if n := len(res.GNN); n > 0 {
+			b.ReportMetric(res.GNN[n-1].TotalReward, "gnn_final_reward")
+		}
+		if n := len(res.MLP); n > 0 {
+			b.ReportMetric(res.MLP[n-1].TotalReward, "mlp_final_reward")
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the paper's Figure 8: generalisation of the
+// GNN policies to modified and entirely different topologies.
+func BenchmarkFigure8(b *testing.B) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := Figure8(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\nFigure 8 (steps=%d): mean U_agent/U_opt (lower is better)\n", opts.TrainSteps)
+		fmt.Printf("  %-16s %14s %14s\n", "policy", "modifications", "different")
+		fmt.Printf("  %-16s %14.4f %14.4f\n", "GNN", res.ModificationsGNN, res.DifferentGNN)
+		fmt.Printf("  %-16s %14.4f %14.4f\n", "GNN Iterative", res.ModificationsGNNIter, res.DifferentGNNIter)
+		fmt.Printf("  %-16s %14.4f %14.4f (dotted lines)\n", "Shortest path", res.ModificationsSP, res.DifferentSP)
+		b.ReportMetric(res.ModificationsGNN, "mod_gnn_ratio")
+		b.ReportMetric(res.DifferentGNN, "diff_gnn_ratio")
+		b.ReportMetric(res.ModificationsGNNIter, "mod_iter_ratio")
+		b.ReportMetric(res.DifferentGNNIter, "diff_iter_ratio")
+	}
+}
+
+// BenchmarkAblationGamma sweeps the softmin spread γ with fixed inverse-
+// capacity weights on Abilene (ablation A1): how much the translation's
+// sharpness matters independent of learning.
+func BenchmarkAblationGamma(b *testing.B) {
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(1))
+	dms := make([]*traffic.DemandMatrix, 5)
+	opts := make([]float64, len(dms))
+	for i := range dms {
+		dms[i] = traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+		opt, _, err := lp.OptimalMaxUtilization(g, dms[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts[i] = opt
+	}
+	w := g.InverseCapacityWeights()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fmt.Printf("\nAblation A1: softmin gamma sweep on Abilene (inverse-capacity weights)\n")
+		for _, gamma := range []float64{0.25, 0.5, 1, 2, 4, 8, 16} {
+			var sum float64
+			for j, dm := range dms {
+				res, err := routing.EvaluateWeights(g, dm, w, gamma)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += res.MaxUtilization / opts[j]
+			}
+			fmt.Printf("  gamma=%6.2f ratio=%.4f\n", gamma, sum/float64(len(dms)))
+		}
+	}
+}
+
+// BenchmarkAblationMessagePassing varies the GNN core's message-passing
+// steps (ablation A2), reporting forward cost; reach is covered by tests.
+func BenchmarkAblationMessagePassing(b *testing.B) {
+	for _, steps := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("steps=%d", steps), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			pol, err := policy.NewGNN(policy.GNNConfig{Memory: 3, Hidden: 16, Steps: steps}, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			obs := benchObservation(b, env.FullAction, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := ad.NewTape()
+				if _, _, err := pol.Forward(t, obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMemory varies the demand-history length (ablation A3),
+// reporting the environment observation + policy forward cost per step.
+func BenchmarkAblationMemory(b *testing.B) {
+	for _, memory := range []int{1, 3, 5, 10} {
+		b.Run(fmt.Sprintf("memory=%d", memory), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			pol, err := policy.NewGNN(policy.GNNConfig{Memory: memory, Hidden: 16, Steps: 2}, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			obs := benchObservation(b, env.FullAction, memory)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := ad.NewTape()
+				if _, _, err := pol.Forward(t, obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchObservation builds one Abilene observation for policy benches.
+func benchObservation(b *testing.B, mode env.Mode, memory int) *env.Observation {
+	b.Helper()
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(4))
+	seq, err := traffic.BimodalCyclical(g.NumNodes(), memory+3, 2, traffic.DefaultBimodal(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := env.DefaultConfig()
+	cfg.Memory = memory
+	cfg.Mode = mode
+	e, err := env.New(g, seq, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs, err := e.Reset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return obs
+}
+
+// --- Substrate micro-benchmarks (S1-S4) ---
+
+func BenchmarkLPSolveAbilene(b *testing.B) {
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(5))
+	dm := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lp.OptimalMaxUtilization(g, dm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLPSolveNSFNet(b *testing.B) {
+	g := topo.NSFNet()
+	rng := rand.New(rand.NewSource(6))
+	dm := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lp.OptimalMaxUtilization(g, dm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSoftminRoutingAbilene(b *testing.B) {
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(7))
+	dm := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+	w := make([]float64, g.NumEdges())
+	for i := range w {
+		w[i] = 0.5 + rng.Float64()*2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.EvaluateWeights(g, dm, w, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShortestPathAbilene(b *testing.B) {
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(8))
+	dm := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.ShortestPath(g, dm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGNNForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	pol, err := policy.NewGNN(policy.GNNConfig{Memory: 5, Hidden: 24, Steps: 3}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := benchObservation(b, env.FullAction, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ad.NewTape()
+		if _, _, err := pol.Forward(t, obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGNNForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	pol, err := policy.NewGNN(policy.GNNConfig{Memory: 5, Hidden: 24, Steps: 3}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := benchObservation(b, env.FullAction, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ad.NewTape()
+		mean, value, err := pol.Forward(t, obs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loss := t.Add(t.SumAll(t.Square(mean)), t.SumAll(t.Square(value)))
+		if err := t.Backward(loss); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnvStepFull(b *testing.B) {
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(11))
+	seq, err := traffic.BimodalCyclical(g.NumNodes(), 200, 5, traffic.DefaultBimodal(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := env.DefaultConfig()
+	cfg.Memory = 3
+	e, err := env.New(g, seq, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Reset(); err != nil {
+		b.Fatal(err)
+	}
+	action := make([]float64, e.ActionDim())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, done, err := e.Step(action)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if done {
+			if _, err := e.Reset(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkEnvStepIterative(b *testing.B) {
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(12))
+	seq, err := traffic.BimodalCyclical(g.NumNodes(), 50, 5, traffic.DefaultBimodal(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := env.DefaultConfig()
+	cfg.Memory = 3
+	cfg.Mode = env.IterativeAction
+	e, err := env.New(g, seq, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Reset(); err != nil {
+		b.Fatal(err)
+	}
+	action := []float64{0.1, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, done, err := e.Step(action)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if done {
+			if _, err := e.Reset(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkGraphMutation(b *testing.B) {
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(13))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.RandomMutation(g, 2, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBimodalGeneration(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traffic.Bimodal(11, traffic.DefaultBimodal(), rng)
+	}
+}
+
+func BenchmarkGNBlockApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	block, err := gnn.NewBlock("b",
+		gnn.GraphSignature{NodeDim: 8, EdgeDim: 8, GlobalDim: 8},
+		gnn.GraphSignature{NodeDim: 8, EdgeDim: 8, GlobalDim: 8}, 16, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := benchObservation(b, env.FullAction, 4)
+	g := &gnn.Graphs{
+		Nodes:     obs.NodeFeat,
+		Edges:     randMatrix(obs.EdgeFeat.Rows, 8, rng),
+		Globals:   randMatrix(1, 8, rng),
+		Senders:   obs.Senders,
+		Receivers: obs.Receivers,
+	}
+	g.Nodes = randMatrix(obs.NodeFeat.Rows, 8, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ad.NewTape()
+		block.Apply(t, gnn.Lift(t, g))
+	}
+}
+
+func randMatrix(rows, cols int, rng *rand.Rand) *mat.Matrix {
+	return mat.RandNormal(rows, cols, 1, rng)
+}

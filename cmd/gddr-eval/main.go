@@ -1,0 +1,112 @@
+// Command gddr-eval evaluates a saved GDDR model (or the classic baselines)
+// on fresh demand sequences over an embedded topology, reporting the mean
+// ratio of achieved to optimal maximum link utilisation.
+//
+// Example:
+//
+//	gddr-eval -model model.json -policy gnn -topology abilene -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"gddr"
+	"gddr/internal/policy"
+	"gddr/internal/routing"
+	"gddr/internal/topo"
+	"gddr/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gddr-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelPath  = flag.String("model", "", "saved model JSON (empty: baselines only)")
+		policyName = flag.String("policy", "gnn", "architecture the model was trained with")
+		topoName   = flag.String("topology", "abilene", "embedded topology name")
+		seqs       = flag.Int("sequences", 2, "evaluation sequences")
+		seqLen     = flag.Int("seqlen", 30, "demand matrices per sequence")
+		cycle      = flag.Int("cycle", 5, "cycle length")
+		memory     = flag.Int("memory", 3, "demand history length (must match training)")
+		hidden     = flag.Int("gnn-hidden", 16, "GNN latent width (must match training)")
+		msgSteps   = flag.Int("gnn-steps", 2, "GNN message-passing steps (must match training)")
+		seed       = flag.Int64("seed", 42, "random seed for evaluation traffic")
+	)
+	flag.Parse()
+
+	g, err := topo.Named(*topoName)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	sequences, err := traffic.Sequences(*seqs, g.NumNodes(), *seqLen, *cycle, traffic.DefaultBimodal(), rng)
+	if err != nil {
+		return err
+	}
+	scenario := gddr.NewScenario(g, sequences)
+	cache := gddr.NewOptimalCache()
+
+	sp, err := gddr.ShortestPathRatio(scenario, *memory, cache)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology %s: shortest-path mean ratio %.4f\n", *topoName, sp)
+
+	// Oblivious inverse-capacity ECMP baseline for context.
+	var obliviousSum float64
+	var obliviousCount int
+	for _, seq := range sequences {
+		for t := *memory; t < len(seq); t++ {
+			res, err := routing.InverseCapacityECMP(g, seq[t])
+			if err != nil {
+				return err
+			}
+			opt, err := cache.Get(g, seq[t])
+			if err != nil {
+				return err
+			}
+			obliviousSum += res.MaxUtilization / opt
+			obliviousCount++
+		}
+	}
+	fmt.Printf("topology %s: inverse-capacity ECMP mean ratio %.4f\n",
+		*topoName, obliviousSum/float64(obliviousCount))
+
+	if *modelPath == "" {
+		return nil
+	}
+	kind, err := policy.ParseKind(*policyName)
+	if err != nil {
+		return err
+	}
+	cfg := gddr.DefaultTrainConfig(kind)
+	cfg.Memory = *memory
+	cfg.GNN.Hidden = *hidden
+	cfg.GNN.Steps = *msgSteps
+	agent, err := gddr.NewAgent(cfg, scenario)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := agent.Load(f); err != nil {
+		return err
+	}
+	ratio, err := agent.Evaluate(scenario, cache)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %s (%s): mean ratio %.4f\n", *modelPath, kind, ratio)
+	return nil
+}

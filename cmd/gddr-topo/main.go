@@ -1,0 +1,93 @@
+// Command gddr-topo inspects the embedded topologies: lists them, prints
+// per-topology statistics, and exports Graphviz DOT or JSON for external
+// tooling.
+//
+// Example:
+//
+//	gddr-topo -list
+//	gddr-topo -topology abilene -stats
+//	gddr-topo -topology nsfnet -dot > nsfnet.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gddr/internal/topo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gddr-topo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list     = flag.Bool("list", false, "list embedded topologies")
+		topoName = flag.String("topology", "", "topology to inspect")
+		stats    = flag.Bool("stats", false, "print statistics")
+		dot      = flag.Bool("dot", false, "export Graphviz DOT to stdout")
+		jsonOut  = flag.Bool("json", false, "export JSON to stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range topo.Names() {
+			g, err := topo.Named(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %3d nodes %3d directed edges\n", name, g.NumNodes(), g.NumEdges())
+		}
+		return nil
+	}
+	if *topoName == "" {
+		return fmt.Errorf("need -list or -topology <name> (have %v)", topo.Names())
+	}
+	g, err := topo.Named(*topoName)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Print(g.DOT(*topoName))
+		return nil
+	}
+	if *jsonOut {
+		return g.WriteJSON(os.Stdout)
+	}
+	if *stats {
+		var minCap, maxCap, sumCap float64
+		for i, e := range g.Edges() {
+			if i == 0 || e.Capacity < minCap {
+				minCap = e.Capacity
+			}
+			if e.Capacity > maxCap {
+				maxCap = e.Capacity
+			}
+			sumCap += e.Capacity
+		}
+		degrees := make([]int, g.NumNodes())
+		maxDeg := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			degrees[v] = len(g.OutEdges(v))
+			if degrees[v] > maxDeg {
+				maxDeg = degrees[v]
+			}
+		}
+		fmt.Printf("topology        %s\n", *topoName)
+		fmt.Printf("nodes           %d\n", g.NumNodes())
+		fmt.Printf("directed edges  %d\n", g.NumEdges())
+		fmt.Printf("capacity        min %.0f / mean %.0f / max %.0f\n",
+			minCap, sumCap/float64(g.NumEdges()), maxCap)
+		fmt.Printf("max out-degree  %d\n", maxDeg)
+		fmt.Printf("strongly conn.  %v\n", g.StronglyConnected())
+		for v := 0; v < g.NumNodes(); v++ {
+			fmt.Printf("  %-16s degree %d\n", g.Name(v), degrees[v])
+		}
+		return nil
+	}
+	return fmt.Errorf("nothing to do: pass -stats, -dot, or -json")
+}

@@ -1,0 +1,63 @@
+// Abilene study: the paper's Figure 6 experiment at reduced scale — train
+// the MLP baseline, the GNN policy, and the iterative GNN policy on the
+// same Abilene workload and compare their held-out congestion ratios
+// against shortest-path routing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"gddr"
+)
+
+func main() {
+	steps := flag.Int("steps", 5000, "PPO training steps per policy")
+	seed := flag.Int64("seed", 7, "random seed")
+	flag.Parse()
+	if err := run(*steps, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(steps int, seed int64) error {
+	train, test, err := gddr.AbileneScenario(3, 2, 30, 5, seed)
+	if err != nil {
+		return err
+	}
+	cache := gddr.NewOptimalCache()
+
+	sp, err := gddr.ShortestPathRatio(test, 3, cache)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %10s %12s %10s\n", "policy", "params", "train time", "ratio")
+	fmt.Printf("%-16s %10s %12s %10.4f\n", "shortest-path", "-", "-", sp)
+
+	for _, kind := range []gddr.PolicyKind{gddr.MLPPolicy, gddr.GNNPolicy, gddr.GNNIterativePolicy} {
+		cfg := gddr.DefaultTrainConfig(kind)
+		cfg.Memory = 3
+		cfg.TotalSteps = steps
+		cfg.Seed = seed
+		cfg.GNN.Hidden = 16
+		cfg.GNN.Steps = 2
+		agent, err := gddr.NewAgent(cfg, train)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := agent.Train(train, cache); err != nil {
+			return err
+		}
+		elapsed := time.Since(start).Round(time.Second)
+		ratio, err := agent.Evaluate(test, cache)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %10d %12s %10.4f\n", kind, agent.NumParams(), elapsed, ratio)
+	}
+	fmt.Println("\nlower ratio is better; 1.0 = LP optimum with perfect future knowledge")
+	return nil
+}

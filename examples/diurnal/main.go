@@ -1,0 +1,59 @@
+// Diurnal study: exercises this reproduction's further-work extensions
+// (paper §IX-A) — a day-cycle traffic model and the mean-utilisation
+// utility function — comparing how classic routing strategies track the
+// optimal across a simulated day on NSFNet.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gddr/internal/lp"
+	"gddr/internal/routing"
+	"gddr/internal/topo"
+	"gddr/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	g := topo.NSFNet()
+	rng := rand.New(rand.NewSource(5))
+	params := traffic.DefaultDiurnal()
+	params.Period = 8 // compressed day for a quick demo
+	params.BaseTotal = 60000
+	seq, err := traffic.DiurnalSequence(g.NumNodes(), params.Period, params, rng)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("NSFNet over one simulated day (8 timesteps):")
+	fmt.Printf("%4s %12s %12s %14s %14s\n",
+		"t", "U_max(opt)", "U_mean(opt)", "sp max-ratio", "sp mean-ratio")
+	for t, dm := range seq {
+		maxOpt, _, err := lp.OptimalMaxUtilization(g, dm)
+		if err != nil {
+			return err
+		}
+		meanOpt, _, err := lp.OptimalMeanUtilization(g, dm)
+		if err != nil {
+			return err
+		}
+		sp, err := routing.ShortestPath(g, dm)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%4d %12.4f %12.4f %14.4f %14.4f\n",
+			t, maxOpt, meanOpt,
+			sp.MaxUtilization/maxOpt, sp.MeanUtilization()/meanOpt)
+	}
+	fmt.Println("\nthe max-utilisation gap (column 4) is what a GDDR agent recovers;")
+	fmt.Println("the mean-utilisation gap (column 5) shows shortest path is near-optimal")
+	fmt.Println("for total load but far from optimal for worst-link congestion")
+	return nil
+}

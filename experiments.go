@@ -1,0 +1,333 @@
+package gddr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gddr/internal/graph"
+	"gddr/internal/stats"
+	"gddr/internal/topo"
+	"gddr/internal/traffic"
+)
+
+// ExperimentOptions scales the paper's experiments. Paper-scale values are
+// noted per field; the defaults are laptop-scale (DESIGN.md substitution
+// #5) and preserve the qualitative shape of the results.
+type ExperimentOptions struct {
+	Seed       int64
+	TrainSteps int // paper: 500000
+	TrainSeqs  int // paper: 7
+	TestSeqs   int // paper: 3
+	SeqLen     int // paper: 60
+	Cycle      int // paper: 10
+	Memory     int // paper: 5
+	GNNHidden  int
+	GNNSteps   int
+}
+
+// DefaultExperimentOptions returns the scaled-down defaults.
+func DefaultExperimentOptions() ExperimentOptions {
+	return ExperimentOptions{
+		Seed:       7,
+		TrainSteps: 6000,
+		TrainSeqs:  3,
+		TestSeqs:   2,
+		SeqLen:     30,
+		Cycle:      5,
+		Memory:     3,
+		GNNHidden:  16,
+		GNNSteps:   2,
+	}
+}
+
+// PaperExperimentOptions returns the paper's full-scale settings (several
+// CPU-hours per policy).
+func PaperExperimentOptions() ExperimentOptions {
+	return ExperimentOptions{
+		Seed:       7,
+		TrainSteps: 500000,
+		TrainSeqs:  7,
+		TestSeqs:   3,
+		SeqLen:     60,
+		Cycle:      10,
+		Memory:     5,
+		GNNHidden:  24,
+		GNNSteps:   3,
+	}
+}
+
+func (o ExperimentOptions) trainConfig(kind PolicyKind) TrainConfig {
+	cfg := DefaultTrainConfig(kind)
+	cfg.Memory = o.Memory
+	cfg.TotalSteps = o.TrainSteps
+	cfg.Seed = o.Seed
+	cfg.GNN.Hidden = o.GNNHidden
+	cfg.GNN.Steps = o.GNNSteps
+	// Short trainings need more, smaller PPO updates than the PPO2
+	// defaults, and a slightly hotter learning rate.
+	if o.TrainSteps < 100000 {
+		cfg.PPO.LearningRate = 1e-3
+	}
+	if cfg.PPO.RolloutSteps > o.TrainSteps {
+		cfg.PPO.RolloutSteps = o.TrainSteps
+	}
+	return cfg
+}
+
+// Figure6Result holds the fixed-graph comparison of the paper's Figure 6:
+// mean U_agent/U_opt on held-out Abilene sequences per policy, plus the
+// shortest-path baseline (the dotted line).
+type Figure6Result struct {
+	MLP          float64
+	GNN          float64
+	GNNIterative float64
+	ShortestPath float64
+}
+
+// Figure6 trains the MLP, GNN, and iterative-GNN policies on Abilene and
+// evaluates them on held-out sequences, reproducing the paper's Figure 6.
+func Figure6(opts ExperimentOptions) (*Figure6Result, error) {
+	train, test, err := AbileneScenario(opts.TrainSeqs, opts.TestSeqs, opts.SeqLen, opts.Cycle, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cache := NewOptimalCache()
+	if _, err := Prewarm(train, cache, 0); err != nil {
+		return nil, err
+	}
+	if _, err := Prewarm(test, cache, 0); err != nil {
+		return nil, err
+	}
+	res := &Figure6Result{}
+	res.ShortestPath, err = ShortestPathRatio(test, opts.Memory, cache)
+	if err != nil {
+		return nil, err
+	}
+	for _, kind := range []PolicyKind{MLPPolicy, GNNPolicy, GNNIterativePolicy} {
+		agent, err := NewAgent(opts.trainConfig(kind), train)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := agent.Train(train, cache); err != nil {
+			return nil, err
+		}
+		ratio, err := agent.Evaluate(test, cache)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case MLPPolicy:
+			res.MLP = ratio
+		case GNNPolicy:
+			res.GNN = ratio
+		case GNNIterativePolicy:
+			res.GNNIterative = ratio
+		}
+	}
+	return res, nil
+}
+
+// Figure7Result holds learning curves (total reward per episode against
+// cumulative environment timesteps) for the MLP and GNN agents.
+type Figure7Result struct {
+	MLP []EpisodeStat
+	GNN []EpisodeStat
+}
+
+// Figure7 reproduces the paper's Figure 7 learning-curve comparison.
+func Figure7(opts ExperimentOptions) (*Figure7Result, error) {
+	train, _, err := AbileneScenario(opts.TrainSeqs, opts.TestSeqs, opts.SeqLen, opts.Cycle, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cache := NewOptimalCache()
+	if _, err := Prewarm(train, cache, 0); err != nil {
+		return nil, err
+	}
+	res := &Figure7Result{}
+	for _, kind := range []PolicyKind{MLPPolicy, GNNPolicy} {
+		agent, err := NewAgent(opts.trainConfig(kind), train)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := agent.Train(train, cache)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case MLPPolicy:
+			res.MLP = stats
+		case GNNPolicy:
+			res.GNN = stats
+		}
+	}
+	return res, nil
+}
+
+// Figure8Result holds the generalisation experiment of the paper's Figure
+// 8: mean ratios for the GNN and iterative-GNN policies trained and tested
+// on (a) Abilene with small random modifications and (b) entirely different
+// graphs, plus the shortest-path baselines.
+type Figure8Result struct {
+	ModificationsGNN     float64
+	ModificationsGNNIter float64
+	ModificationsSP      float64
+	DifferentGNN         float64
+	DifferentGNNIter     float64
+	DifferentSP          float64
+}
+
+// Figure8 reproduces the paper's Figure 8. Only GNN policies participate:
+// as the paper notes, the MLP cannot be applied across topologies at all.
+func Figure8(opts ExperimentOptions) (*Figure8Result, error) {
+	modTrain, modTest, err := modifiedAbileneScenarios(opts)
+	if err != nil {
+		return nil, err
+	}
+	diffTrain, diffTest, err := differentGraphScenarios(opts)
+	if err != nil {
+		return nil, err
+	}
+	cache := NewOptimalCache()
+	for _, s := range []*Scenario{modTrain, modTest, diffTrain, diffTest} {
+		if _, err := Prewarm(s, cache, 0); err != nil {
+			return nil, err
+		}
+	}
+	res := &Figure8Result{}
+	res.ModificationsSP, err = ShortestPathRatio(modTest, opts.Memory, cache)
+	if err != nil {
+		return nil, err
+	}
+	res.DifferentSP, err = ShortestPathRatio(diffTest, opts.Memory, cache)
+	if err != nil {
+		return nil, err
+	}
+	run := func(kind PolicyKind, train, test *Scenario) (float64, error) {
+		agent, err := NewAgent(opts.trainConfig(kind), train)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := agent.Train(train, cache); err != nil {
+			return 0, err
+		}
+		return agent.Evaluate(test, cache)
+	}
+	if res.ModificationsGNN, err = run(GNNPolicy, modTrain, modTest); err != nil {
+		return nil, err
+	}
+	if res.ModificationsGNNIter, err = run(GNNIterativePolicy, modTrain, modTest); err != nil {
+		return nil, err
+	}
+	if res.DifferentGNN, err = run(GNNPolicy, diffTrain, diffTest); err != nil {
+		return nil, err
+	}
+	if res.DifferentGNNIter, err = run(GNNIterativePolicy, diffTrain, diffTest); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// modifiedAbileneScenarios builds train/test scenarios over Abilene plus
+// randomly modified variants (±1–2 edges/nodes), per §VIII-D.
+func modifiedAbileneScenarios(opts ExperimentOptions) (train, test *Scenario, err error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	base := topo.Abilene()
+	variants := []*graph.Graph{base}
+	for i := 0; i < 3; i++ {
+		m, err := graph.RandomMutation(base, 1+rng.Intn(2), rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		variants = append(variants, m)
+	}
+	params := traffic.DefaultBimodal()
+	train = &Scenario{}
+	test = &Scenario{}
+	for i, g := range variants {
+		trainS, err := traffic.Sequences(maxInt(1, opts.TrainSeqs/2), g.NumNodes(), opts.SeqLen, opts.Cycle, params, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		train.Add(g, trainS)
+		// Test on the later variants only, so some test topologies were
+		// never trained on.
+		if i >= len(variants)/2 {
+			testS, err := traffic.Sequences(1, g.NumNodes(), opts.SeqLen, opts.Cycle, params, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			test.Add(g, testS)
+		}
+	}
+	return train, test, nil
+}
+
+// differentGraphScenarios builds train/test scenarios over entirely
+// different topologies between half and double Abilene's size.
+func differentGraphScenarios(opts ExperimentOptions) (train, test *Scenario, err error) {
+	rng := rand.New(rand.NewSource(opts.Seed + 100))
+	graphs, err := topo.EvaluationSet(opts.Seed + 200)
+	if err != nil {
+		return nil, nil, err
+	}
+	params := traffic.DefaultBimodal()
+	train = &Scenario{}
+	test = &Scenario{}
+	for i, g := range graphs {
+		seqs, err := traffic.Sequences(1, g.NumNodes(), opts.SeqLen, opts.Cycle, params, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Alternate graphs between train and test so test topologies are
+		// unseen, as in the paper.
+		if i%2 == 0 {
+			train.Add(g, seqs)
+		} else {
+			test.Add(g, seqs)
+		}
+	}
+	if len(train.Items) == 0 || len(test.Items) == 0 {
+		return nil, nil, fmt.Errorf("gddr: evaluation set too small to split")
+	}
+	return train, test, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CurvePoint is one smoothed learning-curve point with a confidence band.
+type CurvePoint = stats.CurvePoint
+
+// SmoothLearningCurve buckets per-episode rewards into windowsPerRun equal
+// timestep windows and returns mean reward with a 95% confidence band — the
+// presentation used by the paper's Figure 7.
+func SmoothLearningCurve(eps []EpisodeStat, windowsPerRun int) ([]CurvePoint, error) {
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("gddr: empty learning curve")
+	}
+	if windowsPerRun < 1 {
+		return nil, fmt.Errorf("gddr: windowsPerRun must be >= 1, got %d", windowsPerRun)
+	}
+	xs := make([]float64, len(eps))
+	ys := make([]float64, len(eps))
+	maxT := 0.0
+	for i, e := range eps {
+		xs[i] = float64(e.Timestep)
+		ys[i] = e.TotalReward
+		if xs[i] > maxT {
+			maxT = xs[i]
+		}
+	}
+	// Inflate slightly so the final timestep falls inside the last window
+	// instead of opening a new one at the boundary.
+	window := maxT / float64(windowsPerRun) * (1 + 1e-9)
+	if window <= 0 {
+		window = 1
+	}
+	return stats.SmoothCurve(xs, ys, window)
+}

@@ -1,0 +1,261 @@
+package gddr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/traffic"
+)
+
+// tinyOptions returns experiment options small enough for unit tests.
+func tinyOptions() ExperimentOptions {
+	return ExperimentOptions{
+		Seed:       3,
+		TrainSteps: 60,
+		TrainSeqs:  1,
+		TestSeqs:   1,
+		SeqLen:     8,
+		Cycle:      2,
+		Memory:     2,
+		GNNHidden:  4,
+		GNNSteps:   1,
+	}
+}
+
+func tinyConfig(kind PolicyKind) TrainConfig {
+	cfg := DefaultTrainConfig(kind)
+	cfg.Memory = 2
+	cfg.TotalSteps = 40
+	cfg.GNN.Hidden = 4
+	cfg.GNN.Steps = 1
+	cfg.PPO.RolloutSteps = 20
+	cfg.PPO.MiniBatch = 10
+	cfg.MLPHidden = []int{16}
+	return cfg
+}
+
+func tinyScenario(t *testing.T, seed int64) *Scenario {
+	t.Helper()
+	g := Abilene()
+	rng := rand.New(rand.NewSource(seed))
+	seqs, err := traffic.Sequences(1, g.NumNodes(), 8, 2, traffic.DefaultBimodal(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewScenario(g, seqs)
+}
+
+func TestScenarioValidate(t *testing.T) {
+	s := tinyScenario(t, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	empty := &Scenario{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty scenario accepted")
+	}
+	bad := NewScenario(Abilene(), [][]*DemandMatrix{{traffic.NewDemandMatrix(3)}})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched demand size accepted")
+	}
+}
+
+func TestAbileneScenario(t *testing.T) {
+	train, test, err := AbileneScenario(2, 1, 10, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train.Items[0].Sequences) != 2 || len(test.Items[0].Sequences) != 1 {
+		t.Fatal("wrong sequence split")
+	}
+	if len(train.Items[0].Sequences[0]) != 10 {
+		t.Fatal("wrong sequence length")
+	}
+}
+
+func TestShortestPathRatioAboveOne(t *testing.T) {
+	s := tinyScenario(t, 2)
+	ratio, err := ShortestPathRatio(s, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1 {
+		t.Fatalf("shortest-path ratio %g < 1 impossible", ratio)
+	}
+}
+
+func TestTrainEvaluateAllPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	s := tinyScenario(t, 3)
+	cache := NewOptimalCache()
+	for _, kind := range []PolicyKind{MLPPolicy, GNNPolicy, GNNIterativePolicy} {
+		agent, err := NewAgent(tinyConfig(kind), s)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if agent.NumParams() == 0 {
+			t.Fatalf("%v: zero parameters", kind)
+		}
+		if _, err := agent.Train(s, cache); err != nil {
+			t.Fatalf("%v train: %v", kind, err)
+		}
+		ratio, err := agent.Evaluate(s, cache)
+		if err != nil {
+			t.Fatalf("%v evaluate: %v", kind, err)
+		}
+		if ratio < 1 {
+			t.Fatalf("%v: ratio %g < 1 impossible", kind, ratio)
+		}
+	}
+}
+
+func TestMLPRequiresSingleTopology(t *testing.T) {
+	s := tinyScenario(t, 4)
+	s.Add(NSFNet(), s.Items[0].Sequences) // invalid sizes but rejected earlier
+	if _, err := NewAgent(tinyConfig(MLPPolicy), s); err == nil {
+		t.Fatal("MLP accepted a multi-topology scenario")
+	}
+}
+
+func TestAgentSaveLoadRoundTrip(t *testing.T) {
+	s := tinyScenario(t, 5)
+	cfg := tinyConfig(GNNPolicy)
+	a1, err := NewAgent(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Seed = 999 // different init; loading must override it
+	a2, err := NewAgent(cfg2, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewOptimalCache()
+	r1, err := a1.Evaluate(s, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a2.Evaluate(s, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("loaded agent evaluates differently: %g vs %g", r1, r2)
+	}
+}
+
+func TestGNNParamCountTopologyIndependent(t *testing.T) {
+	cfg := tinyConfig(GNNPolicy)
+	a1, err := NewAgent(cfg, tinyScenario(t, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NSFNet()
+	rng := rand.New(rand.NewSource(6))
+	seqs, err := traffic.Sequences(1, g.NumNodes(), 8, 2, traffic.DefaultBimodal(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewAgent(cfg, NewScenario(g, seqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.NumParams() != a2.NumParams() {
+		t.Fatalf("GNN params depend on topology: %d vs %d", a1.NumParams(), a2.NumParams())
+	}
+}
+
+func TestFigure6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	res, err := Figure6(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"mlp": res.MLP, "gnn": res.GNN, "gnn-iterative": res.GNNIterative, "sp": res.ShortestPath,
+	} {
+		if v < 1 {
+			t.Fatalf("figure 6 %s ratio %g < 1 impossible", name, v)
+		}
+	}
+}
+
+func TestFigure7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	res, err := Figure7(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MLP) == 0 || len(res.GNN) == 0 {
+		t.Fatal("learning curves empty")
+	}
+	for _, st := range res.GNN {
+		if st.TotalReward > 0 {
+			t.Fatalf("positive episode reward %g impossible (rewards are -ratios)", st.TotalReward)
+		}
+	}
+}
+
+func TestFigure8Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	opts := tinyOptions()
+	res, err := Figure8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModificationsGNN < 1 || res.DifferentGNNIter < 1 || res.ModificationsSP < 1 {
+		t.Fatalf("figure 8 ratios below 1: %+v", res)
+	}
+}
+
+func TestExperimentOptionPresets(t *testing.T) {
+	d := DefaultExperimentOptions()
+	p := PaperExperimentOptions()
+	if p.TrainSteps != 500000 || p.SeqLen != 60 || p.Cycle != 10 || p.Memory != 5 {
+		t.Fatalf("paper options drifted from the paper: %+v", p)
+	}
+	if d.TrainSteps >= p.TrainSteps {
+		t.Fatal("default options should be scaled down")
+	}
+}
+
+func TestSmoothLearningCurve(t *testing.T) {
+	eps := []EpisodeStat{
+		{Timestep: 10, TotalReward: -30},
+		{Timestep: 20, TotalReward: -28},
+		{Timestep: 110, TotalReward: -20},
+		{Timestep: 120, TotalReward: -18},
+	}
+	curve, err := SmoothLearningCurve(eps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("got %d windows want 2", len(curve))
+	}
+	if curve[0].Mean != -29 || curve[1].Mean != -19 {
+		t.Fatalf("means %g %g want -29 -19", curve[0].Mean, curve[1].Mean)
+	}
+	if _, err := SmoothLearningCurve(nil, 2); err == nil {
+		t.Fatal("empty curve accepted")
+	}
+	if _, err := SmoothLearningCurve(eps, 0); err == nil {
+		t.Fatal("zero windows accepted")
+	}
+}

@@ -1,0 +1,581 @@
+// Package ad implements a reverse-mode automatic differentiation tape over
+// dense matrices. It provides every operation the GDDR policies need: affine
+// layers, activations, concatenation, row gathering, unsorted segment sums
+// (the ρ pooling functions of the graph-network blocks), broadcasts,
+// reductions, and the pointwise arithmetic used by the PPO losses. It is a
+// from-scratch substitute for TensorFlow's gradient machinery (DESIGN.md
+// substitution #2).
+package ad
+
+import (
+	"fmt"
+	"math"
+
+	"gddr/internal/mat"
+)
+
+// Node is a value in the computation graph with an accumulated gradient.
+type Node struct {
+	Value *mat.Matrix
+	Grad  *mat.Matrix
+
+	tape     *Tape
+	backward func()
+}
+
+// Tape records operations so that gradients can be propagated in reverse.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+func (t *Tape) node(v *mat.Matrix, backward func()) *Node {
+	n := &Node{Value: v, Grad: mat.New(v.Rows, v.Cols), tape: t, backward: backward}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Constant introduces a matrix that requires no gradient.
+func (t *Tape) Constant(v *mat.Matrix) *Node { return t.node(v, nil) }
+
+// ConstantScalar introduces a 1×1 constant.
+func (t *Tape) ConstantScalar(v float64) *Node {
+	m := mat.New(1, 1)
+	m.Data[0] = v
+	return t.Constant(m)
+}
+
+// Param is a trainable parameter: a value plus its persistent gradient
+// accumulator, living outside any single tape.
+type Param struct {
+	Name  string
+	Value *mat.Matrix
+	Grad  *mat.Matrix
+}
+
+// NewParam wraps a value matrix as a named parameter.
+func NewParam(name string, v *mat.Matrix) *Param {
+	return &Param{Name: name, Value: v, Grad: mat.New(v.Rows, v.Cols)}
+}
+
+// ZeroGrad clears the parameter gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Use introduces a parameter onto the tape; backward accumulates into the
+// parameter's persistent gradient.
+func (t *Tape) Use(p *Param) *Node {
+	var n *Node
+	n = t.node(p.Value, func() {
+		mat.AddInPlace(p.Grad, n.Grad)
+	})
+	return n
+}
+
+// Backward runs reverse-mode differentiation seeding d(loss)=1. The loss
+// node must be 1×1.
+func (t *Tape) Backward(loss *Node) error {
+	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
+		return fmt.Errorf("ad: backward needs a scalar loss, got %dx%d", loss.Value.Rows, loss.Value.Cols)
+	}
+	if loss.tape != t {
+		return fmt.Errorf("ad: loss node belongs to a different tape")
+	}
+	loss.Grad.Data[0] = 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		if t.nodes[i].backward != nil {
+			t.nodes[i].backward()
+		}
+	}
+	return nil
+}
+
+// MatMul returns a·b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	v := mat.MatMul(a.Value, b.Value)
+	var n *Node
+	n = t.node(v, func() {
+		mat.AddInPlace(a.Grad, mat.MatMulTransB(n.Grad, b.Value))
+		mat.AddInPlace(b.Grad, mat.MatMulTransA(a.Value, n.Grad))
+	})
+	return n
+}
+
+// Add returns a+b (same shape).
+func (t *Tape) Add(a, b *Node) *Node {
+	v := mat.Add(a.Value, b.Value)
+	var n *Node
+	n = t.node(v, func() {
+		mat.AddInPlace(a.Grad, n.Grad)
+		mat.AddInPlace(b.Grad, n.Grad)
+	})
+	return n
+}
+
+// Sub returns a−b (same shape).
+func (t *Tape) Sub(a, b *Node) *Node {
+	v := mat.Sub(a.Value, b.Value)
+	var n *Node
+	n = t.node(v, func() {
+		mat.AddInPlace(a.Grad, n.Grad)
+		for i := range b.Grad.Data {
+			b.Grad.Data[i] -= n.Grad.Data[i]
+		}
+	})
+	return n
+}
+
+// Mul returns the elementwise product a⊙b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	v := mat.Mul(a.Value, b.Value)
+	var n *Node
+	n = t.node(v, func() {
+		for i := range n.Grad.Data {
+			a.Grad.Data[i] += n.Grad.Data[i] * b.Value.Data[i]
+			b.Grad.Data[i] += n.Grad.Data[i] * a.Value.Data[i]
+		}
+	})
+	return n
+}
+
+// Div returns the elementwise quotient a/b.
+func (t *Tape) Div(a, b *Node) *Node {
+	v := mat.New(a.Value.Rows, a.Value.Cols)
+	for i := range v.Data {
+		v.Data[i] = a.Value.Data[i] / b.Value.Data[i]
+	}
+	var n *Node
+	n = t.node(v, func() {
+		for i := range n.Grad.Data {
+			bv := b.Value.Data[i]
+			a.Grad.Data[i] += n.Grad.Data[i] / bv
+			b.Grad.Data[i] -= n.Grad.Data[i] * a.Value.Data[i] / (bv * bv)
+		}
+	})
+	return n
+}
+
+// Scale returns s·a for a constant scalar s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	v := mat.Scale(a.Value, s)
+	var n *Node
+	n = t.node(v, func() {
+		for i := range n.Grad.Data {
+			a.Grad.Data[i] += s * n.Grad.Data[i]
+		}
+	})
+	return n
+}
+
+// AddScalar returns a + s elementwise for a constant s.
+func (t *Tape) AddScalar(a *Node, s float64) *Node {
+	v := mat.Apply(a.Value, func(x float64) float64 { return x + s })
+	var n *Node
+	n = t.node(v, func() {
+		mat.AddInPlace(a.Grad, n.Grad)
+	})
+	return n
+}
+
+// AddRowBroadcast returns a + bias, where bias is 1×cols broadcast over the
+// rows of a (the affine-layer bias pattern).
+func (t *Tape) AddRowBroadcast(a, bias *Node) *Node {
+	if bias.Value.Rows != 1 || bias.Value.Cols != a.Value.Cols {
+		panic(fmt.Sprintf("ad: row broadcast shape mismatch %dx%d + %dx%d",
+			a.Value.Rows, a.Value.Cols, bias.Value.Rows, bias.Value.Cols))
+	}
+	v := mat.New(a.Value.Rows, a.Value.Cols)
+	for i := 0; i < a.Value.Rows; i++ {
+		row := a.Value.Row(i)
+		out := v.Row(i)
+		for j, x := range row {
+			out[j] = x + bias.Value.Data[j]
+		}
+	}
+	var n *Node
+	n = t.node(v, func() {
+		mat.AddInPlace(a.Grad, n.Grad)
+		for i := 0; i < n.Grad.Rows; i++ {
+			g := n.Grad.Row(i)
+			for j, x := range g {
+				bias.Grad.Data[j] += x
+			}
+		}
+	})
+	return n
+}
+
+// BroadcastRow tiles a 1×cols node into rows copies (used to append the
+// global attribute to every node/edge row in a GN block).
+func (t *Tape) BroadcastRow(a *Node, rows int) *Node {
+	if a.Value.Rows != 1 {
+		panic(fmt.Sprintf("ad: broadcast-row needs a 1xN node, got %dx%d", a.Value.Rows, a.Value.Cols))
+	}
+	v := mat.New(rows, a.Value.Cols)
+	for i := 0; i < rows; i++ {
+		copy(v.Row(i), a.Value.Data)
+	}
+	var n *Node
+	n = t.node(v, func() {
+		for i := 0; i < rows; i++ {
+			g := n.Grad.Row(i)
+			for j, x := range g {
+				a.Grad.Data[j] += x
+			}
+		}
+	})
+	return n
+}
+
+func (t *Tape) unary(a *Node, f, df func(float64) float64) *Node {
+	v := mat.Apply(a.Value, f)
+	var n *Node
+	n = t.node(v, func() {
+		for i := range n.Grad.Data {
+			a.Grad.Data[i] += n.Grad.Data[i] * df(a.Value.Data[i])
+		}
+	})
+	return n
+}
+
+// ReLU applies max(0,x) elementwise.
+func (t *Tape) ReLU(a *Node) *Node {
+	return t.unary(a,
+		func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		},
+		func(x float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// Tanh applies tanh elementwise.
+func (t *Tape) Tanh(a *Node) *Node {
+	v := mat.Apply(a.Value, math.Tanh)
+	var n *Node
+	n = t.node(v, func() {
+		for i := range n.Grad.Data {
+			y := n.Value.Data[i]
+			a.Grad.Data[i] += n.Grad.Data[i] * (1 - y*y)
+		}
+	})
+	return n
+}
+
+// Sigmoid applies 1/(1+e^{-x}) elementwise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	v := mat.Apply(a.Value, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+	var n *Node
+	n = t.node(v, func() {
+		for i := range n.Grad.Data {
+			y := n.Value.Data[i]
+			a.Grad.Data[i] += n.Grad.Data[i] * y * (1 - y)
+		}
+	})
+	return n
+}
+
+// Exp applies e^x elementwise.
+func (t *Tape) Exp(a *Node) *Node {
+	v := mat.Apply(a.Value, math.Exp)
+	var n *Node
+	n = t.node(v, func() {
+		for i := range n.Grad.Data {
+			a.Grad.Data[i] += n.Grad.Data[i] * n.Value.Data[i]
+		}
+	})
+	return n
+}
+
+// Log applies the natural logarithm elementwise.
+func (t *Tape) Log(a *Node) *Node {
+	return t.unary(a, math.Log, func(x float64) float64 { return 1 / x })
+}
+
+// Square applies x² elementwise.
+func (t *Tape) Square(a *Node) *Node {
+	return t.unary(a,
+		func(x float64) float64 { return x * x },
+		func(x float64) float64 { return 2 * x })
+}
+
+// Softplus applies log(1+e^x) elementwise (numerically stabilised).
+func (t *Tape) Softplus(a *Node) *Node {
+	return t.unary(a,
+		func(x float64) float64 {
+			if x > 30 {
+				return x
+			}
+			return math.Log1p(math.Exp(x))
+		},
+		func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+}
+
+// ClampConst clamps values into [lo,hi]; gradients pass through only inside
+// the interval (the PPO clip operator).
+func (t *Tape) ClampConst(a *Node, lo, hi float64) *Node {
+	v := mat.Apply(a.Value, func(x float64) float64 { return math.Min(hi, math.Max(lo, x)) })
+	var n *Node
+	n = t.node(v, func() {
+		for i := range n.Grad.Data {
+			x := a.Value.Data[i]
+			if x > lo && x < hi {
+				a.Grad.Data[i] += n.Grad.Data[i]
+			}
+		}
+	})
+	return n
+}
+
+// Min returns the elementwise minimum of a and b; gradient flows to the
+// smaller argument (ties favour a).
+func (t *Tape) Min(a, b *Node) *Node {
+	v := mat.New(a.Value.Rows, a.Value.Cols)
+	for i := range v.Data {
+		v.Data[i] = math.Min(a.Value.Data[i], b.Value.Data[i])
+	}
+	var n *Node
+	n = t.node(v, func() {
+		for i := range n.Grad.Data {
+			if a.Value.Data[i] <= b.Value.Data[i] {
+				a.Grad.Data[i] += n.Grad.Data[i]
+			} else {
+				b.Grad.Data[i] += n.Grad.Data[i]
+			}
+		}
+	})
+	return n
+}
+
+// ConcatCols concatenates nodes horizontally.
+func (t *Tape) ConcatCols(nodes ...*Node) *Node {
+	vals := make([]*mat.Matrix, len(nodes))
+	for i, nd := range nodes {
+		vals[i] = nd.Value
+	}
+	v := mat.ConcatCols(vals...)
+	var n *Node
+	n = t.node(v, func() {
+		off := 0
+		for _, nd := range nodes {
+			for i := 0; i < nd.Grad.Rows; i++ {
+				src := n.Grad.Row(i)[off : off+nd.Grad.Cols]
+				dst := nd.Grad.Row(i)
+				for j, x := range src {
+					dst[j] += x
+				}
+			}
+			off += nd.Grad.Cols
+		}
+	})
+	return n
+}
+
+// ConcatRows concatenates nodes vertically.
+func (t *Tape) ConcatRows(nodes ...*Node) *Node {
+	vals := make([]*mat.Matrix, len(nodes))
+	for i, nd := range nodes {
+		vals[i] = nd.Value
+	}
+	v := mat.ConcatRows(vals...)
+	var n *Node
+	n = t.node(v, func() {
+		off := 0
+		for _, nd := range nodes {
+			cnt := len(nd.Grad.Data)
+			src := n.Grad.Data[off : off+cnt]
+			for j, x := range src {
+				nd.Grad.Data[j] += x
+			}
+			off += cnt
+		}
+	})
+	return n
+}
+
+// GatherRows selects rows of a by index (duplicates allowed); the backward
+// pass scatter-adds.
+func (t *Tape) GatherRows(a *Node, idx []int) *Node {
+	v := mat.GatherRows(a.Value, idx)
+	own := append([]int(nil), idx...)
+	var n *Node
+	n = t.node(v, func() {
+		for i, r := range own {
+			src := n.Grad.Row(i)
+			dst := a.Grad.Row(r)
+			for j, x := range src {
+				dst[j] += x
+			}
+		}
+	})
+	return n
+}
+
+// SegmentSum sums rows of a into numSegments buckets; the graph-network ρ
+// pooling (tf.unsorted_segment_sum equivalent).
+func (t *Tape) SegmentSum(a *Node, segments []int, numSegments int) *Node {
+	v := mat.SegmentSum(a.Value, segments, numSegments)
+	own := append([]int(nil), segments...)
+	var n *Node
+	n = t.node(v, func() {
+		for i, s := range own {
+			src := n.Grad.Row(s)
+			dst := a.Grad.Row(i)
+			for j, x := range src {
+				dst[j] += x
+			}
+		}
+	})
+	return n
+}
+
+// SumRows returns the 1×cols column-sum of a.
+func (t *Tape) SumRows(a *Node) *Node {
+	v := mat.SumRows(a.Value)
+	var n *Node
+	n = t.node(v, func() {
+		for i := 0; i < a.Grad.Rows; i++ {
+			dst := a.Grad.Row(i)
+			for j := range dst {
+				dst[j] += n.Grad.Data[j]
+			}
+		}
+	})
+	return n
+}
+
+// SumAll returns the 1×1 sum over all elements.
+func (t *Tape) SumAll(a *Node) *Node {
+	v := mat.New(1, 1)
+	v.Data[0] = mat.Sum(a.Value)
+	var n *Node
+	n = t.node(v, func() {
+		g := n.Grad.Data[0]
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += g
+		}
+	})
+	return n
+}
+
+// Mean returns the 1×1 mean over all elements.
+func (t *Tape) Mean(a *Node) *Node {
+	count := float64(len(a.Value.Data))
+	v := mat.New(1, 1)
+	v.Data[0] = mat.Sum(a.Value) / count
+	var n *Node
+	n = t.node(v, func() {
+		g := n.Grad.Data[0] / count
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += g
+		}
+	})
+	return n
+}
+
+// RowSums returns the rows×1 per-row sums of a.
+func (t *Tape) RowSums(a *Node) *Node {
+	v := mat.New(a.Value.Rows, 1)
+	for i := 0; i < a.Value.Rows; i++ {
+		var s float64
+		for _, x := range a.Value.Row(i) {
+			s += x
+		}
+		v.Data[i] = s
+	}
+	var n *Node
+	n = t.node(v, func() {
+		for i := 0; i < a.Grad.Rows; i++ {
+			g := n.Grad.Data[i]
+			dst := a.Grad.Row(i)
+			for j := range dst {
+				dst[j] += g
+			}
+		}
+	})
+	return n
+}
+
+// Reshape reinterprets a as rows×cols (same element count, row-major order).
+func (t *Tape) Reshape(a *Node, rows, cols int) *Node {
+	if rows*cols != len(a.Value.Data) {
+		panic(fmt.Sprintf("ad: reshape %dx%d incompatible with %d elements", rows, cols, len(a.Value.Data)))
+	}
+	v := mat.FromSlice(rows, cols, append([]float64(nil), a.Value.Data...))
+	var n *Node
+	n = t.node(v, func() {
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += n.Grad.Data[i]
+		}
+	})
+	return n
+}
+
+// MulScalar multiplies every element of a by the 1×1 node s.
+func (t *Tape) MulScalar(a, s *Node) *Node {
+	if s.Value.Rows != 1 || s.Value.Cols != 1 {
+		panic(fmt.Sprintf("ad: mul-scalar needs a 1x1 scalar, got %dx%d", s.Value.Rows, s.Value.Cols))
+	}
+	sv := s.Value.Data[0]
+	v := mat.Scale(a.Value, sv)
+	var n *Node
+	n = t.node(v, func() {
+		var acc float64
+		for i := range n.Grad.Data {
+			a.Grad.Data[i] += n.Grad.Data[i] * sv
+			acc += n.Grad.Data[i] * a.Value.Data[i]
+		}
+		s.Grad.Data[0] += acc
+	})
+	return n
+}
+
+// AddScalarNode adds the 1×1 node s to every element of a.
+func (t *Tape) AddScalarNode(a, s *Node) *Node {
+	if s.Value.Rows != 1 || s.Value.Cols != 1 {
+		panic(fmt.Sprintf("ad: add-scalar needs a 1x1 scalar, got %dx%d", s.Value.Rows, s.Value.Cols))
+	}
+	sv := s.Value.Data[0]
+	v := mat.Apply(a.Value, func(x float64) float64 { return x + sv })
+	var n *Node
+	n = t.node(v, func() {
+		var acc float64
+		for i := range n.Grad.Data {
+			a.Grad.Data[i] += n.Grad.Data[i]
+			acc += n.Grad.Data[i]
+		}
+		s.Grad.Data[0] += acc
+	})
+	return n
+}
+
+// GatherCols selects columns of a by index.
+func (t *Tape) GatherCols(a *Node, idx []int) *Node {
+	v := mat.New(a.Value.Rows, len(idx))
+	for i := 0; i < a.Value.Rows; i++ {
+		row := a.Value.Row(i)
+		out := v.Row(i)
+		for j, c := range idx {
+			out[j] = row[c]
+		}
+	}
+	own := append([]int(nil), idx...)
+	var n *Node
+	n = t.node(v, func() {
+		for i := 0; i < n.Grad.Rows; i++ {
+			g := n.Grad.Row(i)
+			dst := a.Grad.Row(i)
+			for j, c := range own {
+				dst[c] += g[j]
+			}
+		}
+	})
+	return n
+}

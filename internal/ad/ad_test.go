@@ -1,0 +1,238 @@
+package ad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/mat"
+)
+
+// numericalGrad estimates d(loss)/d(param[idx]) by central differences,
+// where loss is rebuilt from scratch by build().
+func numericalGrad(p *Param, idx int, build func() float64) float64 {
+	const h = 1e-6
+	orig := p.Value.Data[idx]
+	p.Value.Data[idx] = orig + h
+	up := build()
+	p.Value.Data[idx] = orig - h
+	down := build()
+	p.Value.Data[idx] = orig
+	return (up - down) / (2 * h)
+}
+
+// checkGradients compares analytic vs numerical gradients for every element
+// of every parameter.
+func checkGradients(t *testing.T, params []*Param, build func(tape *Tape) *Node) {
+	t.Helper()
+	tape := NewTape()
+	loss := build(tape)
+	if err := tape.Backward(loss); err != nil {
+		t.Fatalf("backward: %v", err)
+	}
+	value := func() float64 {
+		tt := NewTape()
+		return build(tt).Value.Data[0]
+	}
+	for _, p := range params {
+		for i := range p.Value.Data {
+			want := numericalGrad(p, i, value)
+			got := p.Grad.Data[i]
+			tol := 1e-4 * (1 + math.Abs(want))
+			if math.Abs(got-want) > tol {
+				t.Fatalf("param %s[%d]: analytic %g numerical %g", p.Name, i, got, want)
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+func randParam(name string, rows, cols int, rng *rand.Rand) *Param {
+	return NewParam(name, mat.RandNormal(rows, cols, 0.7, rng))
+}
+
+func TestMatMulGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randParam("a", 3, 4, rng)
+	b := randParam("b", 4, 2, rng)
+	checkGradients(t, []*Param{a, b}, func(tape *Tape) *Node {
+		return tape.SumAll(tape.MatMul(tape.Use(a), tape.Use(b)))
+	})
+}
+
+func TestAddSubMulDivGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randParam("a", 2, 3, rng)
+	b := NewParam("b", mat.RandUniform(2, 3, 0.5, 2.0, rng)) // keep away from 0 for Div
+	checkGradients(t, []*Param{a, b}, func(tape *Tape) *Node {
+		an, bn := tape.Use(a), tape.Use(b)
+		s := tape.Add(tape.Sub(tape.Mul(an, bn), an), tape.Div(an, bn))
+		return tape.SumAll(s)
+	})
+}
+
+func TestActivationGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct {
+		name string
+		f    func(tape *Tape, x *Node) *Node
+	}{
+		{"tanh", func(tp *Tape, x *Node) *Node { return tp.Tanh(x) }},
+		{"sigmoid", func(tp *Tape, x *Node) *Node { return tp.Sigmoid(x) }},
+		{"exp", func(tp *Tape, x *Node) *Node { return tp.Exp(x) }},
+		{"square", func(tp *Tape, x *Node) *Node { return tp.Square(x) }},
+		{"softplus", func(tp *Tape, x *Node) *Node { return tp.Softplus(x) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := randParam("a", 2, 2, rng)
+			checkGradients(t, []*Param{a}, func(tape *Tape) *Node {
+				return tape.SumAll(tc.f(tape, tape.Use(a)))
+			})
+		})
+	}
+}
+
+func TestReLUGradientAwayFromKink(t *testing.T) {
+	// Use values far from 0 so finite differences are exact.
+	vals := mat.FromRows([][]float64{{1.5, -2.5}, {3.0, -0.5}})
+	a := NewParam("a", vals)
+	checkGradients(t, []*Param{a}, func(tape *Tape) *Node {
+		return tape.SumAll(tape.ReLU(tape.Use(a)))
+	})
+}
+
+func TestLogGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewParam("a", mat.RandUniform(2, 3, 0.5, 3, rng))
+	checkGradients(t, []*Param{a}, func(tape *Tape) *Node {
+		return tape.SumAll(tape.Log(tape.Use(a)))
+	})
+}
+
+func TestConcatGatherSegmentGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randParam("a", 3, 2, rng)
+	b := randParam("b", 3, 4, rng)
+	checkGradients(t, []*Param{a, b}, func(tape *Tape) *Node {
+		an, bn := tape.Use(a), tape.Use(b)
+		c := tape.ConcatCols(an, bn)               // 3x6
+		g := tape.GatherRows(c, []int{0, 2, 2, 1}) // 4x6
+		s := tape.SegmentSum(g, []int{1, 0, 1, 1}, 2)
+		w := tape.Square(s) // make gradient non-uniform
+		return tape.SumAll(w)
+	})
+}
+
+func TestConcatRowsGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randParam("a", 2, 3, rng)
+	b := randParam("b", 1, 3, rng)
+	checkGradients(t, []*Param{a, b}, func(tape *Tape) *Node {
+		c := tape.ConcatRows(tape.Use(a), tape.Use(b))
+		return tape.SumAll(tape.Square(c))
+	})
+}
+
+func TestBroadcastAndBiasGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randParam("a", 4, 3, rng)
+	bias := randParam("bias", 1, 3, rng)
+	checkGradients(t, []*Param{a, bias}, func(tape *Tape) *Node {
+		y := tape.AddRowBroadcast(tape.Use(a), tape.Use(bias))
+		z := tape.Mul(y, tape.BroadcastRow(tape.Use(bias), 4))
+		return tape.SumAll(z)
+	})
+}
+
+func TestReductionGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randParam("a", 3, 4, rng)
+	checkGradients(t, []*Param{a}, func(tape *Tape) *Node {
+		an := tape.Use(a)
+		r := tape.Add(tape.SumRows(tape.Square(an)), tape.Scale(tape.SumRows(an), 0.5))
+		m := tape.Mean(tape.Square(r))
+		rs := tape.SumAll(tape.Square(tape.RowSums(an)))
+		return tape.Add(m, tape.Scale(rs, 0.1))
+	})
+}
+
+func TestScalarBroadcastGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randParam("a", 2, 3, rng)
+	s := randParam("s", 1, 1, rng)
+	checkGradients(t, []*Param{a, s}, func(tape *Tape) *Node {
+		an := tape.Use(a)
+		sn := tape.Use(s)
+		y := tape.AddScalarNode(tape.MulScalar(an, sn), sn)
+		return tape.SumAll(tape.Square(y))
+	})
+}
+
+func TestMinClampGradients(t *testing.T) {
+	// Values chosen away from the clamp boundaries and ties.
+	a := NewParam("a", mat.FromRows([][]float64{{0.3, 1.8}, {-1.6, 0.9}}))
+	b := NewParam("b", mat.FromRows([][]float64{{0.5, 1.2}, {-0.2, 0.1}}))
+	checkGradients(t, []*Param{a, b}, func(tape *Tape) *Node {
+		an, bn := tape.Use(a), tape.Use(b)
+		m := tape.Min(tape.Square(an), bn)
+		c := tape.ClampConst(an, -1, 1)
+		return tape.SumAll(tape.Add(m, tape.Square(c)))
+	})
+}
+
+func TestGatherColsReshapeGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randParam("a", 2, 4, rng)
+	checkGradients(t, []*Param{a}, func(tape *Tape) *Node {
+		an := tape.Use(a)
+		g := tape.GatherCols(an, []int{3, 1})
+		r := tape.Reshape(tape.Square(g), 1, 4)
+		return tape.SumAll(r)
+	})
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	tape := NewTape()
+	n := tape.Constant(mat.New(2, 2))
+	if err := tape.Backward(n); err == nil {
+		t.Fatal("expected error for non-scalar loss")
+	}
+}
+
+func TestBackwardRejectsForeignTape(t *testing.T) {
+	t1, t2 := NewTape(), NewTape()
+	n := t1.ConstantScalar(1)
+	if err := t2.Backward(n); err == nil {
+		t.Fatal("expected error for foreign-tape loss")
+	}
+}
+
+func TestGradientAccumulationAcrossUses(t *testing.T) {
+	// A parameter used twice must accumulate both contributions.
+	a := NewParam("a", mat.FromRows([][]float64{{2}}))
+	tape := NewTape()
+	x := tape.Use(a)
+	y := tape.Use(a)
+	loss := tape.SumAll(tape.Mul(x, y)) // a², d/da = 2a = 4
+	if err := tape.Backward(loss); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Grad.Data[0]-4) > 1e-12 {
+		t.Fatalf("grad=%g want 4", a.Grad.Data[0])
+	}
+}
+
+func TestDeepChainGradient(t *testing.T) {
+	// A longer composite resembling one GN-block edge update.
+	rng := rand.New(rand.NewSource(11))
+	w1 := randParam("w1", 6, 5, rng)
+	b1 := randParam("b1", 1, 5, rng)
+	w2 := randParam("w2", 5, 2, rng)
+	x := mat.RandNormal(4, 6, 1, rng)
+	checkGradients(t, []*Param{w1, b1, w2}, func(tape *Tape) *Node {
+		xn := tape.Constant(x)
+		h := tape.Tanh(tape.AddRowBroadcast(tape.MatMul(xn, tape.Use(w1)), tape.Use(b1)))
+		out := tape.MatMul(h, tape.Use(w2))
+		return tape.Mean(tape.Square(out))
+	})
+}

@@ -1,0 +1,379 @@
+// Package env implements the paper's OpenAI-Gym-style reinforcement-learning
+// environment for data-driven routing (§V): observations are histories of
+// traffic demands summarised per node, actions are edge weights (all at once
+// or one edge per iteration), and the reward compares the agent's routing
+// against the LP-optimal routing, r = -U_max(agent)/U_max(optimal) (Eq. 2).
+package env
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"gddr/internal/graph"
+	"gddr/internal/lp"
+	"gddr/internal/mat"
+	"gddr/internal/routing"
+	"gddr/internal/traffic"
+)
+
+// Mode selects the action space.
+type Mode int
+
+// Action-space modes. FullAction emits every edge weight in one action
+// (paper §VII-A); IterativeAction sets one edge per step and reads γ from
+// the final action (paper §VII-B).
+const (
+	FullAction Mode = iota + 1
+	IterativeAction
+)
+
+// Objective selects the utility function the reward compares against — the
+// paper's primary max-utilisation objective, or the mean-utilisation
+// alternative from its further-work section (§IX-A).
+type Objective int
+
+// Objectives. The zero value behaves as MaxUtilization so existing configs
+// keep the paper's primary objective.
+const (
+	MaxUtilization Objective = iota
+	MeanUtilization
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MaxUtilization:
+		return "max-utilisation"
+	case MeanUtilization:
+		return "mean-utilisation"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+func (m Mode) String() string {
+	switch m {
+	case FullAction:
+		return "full"
+	case IterativeAction:
+		return "iterative"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterises the environment.
+type Config struct {
+	Memory      int     // demand history length m (paper uses 5)
+	Gamma       float64 // softmin γ for FullAction mode
+	Mode        Mode
+	WeightScale float64 // edge weight = base(e) * exp(WeightScale * action)
+	// Objective selects the utility function (default: MaxUtilization).
+	Objective Objective
+	// CapacityAware makes the action-to-weight mapping multiplicative
+	// around inverse-capacity base weights instead of uniform ones, so the
+	// untrained policy starts from the classic capacity-aware ECMP routing
+	// rather than uniform splitting. This warm start compensates for the
+	// scaled-down training budgets of this reproduction (DESIGN.md
+	// substitution #5); the action space and its semantics are unchanged.
+	CapacityAware bool
+}
+
+// DefaultConfig returns the paper's main experimental settings.
+func DefaultConfig() Config {
+	return Config{
+		Memory:        5,
+		Gamma:         routing.DefaultGamma,
+		Mode:          FullAction,
+		WeightScale:   2,
+		CapacityAware: true,
+	}
+}
+
+// Observation is one environment state. Node features are the normalised
+// outgoing/incoming demand sums per history step (§V-B); edge features are
+// the iterative-mode triple (value, set?, target?) of Eq. 6 (zeros in full
+// mode); Flat is the raw normalised m·N² history for the MLP baseline.
+type Observation struct {
+	G          *graph.Graph
+	NodeFeat   *mat.Matrix // N x 2m
+	EdgeFeat   *mat.Matrix // E x 3
+	Global     *mat.Matrix // 1 x 1 (constant bias input)
+	Senders    []int
+	Receivers  []int
+	Flat       []float64 // m*N*N
+	TargetEdge int       // iterative mode: edge set by the next action; -1 in full mode
+}
+
+// Interface is the Gym-like contract consumed by the PPO trainer.
+type Interface interface {
+	// Reset starts a new episode and returns the first observation.
+	Reset() (*Observation, error)
+	// Step applies an action, returning the next observation (nil when the
+	// episode ended), the reward, and the done flag.
+	Step(action []float64) (*Observation, float64, bool, error)
+	// ActionDim returns the action dimensionality for the current episode.
+	ActionDim() int
+}
+
+// OptimalCache memoises LP optimal max-utilisation per (graph, demand
+// matrix). Cyclical sequences reuse base matrices by pointer, so each
+// sequence costs only cycle-many LP solves. The cache is safe for
+// concurrent use.
+type OptimalCache struct {
+	mu sync.Mutex
+	m  map[cacheKey]float64
+}
+
+type cacheKey struct {
+	g   *graph.Graph
+	dm  *traffic.DemandMatrix
+	obj Objective
+}
+
+// NewOptimalCache returns an empty cache.
+func NewOptimalCache() *OptimalCache {
+	return &OptimalCache{m: make(map[cacheKey]float64)}
+}
+
+// Get returns the optimal max utilisation for dm on g, solving the LP on a
+// cache miss.
+func (c *OptimalCache) Get(g *graph.Graph, dm *traffic.DemandMatrix) (float64, error) {
+	return c.get(g, dm, MaxUtilization)
+}
+
+// GetMean returns the optimal mean utilisation for dm on g.
+func (c *OptimalCache) GetMean(g *graph.Graph, dm *traffic.DemandMatrix) (float64, error) {
+	return c.get(g, dm, MeanUtilization)
+}
+
+func (c *OptimalCache) get(g *graph.Graph, dm *traffic.DemandMatrix, obj Objective) (float64, error) {
+	key := cacheKey{g: g, dm: dm, obj: obj}
+	c.mu.Lock()
+	v, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	var opt float64
+	var err error
+	switch obj {
+	case MeanUtilization:
+		opt, _, err = lp.OptimalMeanUtilization(g, dm)
+	default:
+		opt, _, err = lp.OptimalMaxUtilization(g, dm)
+	}
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.m[key] = opt
+	c.mu.Unlock()
+	return opt, nil
+}
+
+// Len returns the number of cached optima.
+func (c *OptimalCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Env simulates routing one demand sequence on one graph.
+type Env struct {
+	g    *graph.Graph
+	seq  []*traffic.DemandMatrix
+	cfg  Config
+	opt  *OptimalCache
+	base []float64 // per-edge base weights of the action mapping
+
+	// Episode state.
+	t int // index of the DM being routed next (starts at cfg.Memory)
+
+	// Iterative-mode state.
+	pendingWeights []float64 // action values per edge, in [-1,1]
+	pendingSet     []bool
+	iterEdge       int
+}
+
+var _ Interface = (*Env)(nil)
+
+// New creates an environment for the sequence on g. The optimal cache may
+// be shared between environments; pass nil for a private cache.
+func New(g *graph.Graph, seq []*traffic.DemandMatrix, cfg Config, opt *OptimalCache) (*Env, error) {
+	if cfg.Memory < 1 {
+		return nil, fmt.Errorf("env: memory must be >= 1, got %d", cfg.Memory)
+	}
+	if len(seq) <= cfg.Memory {
+		return nil, fmt.Errorf("env: sequence length %d too short for memory %d", len(seq), cfg.Memory)
+	}
+	if cfg.Gamma <= 0 {
+		return nil, fmt.Errorf("env: gamma must be positive, got %g", cfg.Gamma)
+	}
+	if cfg.WeightScale <= 0 {
+		return nil, fmt.Errorf("env: weight scale must be positive, got %g", cfg.WeightScale)
+	}
+	if cfg.Mode != FullAction && cfg.Mode != IterativeAction {
+		return nil, fmt.Errorf("env: invalid mode %d", int(cfg.Mode))
+	}
+	for i, dm := range seq {
+		if dm.N != g.NumNodes() {
+			return nil, fmt.Errorf("env: demand matrix %d has size %d, graph has %d nodes", i, dm.N, g.NumNodes())
+		}
+	}
+	if !g.StronglyConnected() {
+		return nil, fmt.Errorf("env: graph must be strongly connected")
+	}
+	if opt == nil {
+		opt = NewOptimalCache()
+	}
+	base := g.UnitWeights()
+	if cfg.CapacityAware {
+		base = g.InverseCapacityWeights()
+	}
+	return &Env{g: g, seq: seq, cfg: cfg, opt: opt, base: base}, nil
+}
+
+// Graph returns the environment's topology.
+func (e *Env) Graph() *graph.Graph { return e.g }
+
+// ActionDim returns |E| in full mode, 2 (weight, γ) in iterative mode.
+func (e *Env) ActionDim() int {
+	if e.cfg.Mode == IterativeAction {
+		return 2
+	}
+	return e.g.NumEdges()
+}
+
+// EpisodeSteps returns the number of environment steps per episode.
+func (e *Env) EpisodeSteps() int {
+	dms := len(e.seq) - e.cfg.Memory
+	if e.cfg.Mode == IterativeAction {
+		return dms * e.g.NumEdges()
+	}
+	return dms
+}
+
+// Reset starts a new episode.
+func (e *Env) Reset() (*Observation, error) {
+	e.t = e.cfg.Memory
+	e.pendingWeights = make([]float64, e.g.NumEdges())
+	e.pendingSet = make([]bool, e.g.NumEdges())
+	e.iterEdge = 0
+	return e.observe()
+}
+
+// Step applies an action.
+func (e *Env) Step(action []float64) (*Observation, float64, bool, error) {
+	if e.t < e.cfg.Memory || e.t >= len(e.seq) {
+		return nil, 0, false, fmt.Errorf("env: step called outside an episode (t=%d)", e.t)
+	}
+	switch e.cfg.Mode {
+	case FullAction:
+		return e.stepFull(action)
+	case IterativeAction:
+		return e.stepIterative(action)
+	default:
+		return nil, 0, false, fmt.Errorf("env: invalid mode %d", int(e.cfg.Mode))
+	}
+}
+
+func (e *Env) stepFull(action []float64) (*Observation, float64, bool, error) {
+	if len(action) != e.g.NumEdges() {
+		return nil, 0, false, fmt.Errorf("env: action has %d values, want %d", len(action), e.g.NumEdges())
+	}
+	weights := make([]float64, len(action))
+	for i, a := range action {
+		weights[i] = e.weightFromAction(i, a)
+	}
+	reward, err := e.rewardFor(weights, e.cfg.Gamma)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	e.t++
+	if e.t >= len(e.seq) {
+		return nil, reward, true, nil
+	}
+	obs, err := e.observe()
+	return obs, reward, false, err
+}
+
+func (e *Env) stepIterative(action []float64) (*Observation, float64, bool, error) {
+	if len(action) != 2 {
+		return nil, 0, false, fmt.Errorf("env: iterative action has %d values, want 2", len(action))
+	}
+	v := clamp(action[0], -1, 1)
+	e.pendingWeights[e.iterEdge] = v
+	e.pendingSet[e.iterEdge] = true
+	e.iterEdge++
+	if e.iterEdge < e.g.NumEdges() {
+		obs, err := e.observe()
+		return obs, 0, false, err
+	}
+	// Final iteration for this DM: γ comes from the last action (Eq. 7).
+	gamma := gammaFromAction(action[1])
+	weights := make([]float64, e.g.NumEdges())
+	for i, a := range e.pendingWeights {
+		weights[i] = e.weightFromAction(i, a)
+	}
+	reward, err := e.rewardFor(weights, gamma)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	e.t++
+	e.iterEdge = 0
+	for i := range e.pendingSet {
+		e.pendingWeights[i] = 0
+		e.pendingSet[i] = false
+	}
+	if e.t >= len(e.seq) {
+		return nil, reward, true, nil
+	}
+	obs, err := e.observe()
+	return obs, reward, false, err
+}
+
+// weightFromAction maps an action value to a strictly positive edge weight,
+// multiplicative around the per-edge base weight.
+func (e *Env) weightFromAction(edge int, a float64) float64 {
+	return e.base[edge] * math.Exp(e.cfg.WeightScale*clamp(a, -1, 1))
+}
+
+// gammaFromAction maps the γ action channel to a positive softmin spread.
+func gammaFromAction(a float64) float64 {
+	return routing.DefaultGamma * math.Exp(clamp(a, -1, 1))
+}
+
+// rewardFor evaluates the routing implied by weights against the LP optimum
+// for the demand matrix of the current timestep, under the configured
+// utility function.
+func (e *Env) rewardFor(weights []float64, gamma float64) (float64, error) {
+	dm := e.seq[e.t]
+	res, err := routing.EvaluateWeights(e.g, dm, weights, gamma)
+	if err != nil {
+		return 0, err
+	}
+	var achieved, opt float64
+	switch e.cfg.Objective {
+	case MeanUtilization:
+		achieved = res.MeanUtilization()
+		opt, err = e.opt.GetMean(e.g, dm)
+	default:
+		achieved = res.MaxUtilization
+		opt, err = e.opt.Get(e.g, dm)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if opt <= 1e-12 {
+		if achieved <= 1e-12 {
+			return -1, nil // both trivially optimal on an empty matrix
+		}
+		return 0, fmt.Errorf("env: optimal utilisation is zero but agent's is %g", achieved)
+	}
+	return -achieved / opt, nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, x))
+}

@@ -1,0 +1,395 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/graph"
+	"gddr/internal/topo"
+	"gddr/internal/traffic"
+)
+
+func testSequence(t *testing.T, n, length, cycle int, seed int64) []*traffic.DemandMatrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	seq, err := traffic.BimodalCyclical(n, length, cycle, traffic.BimodalParams{
+		LowMean: 40, LowStd: 10, HighMean: 80, HighStd: 10, ElephantProb: 0.2,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func smallEnv(t *testing.T, mode Mode) *Env {
+	t.Helper()
+	g, err := graph.Ring(4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Memory = 2
+	cfg.Mode = mode
+	e, err := New(g, testSequence(t, 4, 8, 3, 1), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEnvValidation(t *testing.T) {
+	g, err := graph.Ring(4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := testSequence(t, 4, 8, 3, 1)
+	if _, err := New(g, seq, Config{Memory: 0, Gamma: 2, Mode: FullAction, WeightScale: 2}, nil); err == nil {
+		t.Fatal("memory 0 accepted")
+	}
+	if _, err := New(g, seq[:2], DefaultConfig(), nil); err == nil {
+		t.Fatal("too-short sequence accepted")
+	}
+	if _, err := New(g, testSequence(t, 5, 8, 3, 1), DefaultConfig(), nil); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	bad := Config{Memory: 2, Gamma: -1, Mode: FullAction, WeightScale: 2}
+	if _, err := New(g, seq, bad, nil); err == nil {
+		t.Fatal("negative gamma accepted")
+	}
+	// Non-strongly-connected graph rejected.
+	d := graph.New(4)
+	d.MustAddEdge(0, 1, 1)
+	d.MustAddEdge(1, 2, 1)
+	d.MustAddEdge(2, 3, 1)
+	if _, err := New(d, seq, DefaultConfig(), nil); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestFullEpisodeWalk(t *testing.T) {
+	e := smallEnv(t, FullAction)
+	obs, err := e.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ActionDim() != e.Graph().NumEdges() {
+		t.Fatalf("action dim %d want %d", e.ActionDim(), e.Graph().NumEdges())
+	}
+	steps := 0
+	for {
+		if obs != nil {
+			if obs.NodeFeat.Rows != 4 || obs.NodeFeat.Cols != 4 {
+				t.Fatalf("node feat %dx%d want 4x4", obs.NodeFeat.Rows, obs.NodeFeat.Cols)
+			}
+			if len(obs.Flat) != 2*16 {
+				t.Fatalf("flat len %d want 32", len(obs.Flat))
+			}
+			if obs.TargetEdge != -1 {
+				t.Fatal("full mode must not set a target edge")
+			}
+		}
+		action := make([]float64, e.ActionDim())
+		next, reward, done, err := e.Step(action)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reward > -1+1e-9 {
+			t.Fatalf("reward %g must be <= -1 (ratio >= 1)", reward)
+		}
+		steps++
+		if done {
+			if next != nil {
+				t.Fatal("done step returned an observation")
+			}
+			break
+		}
+		obs = next
+	}
+	if steps != e.EpisodeSteps() {
+		t.Fatalf("episode steps %d want %d", steps, e.EpisodeSteps())
+	}
+	// Stepping after done errors until reset.
+	if _, _, _, err := e.Step(make([]float64, e.ActionDim())); err == nil {
+		t.Fatal("step after done accepted")
+	}
+	if _, err := e.Reset(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObservationNormalised(t *testing.T) {
+	e := smallEnv(t, FullAction)
+	obs, err := e.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxFeat := 0.0
+	for _, v := range obs.NodeFeat.Data {
+		if v < 0 {
+			t.Fatal("negative node feature")
+		}
+		if v > maxFeat {
+			maxFeat = v
+		}
+	}
+	if maxFeat > 1+1e-9 || maxFeat < 0.999 {
+		t.Fatalf("node features not normalised to max 1: max=%g", maxFeat)
+	}
+	for _, v := range obs.Flat {
+		if v < 0 || v > 1+1e-9 {
+			t.Fatalf("flat obs value %g outside [0,1]", v)
+		}
+	}
+}
+
+func TestRewardMatchesDirectComputation(t *testing.T) {
+	e := smallEnv(t, FullAction)
+	if _, err := e.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	// The first step routes seq[memory]; verify against a direct evaluation.
+	dm := e.seq[e.cfg.Memory]
+	action := make([]float64, e.ActionDim())
+	for i := range action {
+		action[i] = 0.3
+	}
+	_, reward, _, err := e.Step(action)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, len(action))
+	for i := range weights {
+		weights[i] = e.base[i] * math.Exp(e.cfg.WeightScale*0.3)
+	}
+	wantOpt, err := e.opt.Get(e.g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustEval(t, e, dm, weights)
+	want := -res / wantOpt
+	if math.Abs(reward-want) > 1e-9 {
+		t.Fatalf("reward %g want %g", reward, want)
+	}
+}
+
+func mustEval(t *testing.T, e *Env, dm *traffic.DemandMatrix, weights []float64) float64 {
+	t.Helper()
+	r, err := evalWeightsForTest(e, dm, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestIterativeEpisodeWalk(t *testing.T) {
+	e := smallEnv(t, IterativeAction)
+	obs, err := e.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ActionDim() != 2 {
+		t.Fatalf("iterative action dim %d want 2", e.ActionDim())
+	}
+	numEdges := e.Graph().NumEdges()
+	steps := 0
+	rewardBearing := 0
+	for {
+		if obs != nil {
+			if obs.TargetEdge != steps%numEdges {
+				t.Fatalf("step %d: target edge %d want %d", steps, obs.TargetEdge, steps%numEdges)
+			}
+			// Set-flags must match progress within the DM.
+			wantSet := steps % numEdges
+			gotSet := 0
+			for ei := 0; ei < numEdges; ei++ {
+				if obs.EdgeFeat.At(ei, 2) == 1 {
+					gotSet++
+				}
+			}
+			if gotSet != wantSet {
+				t.Fatalf("step %d: %d set flags want %d", steps, gotSet, wantSet)
+			}
+		}
+		next, reward, done, err := e.Step([]float64{0.5, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reward != 0 {
+			rewardBearing++
+			if (steps+1)%numEdges != 0 {
+				t.Fatalf("reward at non-final iteration step %d", steps)
+			}
+		}
+		steps++
+		if done {
+			break
+		}
+		obs = next
+	}
+	wantSteps := (8 - 2) * numEdges
+	if steps != wantSteps {
+		t.Fatalf("steps %d want %d", steps, wantSteps)
+	}
+	if rewardBearing != 6 {
+		t.Fatalf("reward-bearing steps %d want 6", rewardBearing)
+	}
+}
+
+func TestOptimalCacheHits(t *testing.T) {
+	e := smallEnv(t, FullAction)
+	if _, err := e.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, _, done, err := e.Step(make([]float64, e.ActionDim()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	// Cyclical sequence with cycle 3 → only 3 unique DMs → 3 LP solves.
+	if e.opt.Len() != 3 {
+		t.Fatalf("cache has %d entries, want 3", e.opt.Len())
+	}
+}
+
+func TestSharedCacheAcrossEnvs(t *testing.T) {
+	g := topo.Abilene()
+	cache := NewOptimalCache()
+	seq := testSequence(t, g.NumNodes(), 6, 2, 5)
+	cfg := DefaultConfig()
+	cfg.Memory = 2
+	e1, err := New(g, seq, cfg, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(g, seq, cfg, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := e1.Step(make([]float64, e1.ActionDim())); err != nil {
+		t.Fatal(err)
+	}
+	before := cache.Len()
+	if _, err := e2.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := e2.Step(make([]float64, e2.ActionDim())); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != before {
+		t.Fatal("second env re-solved a cached DM")
+	}
+}
+
+func TestMultiEnvSamplesMembers(t *testing.T) {
+	e1 := smallEnv(t, FullAction)
+	g2, err := graph.Ring(5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Memory = 2
+	e2, err := New(g2, testSequence(t, 5, 8, 3, 2), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewMulti([]*Env{e1, e2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[*Env]bool{}
+	for i := 0; i < 20; i++ {
+		if _, err := m.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		seen[m.Current()] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("multi-env sampled %d members, want 2", len(seen))
+	}
+	if _, err := NewMulti(nil, rng); err == nil {
+		t.Fatal("empty multi-env accepted")
+	}
+}
+
+func TestMultiEnvActionDimTracksCurrent(t *testing.T) {
+	e1 := smallEnv(t, FullAction) // ring-4: 8 edges
+	g2, err := graph.Ring(6, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Memory = 2
+	e2, err := New(g2, testSequence(t, 6, 8, 3, 2), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	m, err := NewMulti([]*Env{e1, e2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := m.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		if m.ActionDim() != m.Current().ActionDim() {
+			t.Fatal("action dim does not track current member")
+		}
+	}
+}
+
+func TestMeanUtilizationObjective(t *testing.T) {
+	g, err := graph.Ring(4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Memory = 2
+	cfg.Objective = MeanUtilization
+	e, err := New(g, testSequence(t, 4, 8, 3, 9), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	_, reward, _, err := e.Step(make([]float64, e.ActionDim()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reward > -1+1e-9 {
+		t.Fatalf("mean-utilisation reward %g must be <= -1", reward)
+	}
+	// The two objectives must actually differ on the same action.
+	cfgMax := DefaultConfig()
+	cfgMax.Memory = 2
+	eMax, err := New(g, testSequence(t, 4, 8, 3, 9), cfgMax, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eMax.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	_, rewardMax, _, err := eMax.Step(make([]float64, eMax.ActionDim()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reward == rewardMax {
+		t.Fatalf("objectives indistinguishable: both %g", reward)
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if MaxUtilization.String() != "max-utilisation" || MeanUtilization.String() != "mean-utilisation" {
+		t.Fatal("objective names wrong")
+	}
+}

@@ -1,0 +1,16 @@
+package env
+
+import (
+	"gddr/internal/routing"
+	"gddr/internal/traffic"
+)
+
+// evalWeightsForTest exposes the internal routing evaluation so tests can
+// verify the reward computation against a direct calculation.
+func evalWeightsForTest(e *Env, dm *traffic.DemandMatrix, weights []float64) (float64, error) {
+	res, err := routing.EvaluateWeights(e.g, dm, weights, e.cfg.Gamma)
+	if err != nil {
+		return 0, err
+	}
+	return res.MaxUtilization, nil
+}

@@ -1,0 +1,62 @@
+package env
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Task is one (graph, demand sequence) pair available to a MultiEnv.
+type Task struct {
+	Env *Env
+}
+
+// MultiEnv samples a member environment per episode, implementing the mixed
+// training regime of the paper's generalisation experiment (§VIII-D): the
+// agent trains across different topologies and sequences, which only the
+// GNN policies support because their parameter count is topology-independent.
+type MultiEnv struct {
+	envs []*Env
+	rng  *rand.Rand
+	cur  *Env
+}
+
+var _ Interface = (*MultiEnv)(nil)
+
+// NewMulti wraps the environments; episodes sample uniformly using rng.
+func NewMulti(envs []*Env, rng *rand.Rand) (*MultiEnv, error) {
+	if len(envs) == 0 {
+		return nil, fmt.Errorf("env: multi-env needs at least one environment")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("env: multi-env needs a rand source")
+	}
+	return &MultiEnv{envs: envs, rng: rng}, nil
+}
+
+// Reset samples a member environment and starts an episode on it.
+func (m *MultiEnv) Reset() (*Observation, error) {
+	m.cur = m.envs[m.rng.Intn(len(m.envs))]
+	return m.cur.Reset()
+}
+
+// Step forwards to the current member environment.
+func (m *MultiEnv) Step(action []float64) (*Observation, float64, bool, error) {
+	if m.cur == nil {
+		return nil, 0, false, fmt.Errorf("env: multi-env stepped before reset")
+	}
+	return m.cur.Step(action)
+}
+
+// ActionDim returns the action dimension of the current episode's member.
+func (m *MultiEnv) ActionDim() int {
+	if m.cur == nil {
+		return m.envs[0].ActionDim()
+	}
+	return m.cur.ActionDim()
+}
+
+// Current returns the member environment of the running episode.
+func (m *MultiEnv) Current() *Env { return m.cur }
+
+// Members returns the wrapped environments.
+func (m *MultiEnv) Members() []*Env { return m.envs }

@@ -1,0 +1,98 @@
+package env
+
+import (
+	"gddr/internal/mat"
+)
+
+// observe builds the observation for the demand history seq[t-m : t].
+func (e *Env) observe() (*Observation, error) {
+	m := e.cfg.Memory
+	n := e.g.NumNodes()
+	ne := e.g.NumEdges()
+
+	nodeFeat := mat.New(n, 2*m)
+	flat := make([]float64, 0, m*n*n)
+	for h := 0; h < m; h++ {
+		dm := e.seq[e.t-m+h]
+		// Per-node in/out sums, normalised by the largest node sum of this
+		// DM so features stay comparable across graph sizes (§V-B).
+		outs := make([]float64, n)
+		ins := make([]float64, n)
+		maxSum := 0.0
+		for v := 0; v < n; v++ {
+			outs[v] = dm.OutSum(v)
+			ins[v] = dm.InSum(v)
+			if outs[v] > maxSum {
+				maxSum = outs[v]
+			}
+			if ins[v] > maxSum {
+				maxSum = ins[v]
+			}
+		}
+		if maxSum == 0 {
+			maxSum = 1
+		}
+		for v := 0; v < n; v++ {
+			nodeFeat.Set(v, 2*h, outs[v]/maxSum)
+			nodeFeat.Set(v, 2*h+1, ins[v]/maxSum)
+		}
+		// Raw flattened history for the MLP baseline, normalised by the
+		// largest entry of the DM (Valadarsky et al. feed the raw history).
+		maxEntry := dm.MaxEntry()
+		if maxEntry == 0 {
+			maxEntry = 1
+		}
+		for _, v := range dm.Data {
+			flat = append(flat, v/maxEntry)
+		}
+	}
+
+	// Edge features: column 0 carries the normalised link capacity (the
+	// agent cannot avoid low-capacity links it cannot see); columns 1-3
+	// are the iterative-mode triple (value, set?, target?) of Eq. 6.
+	edgeFeat := mat.New(ne, 4)
+	maxCap := 0.0
+	for ei := 0; ei < ne; ei++ {
+		if c := e.g.Edge(ei).Capacity; c > maxCap {
+			maxCap = c
+		}
+	}
+	for ei := 0; ei < ne; ei++ {
+		edgeFeat.Set(ei, 0, e.g.Edge(ei).Capacity/maxCap)
+	}
+	target := -1
+	if e.cfg.Mode == IterativeAction {
+		target = e.iterEdge
+		for ei := 0; ei < ne; ei++ {
+			edgeFeat.Set(ei, 1, e.pendingWeights[ei])
+			if e.pendingSet[ei] {
+				edgeFeat.Set(ei, 2, 1)
+			}
+			if ei == target {
+				edgeFeat.Set(ei, 3, 1)
+			}
+		}
+	}
+
+	senders := make([]int, ne)
+	receivers := make([]int, ne)
+	for ei := 0; ei < ne; ei++ {
+		edge := e.g.Edge(ei)
+		senders[ei] = edge.From
+		receivers[ei] = edge.To
+	}
+
+	global := mat.New(1, 1)
+	global.Data[0] = 1 // constant bias channel
+
+	return &Observation{
+		G:          e.g,
+		NodeFeat:   nodeFeat,
+		EdgeFeat:   edgeFeat,
+		Global:     global,
+		Senders:    senders,
+		Receivers:  receivers,
+		Flat:       flat,
+		TargetEdge: target,
+	}, nil
+}

@@ -1,0 +1,251 @@
+// Package gnn implements the graph-network formalism of Battaglia et al.
+// ("Relational inductive biases, deep learning, and graph networks", 2018)
+// that the paper builds its policies on: a graph is the 3-tuple (u, V, E) of
+// global, vertex, and edge attributes; a GN block updates them with three
+// learned φ functions (MLPs here, as in the paper) and aggregates with three
+// ρ pooling functions (unsorted segment sums, matching the paper's use of
+// tf.unsorted_segment_sum). The encode-process-decode composite of the
+// paper's Figure 5 is provided as well.
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gddr/internal/ad"
+	"gddr/internal/mat"
+	"gddr/internal/nn"
+)
+
+// GraphSignature describes the attribute widths of a graphs tuple.
+type GraphSignature struct {
+	NodeDim, EdgeDim, GlobalDim int
+}
+
+// Graphs is a single attributed graph in graphs-tuple form: row i of Nodes
+// holds the attribute vector of vertex i; row k of Edges the attributes of
+// edge k, whose endpoints are Senders[k] → Receivers[k]; Globals is 1×g.
+type Graphs struct {
+	Nodes     *mat.Matrix
+	Edges     *mat.Matrix
+	Globals   *mat.Matrix
+	Senders   []int
+	Receivers []int
+}
+
+// Validate checks structural consistency of the tuple.
+func (g *Graphs) Validate() error {
+	if len(g.Senders) != g.Edges.Rows || len(g.Receivers) != g.Edges.Rows {
+		return fmt.Errorf("gnn: %d edges but %d senders / %d receivers",
+			g.Edges.Rows, len(g.Senders), len(g.Receivers))
+	}
+	for i := range g.Senders {
+		if g.Senders[i] < 0 || g.Senders[i] >= g.Nodes.Rows ||
+			g.Receivers[i] < 0 || g.Receivers[i] >= g.Nodes.Rows {
+			return fmt.Errorf("gnn: edge %d endpoints (%d,%d) out of range [0,%d)",
+				i, g.Senders[i], g.Receivers[i], g.Nodes.Rows)
+		}
+	}
+	if g.Globals.Rows != 1 {
+		return fmt.Errorf("gnn: globals must be a single row, got %d", g.Globals.Rows)
+	}
+	return nil
+}
+
+// State carries the tuple attributes as tape nodes during a forward pass.
+type State struct {
+	Nodes, Edges, Globals *ad.Node
+	Senders, Receivers    []int
+}
+
+// Lift places a graphs tuple onto the tape as constants.
+func Lift(t *ad.Tape, g *Graphs) *State {
+	return &State{
+		Nodes:     t.Constant(g.Nodes),
+		Edges:     t.Constant(g.Edges),
+		Globals:   t.Constant(g.Globals),
+		Senders:   g.Senders,
+		Receivers: g.Receivers,
+	}
+}
+
+// Block is a full graph-network block: edge, node, and global update MLPs
+// with segment-sum pooling, wired exactly as in Battaglia et al. §3.2:
+//
+//	e'_k = φ_e(e_k, v_sk, v_rk, u)
+//	v'_i = φ_v(ρ_{e→v}(E'_i), v_i, u)         (sum over incoming edges)
+//	u'   = φ_u(ρ_{e→u}(E'), ρ_{v→u}(V'), u)   (sums over all edges/nodes)
+type Block struct {
+	EdgeFn   *nn.MLP
+	NodeFn   *nn.MLP
+	GlobalFn *nn.MLP
+}
+
+// NewBlock builds a GN block mapping the in signature to the out signature
+// using single-hidden-layer MLPs of the given width.
+func NewBlock(name string, in, out GraphSignature, hidden int, rng *rand.Rand) (*Block, error) {
+	edgeIn := in.EdgeDim + 2*in.NodeDim + in.GlobalDim
+	edgeFn, err := nn.NewMLP(name+".edge", []int{edgeIn, hidden, out.EdgeDim}, nn.ReLU, nn.Linear, rng)
+	if err != nil {
+		return nil, err
+	}
+	nodeIn := out.EdgeDim + in.NodeDim + in.GlobalDim
+	nodeFn, err := nn.NewMLP(name+".node", []int{nodeIn, hidden, out.NodeDim}, nn.ReLU, nn.Linear, rng)
+	if err != nil {
+		return nil, err
+	}
+	globalIn := out.EdgeDim + out.NodeDim + in.GlobalDim
+	globalFn, err := nn.NewMLP(name+".global", []int{globalIn, hidden, out.GlobalDim}, nn.ReLU, nn.Linear, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Block{EdgeFn: edgeFn, NodeFn: nodeFn, GlobalFn: globalFn}, nil
+}
+
+// Apply runs one message-passing step.
+func (b *Block) Apply(t *ad.Tape, s *State) *State {
+	numNodes := s.Nodes.Value.Rows
+	numEdges := s.Edges.Value.Rows
+
+	// Edge update: concat(edge, sender node, receiver node, global).
+	senderFeat := t.GatherRows(s.Nodes, s.Senders)
+	receiverFeat := t.GatherRows(s.Nodes, s.Receivers)
+	globalPerEdge := t.BroadcastRow(s.Globals, numEdges)
+	edgeIn := t.ConcatCols(s.Edges, senderFeat, receiverFeat, globalPerEdge)
+	edgesOut := b.EdgeFn.Apply(t, edgeIn)
+
+	// Node update: concat(sum of incoming updated edges, node, global).
+	incoming := t.SegmentSum(edgesOut, s.Receivers, numNodes)
+	globalPerNode := t.BroadcastRow(s.Globals, numNodes)
+	nodeIn := t.ConcatCols(incoming, s.Nodes, globalPerNode)
+	nodesOut := b.NodeFn.Apply(t, nodeIn)
+
+	// Global update: concat(sum of edges, sum of nodes, global).
+	globalIn := t.ConcatCols(t.SumRows(edgesOut), t.SumRows(nodesOut), s.Globals)
+	globalsOut := b.GlobalFn.Apply(t, globalIn)
+
+	return &State{
+		Nodes:     nodesOut,
+		Edges:     edgesOut,
+		Globals:   globalsOut,
+		Senders:   s.Senders,
+		Receivers: s.Receivers,
+	}
+}
+
+// Params returns the block's trainable parameters.
+func (b *Block) Params() []*ad.Param {
+	var ps []*ad.Param
+	ps = append(ps, b.EdgeFn.Params()...)
+	ps = append(ps, b.NodeFn.Params()...)
+	ps = append(ps, b.GlobalFn.Params()...)
+	return ps
+}
+
+// EncodeProcessDecode is the composite of the paper's Figure 5: independent
+// encoders lift raw attributes to a hidden width, a core block runs several
+// message-passing steps (its input concatenated with the encoded state, as
+// in Battaglia et al.'s recurrent arrangement), and independent decoders map
+// to the output widths.
+type EncodeProcessDecode struct {
+	NodeEnc, EdgeEnc, GlobalEnc *nn.MLP
+	Core                        *Block
+	NodeDec, EdgeDec, GlobalDec *nn.MLP
+	Steps                       int
+	Hidden                      GraphSignature
+}
+
+// Config sizes an encode-process-decode model.
+type Config struct {
+	In, Out GraphSignature
+	Hidden  int // latent width for nodes, edges, and globals
+	Steps   int // message-passing steps of the core block
+}
+
+// NewEncodeProcessDecode builds the model.
+func NewEncodeProcessDecode(name string, cfg Config, rng *rand.Rand) (*EncodeProcessDecode, error) {
+	if cfg.Hidden <= 0 || cfg.Steps <= 0 {
+		return nil, fmt.Errorf("gnn: invalid config hidden=%d steps=%d", cfg.Hidden, cfg.Steps)
+	}
+	h := cfg.Hidden
+	hid := GraphSignature{NodeDim: h, EdgeDim: h, GlobalDim: h}
+	nodeEnc, err := nn.NewMLP(name+".enc.node", []int{cfg.In.NodeDim, h, h}, nn.ReLU, nn.Linear, rng)
+	if err != nil {
+		return nil, err
+	}
+	edgeEnc, err := nn.NewMLP(name+".enc.edge", []int{cfg.In.EdgeDim, h, h}, nn.ReLU, nn.Linear, rng)
+	if err != nil {
+		return nil, err
+	}
+	globalEnc, err := nn.NewMLP(name+".enc.global", []int{cfg.In.GlobalDim, h, h}, nn.ReLU, nn.Linear, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Core consumes concat(encoded, current) on every attribute.
+	core, err := NewBlock(name+".core",
+		GraphSignature{NodeDim: 2 * h, EdgeDim: 2 * h, GlobalDim: 2 * h}, hid, h, rng)
+	if err != nil {
+		return nil, err
+	}
+	nodeDec, err := nn.NewMLP(name+".dec.node", []int{h, h, cfg.Out.NodeDim}, nn.ReLU, nn.Linear, rng)
+	if err != nil {
+		return nil, err
+	}
+	edgeDec, err := nn.NewMLP(name+".dec.edge", []int{h, h, cfg.Out.EdgeDim}, nn.ReLU, nn.Linear, rng)
+	if err != nil {
+		return nil, err
+	}
+	globalDec, err := nn.NewMLP(name+".dec.global", []int{h, h, cfg.Out.GlobalDim}, nn.ReLU, nn.Linear, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &EncodeProcessDecode{
+		NodeEnc: nodeEnc, EdgeEnc: edgeEnc, GlobalEnc: globalEnc,
+		Core:    core,
+		NodeDec: nodeDec, EdgeDec: edgeDec, GlobalDec: globalDec,
+		Steps:  cfg.Steps,
+		Hidden: hid,
+	}, nil
+}
+
+// Apply runs the full encode-process-decode forward pass.
+func (m *EncodeProcessDecode) Apply(t *ad.Tape, s *State) *State {
+	encoded := &State{
+		Nodes:     m.NodeEnc.Apply(t, s.Nodes),
+		Edges:     m.EdgeEnc.Apply(t, s.Edges),
+		Globals:   m.GlobalEnc.Apply(t, s.Globals),
+		Senders:   s.Senders,
+		Receivers: s.Receivers,
+	}
+	cur := encoded
+	for i := 0; i < m.Steps; i++ {
+		coreIn := &State{
+			Nodes:     t.ConcatCols(encoded.Nodes, cur.Nodes),
+			Edges:     t.ConcatCols(encoded.Edges, cur.Edges),
+			Globals:   t.ConcatCols(encoded.Globals, cur.Globals),
+			Senders:   s.Senders,
+			Receivers: s.Receivers,
+		}
+		cur = m.Core.Apply(t, coreIn)
+	}
+	return &State{
+		Nodes:     m.NodeDec.Apply(t, cur.Nodes),
+		Edges:     m.EdgeDec.Apply(t, cur.Edges),
+		Globals:   m.GlobalDec.Apply(t, cur.Globals),
+		Senders:   s.Senders,
+		Receivers: s.Receivers,
+	}
+}
+
+// Params returns all trainable parameters of the model.
+func (m *EncodeProcessDecode) Params() []*ad.Param {
+	var ps []*ad.Param
+	for _, mlp := range []*nn.MLP{m.NodeEnc, m.EdgeEnc, m.GlobalEnc} {
+		ps = append(ps, mlp.Params()...)
+	}
+	ps = append(ps, m.Core.Params()...)
+	for _, mlp := range []*nn.MLP{m.NodeDec, m.EdgeDec, m.GlobalDec} {
+		ps = append(ps, mlp.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,223 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/ad"
+	"gddr/internal/mat"
+	"gddr/internal/nn"
+)
+
+// triangleGraphs returns a 3-node, 3-edge test tuple.
+func triangleGraphs(rng *rand.Rand, nodeDim, edgeDim, globalDim int) *Graphs {
+	return &Graphs{
+		Nodes:     mat.RandNormal(3, nodeDim, 1, rng),
+		Edges:     mat.RandNormal(3, edgeDim, 1, rng),
+		Globals:   mat.RandNormal(1, globalDim, 1, rng),
+		Senders:   []int{0, 1, 2},
+		Receivers: []int{1, 2, 0},
+	}
+}
+
+func TestGraphsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := triangleGraphs(rng, 2, 3, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := triangleGraphs(rng, 2, 3, 1)
+	bad.Senders = []int{0, 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched senders accepted")
+	}
+	bad2 := triangleGraphs(rng, 2, 3, 1)
+	bad2.Receivers[0] = 9
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("out-of-range receiver accepted")
+	}
+}
+
+func TestBlockShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := GraphSignature{NodeDim: 2, EdgeDim: 3, GlobalDim: 1}
+	out := GraphSignature{NodeDim: 5, EdgeDim: 4, GlobalDim: 6}
+	b, err := NewBlock("b", in, out, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := ad.NewTape()
+	s := Lift(tape, triangleGraphs(rng, 2, 3, 1))
+	o := b.Apply(tape, s)
+	if o.Nodes.Value.Rows != 3 || o.Nodes.Value.Cols != 5 {
+		t.Fatalf("nodes %dx%d", o.Nodes.Value.Rows, o.Nodes.Value.Cols)
+	}
+	if o.Edges.Value.Rows != 3 || o.Edges.Value.Cols != 4 {
+		t.Fatalf("edges %dx%d", o.Edges.Value.Rows, o.Edges.Value.Cols)
+	}
+	if o.Globals.Value.Rows != 1 || o.Globals.Value.Cols != 6 {
+		t.Fatalf("globals %dx%d", o.Globals.Value.Rows, o.Globals.Value.Cols)
+	}
+}
+
+// TestBlockGradients verifies end-to-end analytic gradients of a full GN
+// block against numerical differentiation.
+func TestBlockGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := GraphSignature{NodeDim: 2, EdgeDim: 2, GlobalDim: 1}
+	out := GraphSignature{NodeDim: 2, EdgeDim: 2, GlobalDim: 2}
+	b, err := NewBlock("b", in, out, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := triangleGraphs(rng, 2, 2, 1)
+	build := func(tape *ad.Tape) *ad.Node {
+		s := b.Apply(tape, Lift(tape, g))
+		sum := tape.Add(tape.SumAll(tape.Square(s.Nodes)), tape.SumAll(tape.Square(s.Edges)))
+		return tape.Add(sum, tape.SumAll(tape.Square(s.Globals)))
+	}
+	tape := ad.NewTape()
+	loss := build(tape)
+	if err := tape.Backward(loss); err != nil {
+		t.Fatal(err)
+	}
+	value := func() float64 {
+		tt := ad.NewTape()
+		return build(tt).Value.Data[0]
+	}
+	const h = 1e-6
+	for _, p := range b.Params() {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + h
+			up := value()
+			p.Value.Data[i] = orig - h
+			down := value()
+			p.Value.Data[i] = orig
+			want := (up - down) / (2 * h)
+			got := p.Grad.Data[i]
+			if math.Abs(got-want) > 1e-3*(1+math.Abs(want)) {
+				t.Fatalf("param %s[%d]: analytic %g numerical %g", p.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestEncodeProcessDecodeShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := Config{
+		In:     GraphSignature{NodeDim: 6, EdgeDim: 3, GlobalDim: 1},
+		Out:    GraphSignature{NodeDim: 1, EdgeDim: 1, GlobalDim: 3},
+		Hidden: 8,
+		Steps:  3,
+	}
+	m, err := NewEncodeProcessDecode("epd", cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := ad.NewTape()
+	s := Lift(tape, triangleGraphs(rng, 6, 3, 1))
+	o := m.Apply(tape, s)
+	if o.Edges.Value.Cols != 1 || o.Globals.Value.Cols != 3 || o.Nodes.Value.Cols != 1 {
+		t.Fatalf("output dims wrong: edges %d globals %d nodes %d",
+			o.Edges.Value.Cols, o.Globals.Value.Cols, o.Nodes.Value.Cols)
+	}
+}
+
+// TestSizeInvariance: the same model must run on graphs of different sizes —
+// the paper's central generalisation property.
+func TestSizeInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := Config{
+		In:     GraphSignature{NodeDim: 2, EdgeDim: 3, GlobalDim: 1},
+		Out:    GraphSignature{NodeDim: 1, EdgeDim: 1, GlobalDim: 1},
+		Hidden: 6,
+		Steps:  2,
+	}
+	m, err := NewEncodeProcessDecode("epd", cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := nn.CountParams(m.Params())
+	for _, n := range []int{3, 7, 15} {
+		senders := make([]int, 2*n)
+		receivers := make([]int, 2*n)
+		for i := 0; i < n; i++ {
+			senders[2*i], receivers[2*i] = i, (i+1)%n
+			senders[2*i+1], receivers[2*i+1] = (i+1)%n, i
+		}
+		g := &Graphs{
+			Nodes:     mat.RandNormal(n, 2, 1, rng),
+			Edges:     mat.RandNormal(2*n, 3, 1, rng),
+			Globals:   mat.RandNormal(1, 1, 1, rng),
+			Senders:   senders,
+			Receivers: receivers,
+		}
+		tape := ad.NewTape()
+		o := m.Apply(tape, Lift(tape, g))
+		if o.Edges.Value.Rows != 2*n {
+			t.Fatalf("n=%d: edge rows %d", n, o.Edges.Value.Rows)
+		}
+	}
+	if nn.CountParams(m.Params()) != before {
+		t.Fatal("parameter count changed with graph size")
+	}
+}
+
+// TestMessagePassingReach: with enough steps, information from one node must
+// influence a distant node's output (here across a 4-ring).
+func TestMessagePassingReach(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := Config{
+		In:     GraphSignature{NodeDim: 1, EdgeDim: 1, GlobalDim: 1},
+		Out:    GraphSignature{NodeDim: 1, EdgeDim: 1, GlobalDim: 1},
+		Hidden: 6,
+		Steps:  3,
+	}
+	m, err := NewEncodeProcessDecode("epd", cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 4
+	senders := []int{0, 1, 2, 3}
+	receivers := []int{1, 2, 3, 0}
+	base := &Graphs{
+		Nodes:     mat.New(n, 1),
+		Edges:     mat.New(n, 1),
+		Globals:   mat.FromSlice(1, 1, []float64{1}),
+		Senders:   senders,
+		Receivers: receivers,
+	}
+	run := func(g *Graphs) float64 {
+		tape := ad.NewTape()
+		o := m.Apply(tape, Lift(tape, g))
+		return o.Nodes.Value.At(2, 0) // output at node 2
+	}
+	baseline := run(base)
+	perturbed := &Graphs{
+		Nodes:     base.Nodes.Clone(),
+		Edges:     base.Edges.Clone(),
+		Globals:   base.Globals.Clone(),
+		Senders:   senders,
+		Receivers: receivers,
+	}
+	perturbed.Nodes.Set(0, 0, 5) // perturb node 0, two hops away
+	if math.Abs(run(perturbed)-baseline) < 1e-9 {
+		t.Fatal("perturbation at node 0 did not reach node 2 after 3 message-passing steps")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := NewEncodeProcessDecode("bad", Config{Hidden: 0, Steps: 1}, rng); err == nil {
+		t.Fatal("zero hidden accepted")
+	}
+	if _, err := NewEncodeProcessDecode("bad", Config{
+		In:     GraphSignature{NodeDim: 1, EdgeDim: 1, GlobalDim: 1},
+		Out:    GraphSignature{NodeDim: 1, EdgeDim: 1, GlobalDim: 1},
+		Hidden: 4, Steps: 0,
+	}, rng); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+}

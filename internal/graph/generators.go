@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ring returns a bidirectional ring of n nodes with uniform capacity.
+func Ring(n int, capacity float64) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: ring needs >= 3 nodes, got %d", n)
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddBidirectional(i, (i+1)%n, capacity); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Star returns a star with node 0 as hub and n-1 leaves.
+func Star(n int, capacity float64) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: star needs >= 3 nodes, got %d", n)
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddBidirectional(0, i, capacity); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Grid returns a rows×cols lattice with bidirectional links.
+func Grid(rows, cols int, capacity float64) (*Graph, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("graph: grid needs >= 2x2, got %dx%d", rows, cols)
+	}
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.SetName(id(r, c), fmt.Sprintf("g%d_%d", r, c))
+			if c+1 < cols {
+				if err := g.AddBidirectional(id(r, c), id(r, c+1), capacity); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := g.AddBidirectional(id(r, c), id(r+1, c), capacity); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomConnected returns a random strongly connected graph: a random
+// spanning tree made bidirectional plus extra random bidirectional edges
+// until the average node degree reaches approximately avgDegree. Capacities
+// are drawn uniformly from [capLo, capHi].
+func RandomConnected(n int, avgDegree, capLo, capHi float64, rng *rand.Rand) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: random graph needs >= 3 nodes, got %d", n)
+	}
+	if avgDegree < 2 {
+		return nil, fmt.Errorf("graph: average degree %g < 2 cannot be connected", avgDegree)
+	}
+	g := New(n)
+	randomCap := func() float64 { return capLo + rng.Float64()*(capHi-capLo) }
+	// Random spanning tree: attach each node to a uniformly random earlier
+	// node (a random recursive tree), using a random permutation so that
+	// node ids carry no structure.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		parent := perm[rng.Intn(i)]
+		if err := g.AddBidirectional(perm[i], parent, randomCap()); err != nil {
+			return nil, err
+		}
+	}
+	// Extra edges: avgDegree counts undirected incident links per node, so
+	// the undirected edge target is n*avgDegree/2.
+	target := int(float64(n) * avgDegree / 2)
+	maxUndirected := n * (n - 1) / 2
+	if target > maxUndirected {
+		target = maxUndirected
+	}
+	undirected := n - 1
+	attempts := 0
+	for undirected < target && attempts < 50*n*n {
+		attempts++
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if _, err := g.EdgeBetween(u, v); err == nil {
+			continue
+		}
+		if err := g.AddBidirectional(u, v, randomCap()); err != nil {
+			return nil, err
+		}
+		undirected++
+	}
+	return g, nil
+}

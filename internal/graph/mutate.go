@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrNoMutation is returned when no connectivity-preserving mutation of the
+// requested kind exists.
+var ErrNoMutation = errors.New("graph: no valid mutation found")
+
+// MutationKind enumerates the topology modifications used by the paper's
+// generalisation experiment (§VIII-D): "addition or deletion of one or two
+// edges or nodes (chosen randomly)".
+type MutationKind int
+
+// Mutation kinds. They start at one so that the zero value is invalid.
+const (
+	AddEdgeMutation MutationKind = iota + 1
+	RemoveEdgeMutation
+	AddNodeMutation
+	RemoveNodeMutation
+)
+
+func (k MutationKind) String() string {
+	switch k {
+	case AddEdgeMutation:
+		return "add-edge"
+	case RemoveEdgeMutation:
+		return "remove-edge"
+	case AddNodeMutation:
+		return "add-node"
+	case RemoveNodeMutation:
+		return "remove-node"
+	default:
+		return fmt.Sprintf("mutation(%d)", int(k))
+	}
+}
+
+// Mutate returns a copy of g with one random connectivity-preserving
+// modification of the given kind applied. Edge mutations treat links as
+// bidirectional pairs, matching the symmetric topologies used in the paper.
+func Mutate(g *Graph, kind MutationKind, rng *rand.Rand) (*Graph, error) {
+	switch kind {
+	case AddEdgeMutation:
+		return mutateAddEdge(g, rng)
+	case RemoveEdgeMutation:
+		return mutateRemoveEdge(g, rng)
+	case AddNodeMutation:
+		return mutateAddNode(g, rng)
+	case RemoveNodeMutation:
+		return mutateRemoveNode(g, rng)
+	default:
+		return nil, fmt.Errorf("graph: unknown mutation kind %d", int(kind))
+	}
+}
+
+// RandomMutation applies count random mutations (1 or 2 in the paper),
+// sampling kinds uniformly and retrying until a valid mutation is found.
+func RandomMutation(g *Graph, count int, rng *rand.Rand) (*Graph, error) {
+	kinds := []MutationKind{AddEdgeMutation, RemoveEdgeMutation, AddNodeMutation, RemoveNodeMutation}
+	cur := g
+	for i := 0; i < count; i++ {
+		var mutated *Graph
+		var err error
+		for attempt := 0; attempt < 16; attempt++ {
+			kind := kinds[rng.Intn(len(kinds))]
+			mutated, err = Mutate(cur, kind, rng)
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("graph: mutation %d: %w", i, err)
+		}
+		cur = mutated
+	}
+	return cur, nil
+}
+
+func meanCapacity(g *Graph) float64 {
+	if g.NumEdges() == 0 {
+		return 1
+	}
+	var sum float64
+	for _, e := range g.Edges() {
+		sum += e.Capacity
+	}
+	return sum / float64(g.NumEdges())
+}
+
+func mutateAddEdge(g *Graph, rng *rand.Rand) (*Graph, error) {
+	n := g.NumNodes()
+	capacity := meanCapacity(g)
+	// Collect absent unordered pairs.
+	var candidates [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			_, errUV := g.EdgeBetween(u, v)
+			_, errVU := g.EdgeBetween(v, u)
+			if errUV != nil && errVU != nil {
+				candidates = append(candidates, [2]int{u, v})
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, ErrNoMutation
+	}
+	pick := candidates[rng.Intn(len(candidates))]
+	c := g.Clone()
+	if err := c.AddBidirectional(pick[0], pick[1], capacity); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func mutateRemoveEdge(g *Graph, rng *rand.Rand) (*Graph, error) {
+	// Candidate unordered pairs whose removal keeps the graph strongly
+	// connected.
+	type pair struct{ u, v int }
+	var candidates []pair
+	seen := make(map[pair]bool)
+	for _, e := range g.Edges() {
+		u, v := e.From, e.To
+		if u > v {
+			u, v = v, u
+		}
+		p := pair{u, v}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		c := g.Clone()
+		if ei, err := c.EdgeBetween(p.u, p.v); err == nil {
+			if err := c.RemoveEdge(ei); err != nil {
+				return nil, err
+			}
+		}
+		if ei, err := c.EdgeBetween(p.v, p.u); err == nil {
+			if err := c.RemoveEdge(ei); err != nil {
+				return nil, err
+			}
+		}
+		if c.StronglyConnected() {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, ErrNoMutation
+	}
+	p := candidates[rng.Intn(len(candidates))]
+	c := g.Clone()
+	if ei, err := c.EdgeBetween(p.u, p.v); err == nil {
+		if err := c.RemoveEdge(ei); err != nil {
+			return nil, err
+		}
+	}
+	if ei, err := c.EdgeBetween(p.v, p.u); err == nil {
+		if err := c.RemoveEdge(ei); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func mutateAddNode(g *Graph, rng *rand.Rand) (*Graph, error) {
+	if g.NumNodes() < 2 {
+		return nil, ErrNoMutation
+	}
+	c := g.Clone()
+	capacity := meanCapacity(g)
+	id := c.AddNode(fmt.Sprintf("added%d", c.NumNodes()))
+	// Attach to two distinct existing nodes so the new node is not a
+	// single-homed stub (keeps multipath interesting and the graph 2-edge
+	// reachable from the new node).
+	a := rng.Intn(id)
+	b := rng.Intn(id)
+	for b == a {
+		b = rng.Intn(id)
+	}
+	if err := c.AddBidirectional(id, a, capacity); err != nil {
+		return nil, err
+	}
+	if err := c.AddBidirectional(id, b, capacity); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func mutateRemoveNode(g *Graph, rng *rand.Rand) (*Graph, error) {
+	if g.NumNodes() <= 3 {
+		return nil, ErrNoMutation
+	}
+	var candidates []int
+	for v := 0; v < g.NumNodes(); v++ {
+		c := g.Clone()
+		if err := c.RemoveNode(v); err != nil {
+			return nil, err
+		}
+		if c.NumNodes() >= 3 && c.StronglyConnected() {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, ErrNoMutation
+	}
+	v := candidates[rng.Intn(len(candidates))]
+	c := g.Clone()
+	if err := c.RemoveNode(v); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

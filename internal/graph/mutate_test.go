@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMutateAddEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := mustRing(t, 6)
+	m, err := Mutate(g, AddEdgeMutation, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumEdges() != g.NumEdges()+2 {
+		t.Fatalf("edges %d want %d (bidirectional add)", m.NumEdges(), g.NumEdges()+2)
+	}
+	if !m.StronglyConnected() {
+		t.Fatal("mutation broke connectivity")
+	}
+	if g.NumEdges() != 12 {
+		t.Fatal("original graph modified")
+	}
+}
+
+func TestMutateRemoveEdgeKeepsConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Ring plus a chord: chord (or a ring pair adjacent to redundancy) is removable.
+	g := mustRing(t, 6)
+	if err := g.AddBidirectional(0, 3, 10); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Mutate(g, RemoveEdgeMutation, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.StronglyConnected() {
+		t.Fatal("remove-edge broke connectivity")
+	}
+	if m.NumEdges() != g.NumEdges()-2 {
+		t.Fatalf("edges %d want %d", m.NumEdges(), g.NumEdges()-2)
+	}
+}
+
+func TestMutateRemoveEdgeOnTreeFails(t *testing.T) {
+	// A bidirectional star has no removable link pair.
+	g, err := Star(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Mutate(g, RemoveEdgeMutation, rng); err == nil {
+		t.Fatal("expected ErrNoMutation on a tree")
+	}
+}
+
+func TestMutateAddNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := mustRing(t, 5)
+	m, err := Mutate(g, AddNodeMutation, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 6 {
+		t.Fatalf("nodes=%d want 6", m.NumNodes())
+	}
+	if !m.StronglyConnected() {
+		t.Fatal("add-node broke connectivity")
+	}
+	// New node must be dual-homed.
+	if len(m.OutEdges(5)) != 2 {
+		t.Fatalf("new node degree %d want 2", len(m.OutEdges(5)))
+	}
+}
+
+func TestMutateRemoveNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := mustRing(t, 6)
+	m, err := Mutate(g, RemoveNodeMutation, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 5 {
+		t.Fatalf("nodes=%d want 5", m.NumNodes())
+	}
+	if !m.StronglyConnected() {
+		t.Fatal("remove-node broke connectivity")
+	}
+}
+
+func TestRandomMutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := RandomConnected(8, 3, 5, 15, rng)
+		if err != nil {
+			return false
+		}
+		m, err := RandomMutation(g, 1+rng.Intn(2), rng)
+		if err != nil {
+			return false
+		}
+		return m.StronglyConnected() && m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutationKindString(t *testing.T) {
+	if AddEdgeMutation.String() != "add-edge" || RemoveNodeMutation.String() != "remove-node" {
+		t.Fatal("mutation kind names wrong")
+	}
+}

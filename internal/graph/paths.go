@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Inf is the distance reported for unreachable nodes.
+var Inf = math.Inf(1)
+
+// DistancesTo computes, for every node v, the shortest-path distance from v
+// to sink under the given per-edge weights (len = NumEdges, all weights must
+// be non-negative). Unreachable nodes get Inf. This runs a single Dijkstra
+// over the reversed graph in O(E log V).
+func (g *Graph) DistancesTo(sink int, weights []float64) ([]float64, error) {
+	return g.dijkstra(sink, weights, true)
+}
+
+// DistancesFrom computes shortest-path distances from source to every node.
+func (g *Graph) DistancesFrom(source int, weights []float64) ([]float64, error) {
+	return g.dijkstra(source, weights, false)
+}
+
+func (g *Graph) dijkstra(root int, weights []float64, reversed bool) ([]float64, error) {
+	if len(weights) != g.NumEdges() {
+		return nil, fmt.Errorf("graph: dijkstra needs %d weights, got %d", g.NumEdges(), len(weights))
+	}
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("graph: dijkstra weight %d is %g, want >= 0", i, w)
+		}
+	}
+	if root < 0 || root >= g.NumNodes() {
+		return nil, fmt.Errorf("graph: dijkstra root %d out of range", root)
+	}
+	dist := make([]float64, g.NumNodes())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[root] = 0
+	pq := &nodeHeap{{node: root, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeItem)
+		if item.dist > dist[item.node] {
+			continue // stale entry
+		}
+		adj := g.out[item.node]
+		if reversed {
+			adj = g.in[item.node]
+		}
+		for _, ei := range adj {
+			e := g.edges[ei]
+			next := e.To
+			if reversed {
+				next = e.From
+			}
+			nd := item.dist + weights[ei]
+			if nd < dist[next] {
+				dist[next] = nd
+				heap.Push(pq, nodeItem{node: next, dist: nd})
+			}
+		}
+	}
+	return dist, nil
+}
+
+// ShortestPath returns the node sequence of one shortest path from source to
+// sink under weights, breaking ties deterministically by smallest node id.
+// It returns an error if sink is unreachable.
+func (g *Graph) ShortestPath(source, sink int, weights []float64) ([]int, error) {
+	dist, err := g.DistancesTo(sink, weights)
+	if err != nil {
+		return nil, err
+	}
+	if math.IsInf(dist[source], 1) {
+		return nil, fmt.Errorf("graph: node %d cannot reach %d", source, sink)
+	}
+	const eps = 1e-12
+	path := []int{source}
+	cur := source
+	for cur != sink {
+		next := -1
+		var nextEdge int
+		for _, ei := range g.out[cur] {
+			e := g.edges[ei]
+			if math.Abs(weights[ei]+dist[e.To]-dist[cur]) <= eps*(1+math.Abs(dist[cur])) {
+				if next == -1 || e.To < next {
+					next = e.To
+					nextEdge = ei
+				}
+			}
+		}
+		if next == -1 {
+			return nil, fmt.Errorf("graph: shortest-path reconstruction stuck at node %d", cur)
+		}
+		_ = nextEdge
+		path = append(path, next)
+		cur = next
+		if len(path) > g.NumNodes()+1 {
+			return nil, fmt.Errorf("graph: shortest-path reconstruction cycled")
+		}
+	}
+	return path, nil
+}
+
+// UnitWeights returns the all-ones weight vector (hop-count metric).
+func (g *Graph) UnitWeights() []float64 {
+	w := make([]float64, g.NumEdges())
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// InverseCapacityWeights returns weights proportional to 1/capacity, the
+// classic OSPF-recommended metric, used as an oblivious baseline.
+func (g *Graph) InverseCapacityWeights() []float64 {
+	w := make([]float64, g.NumEdges())
+	var maxCap float64
+	for _, e := range g.edges {
+		if e.Capacity > maxCap {
+			maxCap = e.Capacity
+		}
+	}
+	for i, e := range g.edges {
+		w[i] = maxCap / e.Capacity
+	}
+	return w
+}
+
+// TopologicalOrder returns a topological ordering of the subgraph induced by
+// keeping only edges where keep[ei] is true. It returns an error if that
+// subgraph contains a cycle.
+func (g *Graph) TopologicalOrder(keep []bool) ([]int, error) {
+	if len(keep) != g.NumEdges() {
+		return nil, fmt.Errorf("graph: topological order needs %d keep flags, got %d", g.NumEdges(), len(keep))
+	}
+	indeg := make([]int, g.NumNodes())
+	for ei, e := range g.edges {
+		if keep[ei] {
+			indeg[e.To]++
+		}
+	}
+	queue := make([]int, 0, g.NumNodes())
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, g.NumNodes())
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, ei := range g.out[v] {
+			if !keep[ei] {
+				continue
+			}
+			to := g.edges[ei].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != g.NumNodes() {
+		return nil, fmt.Errorf("graph: kept subgraph contains a cycle (%d of %d ordered)", len(order), g.NumNodes())
+	}
+	return order, nil
+}
+
+type nodeItem struct {
+	node int
+	dist float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

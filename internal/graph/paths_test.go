@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDijkstraLine(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	w := []float64{1, 2, 3}
+	dist, err := g.DistancesTo(3, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{6, 5, 3, 0}
+	for i := range want {
+		if math.Abs(dist[i]-want[i]) > 1e-12 {
+			t.Fatalf("dist=%v want %v", dist, want)
+		}
+	}
+	fromDist, err := g.DistancesFrom(0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromDist[3] != 6 {
+		t.Fatalf("fromDist=%v", fromDist)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	dist, err := g.DistancesTo(1, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(dist[2], 1) {
+		t.Fatalf("node 2 should be unreachable, dist=%v", dist)
+	}
+}
+
+func TestDijkstraRejectsBadWeights(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, 1)
+	if _, err := g.DistancesTo(1, []float64{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := g.DistancesTo(1, []float64{1, 2}); err == nil {
+		t.Fatal("wrong weight count accepted")
+	}
+	if _, err := g.DistancesTo(5, []float64{1}); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+}
+
+func TestDijkstraPicksCheaperMultiHop(t *testing.T) {
+	// Direct edge costs 10, two-hop path costs 3.
+	g := New(3)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	w := []float64{10, 1, 2}
+	dist, err := g.DistancesTo(2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0] != 3 {
+		t.Fatalf("dist[0]=%g want 3", dist[0])
+	}
+}
+
+func TestShortestPathReconstruction(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 3, 1)
+	g.MustAddEdge(0, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	// Equal-cost paths: deterministic tie-break takes the smaller node id.
+	path, err := g.ShortestPath(0, 3, g.UnitWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[0] != 0 || path[1] != 1 || path[2] != 3 {
+		t.Fatalf("path=%v want [0 1 3]", path)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	if _, err := g.ShortestPath(2, 1, g.UnitWeights()); err == nil {
+		t.Fatal("expected unreachable error")
+	}
+}
+
+// TestDijkstraTriangleInequality: for random graphs and random weights,
+// d(u) <= w(u,v) + d(v) for every edge, and equality holds along some edge
+// for every reachable non-sink node.
+func TestDijkstraTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := RandomConnected(5+rng.Intn(10), 3, 1, 5, rng)
+		if err != nil {
+			return false
+		}
+		w := make([]float64, g.NumEdges())
+		for i := range w {
+			w[i] = 0.1 + rng.Float64()*5
+		}
+		sink := rng.Intn(g.NumNodes())
+		dist, err := g.DistancesTo(sink, w)
+		if err != nil {
+			return false
+		}
+		for ei, e := range g.Edges() {
+			if dist[e.From] > w[ei]+dist[e.To]+1e-9 {
+				return false
+			}
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if v == sink {
+				continue
+			}
+			tight := false
+			for _, ei := range g.OutEdges(v) {
+				e := g.Edge(ei)
+				if math.Abs(dist[v]-(w[ei]+dist[e.To])) < 1e-9 {
+					tight = true
+					break
+				}
+			}
+			if !tight {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	g := New(4)
+	e01 := g.MustAddEdge(0, 1, 1)
+	e12 := g.MustAddEdge(1, 2, 1)
+	e23 := g.MustAddEdge(2, 3, 1)
+	e30 := g.MustAddEdge(3, 0, 1)
+	keep := make([]bool, g.NumEdges())
+	keep[e01], keep[e12], keep[e23] = true, true, true
+	order, err := g.TopologicalOrder(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	if !(pos[0] < pos[1] && pos[1] < pos[2] && pos[2] < pos[3]) {
+		t.Fatalf("order=%v not topological", order)
+	}
+	keep[e30] = true // closes the cycle
+	if _, err := g.TopologicalOrder(keep); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestInverseCapacityWeights(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 2, 5)
+	w := g.InverseCapacityWeights()
+	if w[0] != 1 || w[1] != 2 {
+		t.Fatalf("weights=%v want [1 2]", w)
+	}
+}

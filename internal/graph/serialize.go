@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// graphJSON is the wire form of a Graph.
+type graphJSON struct {
+	Format int        `json:"format"`
+	Names  []string   `json:"names"`
+	Edges  []edgeJSON `json:"edges"`
+}
+
+type edgeJSON struct {
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Capacity float64 `json:"capacity"`
+}
+
+// WriteJSON serialises the graph as JSON.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	out := graphJSON{
+		Format: 1,
+		Names:  append([]string(nil), g.names...),
+		Edges:  make([]edgeJSON, len(g.edges)),
+	}
+	for i, e := range g.edges {
+		out.Edges[i] = edgeJSON{From: e.From, To: e.To, Capacity: e.Capacity}
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// ReadJSON deserialises a graph written by WriteJSON, validating structure.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var in graphJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	if in.Format != 1 {
+		return nil, fmt.Errorf("graph: unsupported format %d", in.Format)
+	}
+	g := New(len(in.Names))
+	for i, n := range in.Names {
+		g.SetName(i, n)
+	}
+	for i, e := range in.Edges {
+		if _, err := g.AddEdge(e.From, e.To, e.Capacity); err != nil {
+			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// DOT renders the graph in Graphviz DOT format (symmetric link pairs are
+// rendered once as undirected-looking edges for readability).
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  node [shape=ellipse];\n")
+	for v := 0; v < g.NumNodes(); v++ {
+		fmt.Fprintf(&b, "  %d [label=%q];\n", v, g.names[v])
+	}
+	rendered := make(map[[2]int]bool)
+	for _, e := range g.edges {
+		key := [2]int{e.From, e.To}
+		if rendered[key] {
+			continue
+		}
+		if _, err := g.EdgeBetween(e.To, e.From); err == nil {
+			// Symmetric pair: render once, both directions marked.
+			rendered[[2]int{e.To, e.From}] = true
+			fmt.Fprintf(&b, "  %d -> %d [dir=both, label=\"%.0f\"];\n", e.From, e.To, e.Capacity)
+		} else {
+			fmt.Fprintf(&b, "  %d -> %d [label=\"%.0f\"];\n", e.From, e.To, e.Capacity)
+		}
+		rendered[key] = true
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

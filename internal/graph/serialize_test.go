@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := RandomConnected(8, 3, 5, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetName(0, "origin")
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed shape: %v vs %v", back, g)
+	}
+	if back.Name(0) != "origin" {
+		t.Fatal("names lost")
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		if g.Edge(i) != back.Edge(i) {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, g.Edge(i), back.Edge(i))
+		}
+	}
+}
+
+func TestReadJSONRejectsCorrupt(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"format":2,"names":[],"edges":[]}`)); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"format":1,"names":["a","b"],"edges":[{"from":0,"to":5,"capacity":1}]}`)); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"format":1,"names":["a","b"],"edges":[{"from":0,"to":1,"capacity":-1}]}`)); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestDOTRendering(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 0, 10)
+	g.MustAddEdge(1, 2, 5)
+	dot := g.DOT("test")
+	if !strings.Contains(dot, `digraph "test"`) {
+		t.Fatalf("missing header: %s", dot)
+	}
+	if !strings.Contains(dot, "dir=both") {
+		t.Fatal("symmetric pair not collapsed")
+	}
+	if strings.Count(dot, "->") != 2 { // one both-dir pair + one single
+		t.Fatalf("unexpected edge rendering:\n%s", dot)
+	}
+	if !strings.Contains(dot, `label="5"`) {
+		t.Fatal("capacity label missing")
+	}
+}

@@ -1,0 +1,160 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/graph"
+	"gddr/internal/traffic"
+)
+
+// perCommodityOptimal solves the textbook per-commodity multicommodity-flow
+// LP (one flow variable per (source, destination) pair and edge — the
+// formulation written out in the paper's §II-A) as a cross-check for the
+// destination-aggregated formulation used by OptimalMaxUtilization.
+func perCommodityOptimal(t *testing.T, g *graph.Graph, dm *traffic.DemandMatrix) float64 {
+	t.Helper()
+	n := g.NumNodes()
+	ne := g.NumEdges()
+	type commodity struct {
+		s, t   int
+		demand float64
+	}
+	var commodities []commodity
+	for s := 0; s < n; s++ {
+		for dst := 0; dst < n; dst++ {
+			if d := dm.At(s, dst); d > 0 {
+				commodities = append(commodities, commodity{s: s, t: dst, demand: d})
+			}
+		}
+	}
+	k := len(commodities)
+	// Variables: f_i(e) at i*ne+e, then U_max.
+	numVars := k*ne + 1
+	uMaxVar := k * ne
+	p := NewProblem(numVars)
+	if err := p.SetObjectiveCoeff(uMaxVar, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range commodities {
+		for v := 0; v < n; v++ {
+			if v == c.t {
+				continue
+			}
+			var terms []Term
+			for _, ei := range g.OutEdges(v) {
+				terms = append(terms, Term{Var: i*ne + ei, Coeff: 1})
+			}
+			for _, ei := range g.InEdges(v) {
+				terms = append(terms, Term{Var: i*ne + ei, Coeff: -1})
+			}
+			rhs := 0.0
+			if v == c.s {
+				rhs = c.demand
+			}
+			if err := p.AddConstraint(terms, EQ, rhs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for e := 0; e < ne; e++ {
+		terms := make([]Term, 0, k+1)
+		for i := 0; i < k; i++ {
+			terms = append(terms, Term{Var: i*ne + e, Coeff: 1})
+		}
+		terms = append(terms, Term{Var: uMaxVar, Coeff: -g.Edge(e).Capacity})
+		if err := p.AddConstraint(terms, LE, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("per-commodity LP: %v", err)
+	}
+	return sol.X[uMaxVar]
+}
+
+// TestDestinationAggregationEquivalence: the destination-aggregated MCF must
+// produce exactly the same optimal U_max as the per-commodity formulation
+// (a standard result for fractional min-max-utilisation routing; DESIGN.md
+// substitution #1 relies on it).
+func TestDestinationAggregationEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		g, err := graph.RandomConnected(4+rng.Intn(3), 3, 5, 20, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm := traffic.Sparsify(traffic.Bimodal(g.NumNodes(), traffic.BimodalParams{
+			LowMean: 3, LowStd: 1, HighMean: 9, HighStd: 1, ElephantProb: 0.3,
+		}, rng), 0.5, rng)
+		if dm.Total() == 0 {
+			continue
+		}
+		aggregated, _, err := OptimalMaxUtilization(g, dm)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		perCommodity := perCommodityOptimal(t, g, dm)
+		if math.Abs(aggregated-perCommodity) > 1e-5*(1+perCommodity) {
+			t.Fatalf("trial %d: aggregated %g != per-commodity %g", trial, aggregated, perCommodity)
+		}
+	}
+}
+
+// TestMCFScalesLinearly: scaling every demand by f scales U_max by f (LP
+// homogeneity), a cheap but sharp property of the solver pipeline.
+func TestMCFScalesLinearly(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	g, err := graph.RandomConnected(7, 3, 10, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := traffic.Bimodal(7, traffic.BimodalParams{
+		LowMean: 4, LowStd: 1, HighMean: 10, HighStd: 1, ElephantProb: 0.2,
+	}, rng)
+	u1, _, err := OptimalMaxUtilization(g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u3, _, err := OptimalMaxUtilization(g, dm.Clone().Scale(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u3-3*u1) > 1e-5*(1+u3) {
+		t.Fatalf("homogeneity violated: U(3D)=%g, 3U(D)=%g", u3, 3*u1)
+	}
+}
+
+// TestMCFMonotoneInCapacity: increasing a capacity can only reduce U_max.
+func TestMCFMonotoneInCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	g, err := graph.RandomConnected(6, 3, 5, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := traffic.Bimodal(6, traffic.BimodalParams{
+		LowMean: 4, LowStd: 1, HighMean: 10, HighStd: 1, ElephantProb: 0.2,
+	}, rng)
+	before, _, err := OptimalMaxUtilization(g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted := g.Clone()
+	for ei := 0; ei < boosted.NumEdges(); ei++ {
+		if err := boosted.SetCapacity(ei, boosted.Edge(ei).Capacity*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _, err := OptimalMaxUtilization(boosted, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before+1e-9 {
+		t.Fatalf("doubling capacities increased U_max: %g -> %g", before, after)
+	}
+	if math.Abs(after-before/2) > 1e-5*(1+before) {
+		t.Fatalf("doubling all capacities should halve U_max: %g -> %g", before, after)
+	}
+}

@@ -1,0 +1,135 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"gddr/internal/graph"
+	"gddr/internal/traffic"
+)
+
+// OptimalMaxUtilization solves the multicommodity-flow linear program of the
+// paper's §II-A and returns the minimum achievable maximum link utilisation
+// U_max for the demand matrix on the graph, together with the optimal
+// per-destination edge flows.
+//
+// The formulation is destination-aggregated, which is equivalent for
+// fractional min-max-utilisation routing and much smaller than the per-
+// commodity formulation: for every destination t and edge e there is a flow
+// variable f_t(e) >= 0, plus the scalar U_max, subject to
+//
+//	flow conservation  Σ_out f_t(v) − Σ_in f_t(v) = D[v][t]   (v ≠ t)
+//	capacity           Σ_t f_t(e) − c(e)·U_max <= 0           (every e)
+//
+// minimising U_max. Flows destined for t are absorbed at t (no conservation
+// row at the destination), matching routing constraint 2 of §IV-A.
+func OptimalMaxUtilization(g *graph.Graph, dm *traffic.DemandMatrix) (float64, [][]float64, error) {
+	n := g.NumNodes()
+	ne := g.NumEdges()
+	if dm.N != n {
+		return 0, nil, fmt.Errorf("lp: demand matrix size %d != graph nodes %d", dm.N, n)
+	}
+	if ne == 0 {
+		return 0, nil, fmt.Errorf("lp: graph has no edges")
+	}
+
+	// Variable layout: f_t(e) at index t*ne + e, then U_max last.
+	numVars := n*ne + 1
+	uMaxVar := n * ne
+	p := NewProblem(numVars)
+	if err := p.SetObjectiveCoeff(uMaxVar, 1); err != nil {
+		return 0, nil, err
+	}
+
+	// Conservation constraints per destination and non-destination vertex.
+	for t := 0; t < n; t++ {
+		hasDemand := false
+		for v := 0; v < n; v++ {
+			if dm.At(v, t) > 0 {
+				hasDemand = true
+				break
+			}
+		}
+		if !hasDemand {
+			continue // no variables for this destination will be forced non-zero
+		}
+		for v := 0; v < n; v++ {
+			if v == t {
+				continue
+			}
+			terms := make([]Term, 0, len(g.OutEdges(v))+len(g.InEdges(v)))
+			for _, ei := range g.OutEdges(v) {
+				terms = append(terms, Term{Var: t*ne + ei, Coeff: 1})
+			}
+			for _, ei := range g.InEdges(v) {
+				terms = append(terms, Term{Var: t*ne + ei, Coeff: -1})
+			}
+			if err := p.AddConstraint(terms, EQ, dm.At(v, t)); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+
+	// Capacity constraints.
+	for e := 0; e < ne; e++ {
+		terms := make([]Term, 0, n+1)
+		for t := 0; t < n; t++ {
+			terms = append(terms, Term{Var: t*ne + e, Coeff: 1})
+		}
+		terms = append(terms, Term{Var: uMaxVar, Coeff: -g.Edge(e).Capacity})
+		if err := p.AddConstraint(terms, LE, 0); err != nil {
+			return 0, nil, err
+		}
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return 0, nil, fmt.Errorf("lp: multicommodity flow: %w", err)
+	}
+	flows := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		flows[t] = sol.X[t*ne : (t+1)*ne]
+	}
+	return sol.X[uMaxVar], flows, nil
+}
+
+// MaxUtilizationOfFlows computes max_e (Σ_t f_t(e))/c(e) for a per-
+// destination flow assignment, used to cross-check LP results.
+func MaxUtilizationOfFlows(g *graph.Graph, flows [][]float64) float64 {
+	uMax := 0.0
+	for e := 0; e < g.NumEdges(); e++ {
+		var load float64
+		for t := range flows {
+			load += flows[t][e]
+		}
+		u := load / g.Edge(e).Capacity
+		if u > uMax {
+			uMax = u
+		}
+	}
+	return uMax
+}
+
+// VerifyFlowConservation checks that flows satisfy conservation and
+// absorption for the demand matrix up to tol, returning the first violation.
+func VerifyFlowConservation(g *graph.Graph, dm *traffic.DemandMatrix, flows [][]float64, tol float64) error {
+	n := g.NumNodes()
+	for t := 0; t < n; t++ {
+		for v := 0; v < n; v++ {
+			if v == t {
+				continue
+			}
+			var net float64
+			for _, ei := range g.OutEdges(v) {
+				net += flows[t][ei]
+			}
+			for _, ei := range g.InEdges(v) {
+				net -= flows[t][ei]
+			}
+			if math.Abs(net-dm.At(v, t)) > tol {
+				return fmt.Errorf("lp: conservation violated at v=%d t=%d: net %g want %g", v, t, net, dm.At(v, t))
+			}
+		}
+	}
+	return nil
+}

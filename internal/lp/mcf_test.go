@@ -1,0 +1,213 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/graph"
+	"gddr/internal/topo"
+	"gddr/internal/traffic"
+)
+
+func singleDemand(n, s, t int, d float64) *traffic.DemandMatrix {
+	dm := traffic.NewDemandMatrix(n)
+	dm.Set(s, t, d)
+	return dm
+}
+
+func TestMCFTwoDisjointPaths(t *testing.T) {
+	// 0→1→3 and 0→2→3, all capacities 10, demand 0→3 of 10.
+	// Optimal splits 5/5: U_max = 0.5.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 3, 10)
+	g.MustAddEdge(0, 2, 10)
+	g.MustAddEdge(2, 3, 10)
+	u, flows, err := OptimalMaxUtilization(g, singleDemand(4, 0, 3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-0.5) > 1e-6 {
+		t.Fatalf("U_max=%g want 0.5", u)
+	}
+	if err := VerifyFlowConservation(g, singleDemand(4, 0, 3, 10), flows, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxUtilizationOfFlows(g, flows); math.Abs(got-u) > 1e-6 {
+		t.Fatalf("recomputed U=%g vs LP %g", got, u)
+	}
+}
+
+func TestMCFUnequalCapacities(t *testing.T) {
+	// Two disjoint paths with bottlenecks 10 and 30; demand 20.
+	// Optimal U: split x on path A (cap 10), 20-x on B (cap 30):
+	// minimise max(x/10, (20-x)/30) => x/10=(20-x)/30 => x=5, U=0.5.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 3, 10)
+	g.MustAddEdge(0, 2, 30)
+	g.MustAddEdge(2, 3, 30)
+	u, _, err := OptimalMaxUtilization(g, singleDemand(4, 0, 3, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-0.5) > 1e-6 {
+		t.Fatalf("U_max=%g want 0.5", u)
+	}
+}
+
+func TestMCFSingleLink(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1, 4)
+	g.MustAddEdge(1, 0, 4)
+	u, _, err := OptimalMaxUtilization(g, singleDemand(2, 0, 1, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-1.5) > 1e-6 {
+		t.Fatalf("U_max=%g want 1.5 (over-subscribed link)", u)
+	}
+}
+
+func TestMCFZeroDemand(t *testing.T) {
+	g, err := graph.Ring(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _, err := OptimalMaxUtilization(g, traffic.NewDemandMatrix(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u > 1e-9 {
+		t.Fatalf("U_max=%g want 0 for zero demand", u)
+	}
+}
+
+func TestMCFMultipleCommoditiesShareLink(t *testing.T) {
+	// Line 0-1-2 (caps 10). Demands 0→2: 5 and 1→2: 5 share edge 1→2:
+	// U = 10/10 = 1, edge 0→1 carries 5 → 0.5.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 2, 10)
+	dm := traffic.NewDemandMatrix(3)
+	dm.Set(0, 2, 5)
+	dm.Set(1, 2, 5)
+	u, flows, err := OptimalMaxUtilization(g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-1.0) > 1e-6 {
+		t.Fatalf("U_max=%g want 1.0", u)
+	}
+	if err := VerifyFlowConservation(g, dm, flows, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCFRingSplitsBothWays(t *testing.T) {
+	// On a symmetric ring, a single demand can split clockwise and
+	// counter-clockwise; a 4-ring from 0 to 2 has two 2-hop paths,
+	// so optimal halves the flow: U = d/2 / cap.
+	g, err := graph.Ring(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _, err := OptimalMaxUtilization(g, singleDemand(4, 0, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-0.5) > 1e-6 {
+		t.Fatalf("U_max=%g want 0.5", u)
+	}
+}
+
+func TestMCFOptimalIsLowerBoundForRandomInstances(t *testing.T) {
+	// The LP optimum must never exceed the utilisation of any specific
+	// feasible routing; compare against direct single-shortest-path loads.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		g, err := graph.RandomConnected(6+rng.Intn(4), 3, 5, 15, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm := traffic.Bimodal(g.NumNodes(), traffic.BimodalParams{
+			LowMean: 1, LowStd: 0.2, HighMean: 3, HighStd: 0.3, ElephantProb: 0.2,
+		}, rng)
+		u, flows, err := OptimalMaxUtilization(g, dm)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := VerifyFlowConservation(g, dm, flows, 1e-5); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		recomputed := MaxUtilizationOfFlows(g, flows)
+		if recomputed > u+1e-5 {
+			t.Fatalf("trial %d: flows exceed claimed optimum: %g > %g", trial, recomputed, u)
+		}
+		// Shortest-path loads as an upper bound.
+		sp := shortestPathMaxUtil(t, g, dm)
+		if u > sp+1e-6 {
+			t.Fatalf("trial %d: LP optimum %g worse than shortest path %g", trial, u, sp)
+		}
+	}
+}
+
+// shortestPathMaxUtil routes every demand on one hop-count shortest path.
+func shortestPathMaxUtil(t *testing.T, g *graph.Graph, dm *traffic.DemandMatrix) float64 {
+	t.Helper()
+	loads := make([]float64, g.NumEdges())
+	w := g.UnitWeights()
+	for s := 0; s < g.NumNodes(); s++ {
+		for dst := 0; dst < g.NumNodes(); dst++ {
+			d := dm.At(s, dst)
+			if d == 0 {
+				continue
+			}
+			path, err := g.ShortestPath(s, dst, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i+1 < len(path); i++ {
+				ei, err := g.EdgeBetween(path[i], path[i+1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				loads[ei] += d
+			}
+		}
+	}
+	u := 0.0
+	for ei, l := range loads {
+		if v := l / g.Edge(ei).Capacity; v > u {
+			u = v
+		}
+	}
+	return u
+}
+
+func TestMCFOnAbilene(t *testing.T) {
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(9))
+	dm := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+	u, flows, err := OptimalMaxUtilization(g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u <= 0 {
+		t.Fatalf("U_max=%g want positive", u)
+	}
+	if err := VerifyFlowConservation(g, dm, flows, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxUtilizationOfFlows(g, flows); math.Abs(got-u) > 1e-4 {
+		t.Fatalf("recomputed U=%g vs LP %g", got, u)
+	}
+}
+
+func TestMCFDimensionMismatch(t *testing.T) {
+	g := topo.Abilene()
+	if _, _, err := OptimalMaxUtilization(g, traffic.NewDemandMatrix(3)); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}

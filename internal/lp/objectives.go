@@ -1,0 +1,70 @@
+package lp
+
+import (
+	"fmt"
+
+	"gddr/internal/graph"
+	"gddr/internal/traffic"
+)
+
+// OptimalMeanUtilization solves the multicommodity-flow LP under the
+// alternative utility function suggested by the paper's further-work
+// section (§IX-A): minimise the mean link utilisation (1/|E|)·Σ_e
+// load(e)/c(e) instead of the maximum. Flows remain destination-aggregated.
+// Minimising total (equivalently mean) utilisation is the classic
+// minimum-cost routing with cost 1/c(e) per unit flow.
+func OptimalMeanUtilization(g *graph.Graph, dm *traffic.DemandMatrix) (float64, [][]float64, error) {
+	n := g.NumNodes()
+	ne := g.NumEdges()
+	if dm.N != n {
+		return 0, nil, fmt.Errorf("lp: demand matrix size %d != graph nodes %d", dm.N, n)
+	}
+	if ne == 0 {
+		return 0, nil, fmt.Errorf("lp: graph has no edges")
+	}
+	numVars := n * ne
+	p := NewProblem(numVars)
+	for t := 0; t < n; t++ {
+		for e := 0; e < ne; e++ {
+			if err := p.SetObjectiveCoeff(t*ne+e, 1/(g.Edge(e).Capacity*float64(ne))); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	for t := 0; t < n; t++ {
+		hasDemand := false
+		for v := 0; v < n; v++ {
+			if dm.At(v, t) > 0 {
+				hasDemand = true
+				break
+			}
+		}
+		if !hasDemand {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if v == t {
+				continue
+			}
+			terms := make([]Term, 0, len(g.OutEdges(v))+len(g.InEdges(v)))
+			for _, ei := range g.OutEdges(v) {
+				terms = append(terms, Term{Var: t*ne + ei, Coeff: 1})
+			}
+			for _, ei := range g.InEdges(v) {
+				terms = append(terms, Term{Var: t*ne + ei, Coeff: -1})
+			}
+			if err := p.AddConstraint(terms, EQ, dm.At(v, t)); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return 0, nil, fmt.Errorf("lp: mean-utilisation flow: %w", err)
+	}
+	flows := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		flows[t] = sol.X[t*ne : (t+1)*ne]
+	}
+	return sol.Objective, flows, nil
+}

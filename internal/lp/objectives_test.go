@@ -1,0 +1,96 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/graph"
+	"gddr/internal/topo"
+	"gddr/internal/traffic"
+)
+
+func TestMeanUtilizationSingleCheapPath(t *testing.T) {
+	// Two paths 0→3: direct-ish via 1 (2 hops, caps 10) and via 2 (2 hops,
+	// caps 40). Min mean-utilisation puts everything on the high-capacity
+	// path: cost per unit is lower.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 3, 10)
+	g.MustAddEdge(0, 2, 40)
+	g.MustAddEdge(2, 3, 40)
+	dm := traffic.NewDemandMatrix(4)
+	dm.Set(0, 3, 8)
+	mean, flows, err := OptimalMeanUtilization(g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 8 units on edges 2 and 3: utilisations {0,0,0.2,0.2}, mean 0.1.
+	if math.Abs(mean-0.1) > 1e-6 {
+		t.Fatalf("mean=%g want 0.1", mean)
+	}
+	if flows[3][0] > 1e-6 {
+		t.Fatalf("low-capacity path used: %v", flows[3])
+	}
+}
+
+func TestMeanUtilizationConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := topo.B4()
+	dm := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+	mean, flows, err := OptimalMeanUtilization(g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 {
+		t.Fatalf("mean=%g", mean)
+	}
+	if err := VerifyFlowConservation(g, dm, flows, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanNeverExceedsMeanOfMaxSolution(t *testing.T) {
+	// The mean-optimal solution's mean utilisation is a lower bound on the
+	// mean utilisation of any feasible routing, in particular the
+	// max-utilisation-optimal one.
+	rng := rand.New(rand.NewSource(8))
+	g, err := graph.RandomConnected(7, 3, 10, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := traffic.Bimodal(7, traffic.BimodalParams{
+		LowMean: 5, LowStd: 1, HighMean: 12, HighStd: 2, ElephantProb: 0.2,
+	}, rng)
+	meanOpt, _, err := OptimalMeanUtilization(g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, maxFlows, err := OptimalMaxUtilization(g, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meanOfMax float64
+	for e := 0; e < g.NumEdges(); e++ {
+		var load float64
+		for tt := range maxFlows {
+			load += maxFlows[tt][e]
+		}
+		meanOfMax += load / g.Edge(e).Capacity
+	}
+	meanOfMax /= float64(g.NumEdges())
+	if meanOpt > meanOfMax+1e-6 {
+		t.Fatalf("mean-optimal %g exceeds mean of max-optimal routing %g", meanOpt, meanOfMax)
+	}
+}
+
+func TestMeanUtilizationValidation(t *testing.T) {
+	g := topo.Abilene()
+	if _, _, err := OptimalMeanUtilization(g, traffic.NewDemandMatrix(3)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	empty := graph.New(3)
+	if _, _, err := OptimalMeanUtilization(empty, traffic.NewDemandMatrix(3)); err == nil {
+		t.Fatal("edgeless graph accepted")
+	}
+}

@@ -1,0 +1,358 @@
+// Package lp implements a dense two-phase primal simplex linear-programming
+// solver and the multicommodity-flow formulation used to compute the optimal
+// (minimum achievable) maximum link utilisation that anchors the GDDR reward
+// signal. It is a from-scratch substitute for Google OR-Tools (DESIGN.md
+// substitution #1).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota + 1 // a·x <= b
+	GE                  // a·x >= b
+	EQ                  // a·x == b
+)
+
+// Solver failure modes.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+	ErrIterations = errors.New("lp: iteration limit exceeded")
+)
+
+const eps = 1e-9
+
+// Term is one non-zero coefficient of a constraint row.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+type row struct {
+	terms []Term
+	sense Sense
+	rhs   float64
+}
+
+// Problem is a linear program over non-negative variables:
+// minimise c·x subject to the added constraints and x >= 0.
+type Problem struct {
+	numVars int
+	obj     []float64
+	rows    []row
+}
+
+// NewProblem creates a problem with numVars non-negative variables and a
+// zero objective.
+func NewProblem(numVars int) *Problem {
+	return &Problem{numVars: numVars, obj: make([]float64, numVars)}
+}
+
+// SetObjectiveCoeff sets the objective coefficient of variable v.
+func (p *Problem) SetObjectiveCoeff(v int, c float64) error {
+	if v < 0 || v >= p.numVars {
+		return fmt.Errorf("lp: variable %d out of range [0,%d)", v, p.numVars)
+	}
+	p.obj[v] = c
+	return nil
+}
+
+// AddConstraint adds a sparse constraint row.
+func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) error {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= p.numVars {
+			return fmt.Errorf("lp: constraint references variable %d out of range [0,%d)", t.Var, p.numVars)
+		}
+	}
+	if sense != LE && sense != GE && sense != EQ {
+		return fmt.Errorf("lp: invalid constraint sense %d", sense)
+	}
+	p.rows = append(p.rows, row{terms: append([]Term(nil), terms...), sense: sense, rhs: rhs})
+	return nil
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumConstraints returns the number of constraint rows.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// Solution is the result of a successful solve.
+type Solution struct {
+	X         []float64 // values of the structural variables
+	Objective float64   // c·x at the optimum
+}
+
+// Solve runs two-phase primal simplex and returns the optimal solution.
+func (p *Problem) Solve() (*Solution, error) {
+	t := newTableau(p)
+	if err := t.phase1(); err != nil {
+		return nil, err
+	}
+	if err := t.phase2(p); err != nil {
+		return nil, err
+	}
+	x := t.extract(p.numVars)
+	var obj float64
+	for i, c := range p.obj {
+		obj += c * x[i]
+	}
+	return &Solution{X: x, Objective: obj}, nil
+}
+
+// tableau is a dense simplex tableau. Columns are laid out as structural
+// variables, then slack/surplus variables, then artificial variables, then
+// the RHS column.
+type tableau struct {
+	m, n      int // constraint rows, total variable columns (excl. RHS)
+	a         [][]float64
+	basis     []int
+	artStart  int // first artificial column
+	numStruct int
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.rows)
+	// Count slack/surplus columns.
+	numSlack := 0
+	for _, r := range p.rows {
+		if r.sense != EQ {
+			numSlack++
+		}
+	}
+	n := p.numVars + numSlack + m // worst case: one artificial per row
+	t := &tableau{
+		m:         m,
+		n:         n,
+		a:         make([][]float64, m),
+		basis:     make([]int, m),
+		artStart:  p.numVars + numSlack,
+		numStruct: p.numVars,
+	}
+	slack := p.numVars
+	art := t.artStart
+	numArt := 0
+	for i, r := range p.rows {
+		t.a[i] = make([]float64, n+1)
+		sign := 1.0
+		if r.rhs < 0 {
+			sign = -1.0
+		}
+		for _, term := range r.terms {
+			t.a[i][term.Var] += sign * term.Coeff
+		}
+		t.a[i][n] = sign * r.rhs
+		sense := r.sense
+		if sign < 0 {
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			t.a[i][slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			t.a[i][slack] = -1
+			slack++
+			t.a[i][art] = 1
+			t.basis[i] = art
+			art++
+			numArt++
+		case EQ:
+			t.a[i][art] = 1
+			t.basis[i] = art
+			art++
+			numArt++
+		}
+	}
+	// Shrink column space to what was actually used.
+	used := art
+	t.n = used
+	for i := range t.a {
+		rhs := t.a[i][n]
+		t.a[i] = append(t.a[i][:used:used], rhs)
+	}
+	return t
+}
+
+// phase1 minimises the sum of artificial variables to find a basic feasible
+// solution.
+func (t *tableau) phase1() error {
+	if t.artStart == t.n {
+		return nil // no artificials: slack basis is already feasible
+	}
+	// Objective row: minimise sum of artificials. Reduced costs must be
+	// priced out against the artificial basis rows.
+	obj := make([]float64, t.n+1)
+	for j := t.artStart; j < t.n; j++ {
+		obj[j] = 1
+	}
+	for i, b := range t.basis {
+		if b >= t.artStart {
+			for j := 0; j <= t.n; j++ {
+				obj[j] -= t.a[i][j]
+			}
+		}
+	}
+	if err := t.iterate(obj, t.artStart); err != nil {
+		if errors.Is(err, ErrUnbounded) {
+			// Phase-1 objective is bounded below by 0; unboundedness here
+			// indicates a numerical failure.
+			return fmt.Errorf("lp: phase-1 numerical failure: %w", err)
+		}
+		return err
+	}
+	if -obj[t.n] > 1e-7 {
+		return ErrInfeasible
+	}
+	// Drive any remaining artificial basics out of the basis.
+	for i, b := range t.basis {
+		if b < t.artStart {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it out (RHS must be ~0 after phase 1).
+			for j := 0; j <= t.n; j++ {
+				t.a[i][j] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// phase2 optimises the real objective from the feasible basis.
+func (t *tableau) phase2(p *Problem) error {
+	obj := make([]float64, t.n+1)
+	copy(obj, p.obj)
+	// Price out basic variables.
+	for i, b := range t.basis {
+		c := obj[b]
+		if c == 0 {
+			continue
+		}
+		for j := 0; j <= t.n; j++ {
+			obj[j] -= c * t.a[i][j]
+		}
+	}
+	return t.iterate(obj, t.artStart)
+}
+
+// iterate runs simplex pivots on the given objective row until optimal.
+// Columns >= colLimit (artificials) are never chosen as entering variables.
+// It uses Dantzig pricing with a switch to Bland's rule to guarantee
+// termination under degeneracy.
+func (t *tableau) iterate(obj []float64, colLimit int) error {
+	maxIter := 200 * (t.m + t.n + 16)
+	blandAfter := maxIter / 2
+	for iter := 0; iter < maxIter; iter++ {
+		col := -1
+		if iter < blandAfter {
+			best := -eps
+			for j := 0; j < colLimit; j++ {
+				if obj[j] < best {
+					best = obj[j]
+					col = j
+				}
+			}
+		} else {
+			for j := 0; j < colLimit; j++ {
+				if obj[j] < -eps {
+					col = j
+					break
+				}
+			}
+		}
+		if col < 0 {
+			return nil // optimal
+		}
+		// Ratio test; Bland tie-break on basis index for anti-cycling.
+		prow := -1
+		var bestRatio float64
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][col]
+			if aij <= eps {
+				continue
+			}
+			ratio := t.a[i][t.n] / aij
+			if prow < 0 || ratio < bestRatio-eps ||
+				(ratio < bestRatio+eps && t.basis[i] < t.basis[prow]) {
+				prow = i
+				bestRatio = ratio
+			}
+		}
+		if prow < 0 {
+			return ErrUnbounded
+		}
+		t.pivot(prow, col)
+		// Update objective row.
+		c := obj[col]
+		if c != 0 {
+			for j := 0; j <= t.n; j++ {
+				obj[j] -= c * t.a[prow][j]
+			}
+		}
+	}
+	return ErrIterations
+}
+
+// pivot makes column col basic in row prow.
+func (t *tableau) pivot(prow, col int) {
+	piv := t.a[prow][col]
+	inv := 1.0 / piv
+	rowData := t.a[prow]
+	for j := 0; j <= t.n; j++ {
+		rowData[j] *= inv
+	}
+	rowData[col] = 1 // exact
+	for i := 0; i < t.m; i++ {
+		if i == prow {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		target := t.a[i]
+		for j := 0; j <= t.n; j++ {
+			target[j] -= f * rowData[j]
+		}
+		target[col] = 0 // exact
+	}
+	t.basis[prow] = col
+}
+
+// extract reads the structural variable values from the basis.
+func (t *tableau) extract(numVars int) []float64 {
+	x := make([]float64, numVars)
+	for i, b := range t.basis {
+		if b < numVars {
+			v := t.a[i][t.n]
+			if v < 0 && v > -1e-7 {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	return x
+}

@@ -1,0 +1,201 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOrFatal(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return sol
+}
+
+func TestSimpleMaximisationViaMinimisation(t *testing.T) {
+	// max 3x+2y s.t. x+y<=4, x+3y<=6  => min -3x-2y. Optimum x=4,y=0, obj=-12.
+	p := NewProblem(2)
+	if err := p.SetObjectiveCoeff(0, -3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetObjectiveCoeff(1, -2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Term{{0, 1}, {1, 3}}, LE, 6); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOrFatal(t, p)
+	if math.Abs(sol.Objective-(-12)) > 1e-7 {
+		t.Fatalf("objective %g want -12 (x=%v)", sol.Objective, sol.X)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// min x+y s.t. x+y = 5, x - y = 1 => x=3, y=2, obj=5.
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(0, 1)
+	p.SetObjectiveCoeff(1, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 5)
+	p.AddConstraint([]Term{{0, 1}, {1, -1}}, EQ, 1)
+	sol := solveOrFatal(t, p)
+	if math.Abs(sol.X[0]-3) > 1e-7 || math.Abs(sol.X[1]-2) > 1e-7 {
+		t.Fatalf("x=%v want [3 2]", sol.X)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// min 2x+y s.t. x+y >= 3, x >= 1. Optimum x=1? obj = 2+2 = 4 at (1,2);
+	// at (0,3) infeasible (x>=1); at (3,0): 6. So (1,2) obj 4.
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(0, 2)
+	p.SetObjectiveCoeff(1, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, GE, 3)
+	p.AddConstraint([]Term{{0, 1}}, GE, 1)
+	sol := solveOrFatal(t, p)
+	if math.Abs(sol.Objective-4) > 1e-7 {
+		t.Fatalf("objective %g want 4 (x=%v)", sol.Objective, sol.X)
+	}
+}
+
+func TestNegativeRHSNormalisation(t *testing.T) {
+	// min x s.t. -x <= -2  (i.e. x >= 2).
+	p := NewProblem(1)
+	p.SetObjectiveCoeff(0, 1)
+	p.AddConstraint([]Term{{0, -1}}, LE, -2)
+	sol := solveOrFatal(t, p)
+	if math.Abs(sol.X[0]-2) > 1e-7 {
+		t.Fatalf("x=%v want 2", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2 simultaneously.
+	p := NewProblem(1)
+	p.SetObjectiveCoeff(0, 1)
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 2)
+	_, err := p.Solve()
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err=%v want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with only x >= 0 (x unbounded above).
+	p := NewProblem(1)
+	p.SetObjectiveCoeff(0, -1)
+	_, err := p.Solve()
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err=%v want ErrUnbounded", err)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Redundant constraints introducing degeneracy.
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(0, -1)
+	p.SetObjectiveCoeff(1, -1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 2) // duplicate
+	p.AddConstraint([]Term{{0, 2}, {1, 2}}, LE, 4) // scaled duplicate
+	p.AddConstraint([]Term{{0, 1}}, LE, 2)
+	sol := solveOrFatal(t, p)
+	if math.Abs(sol.Objective-(-2)) > 1e-7 {
+		t.Fatalf("objective %g want -2", sol.Objective)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// x + y = 2 stated twice; min x.
+	p := NewProblem(2)
+	p.SetObjectiveCoeff(0, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2)
+	p.AddConstraint([]Term{{0, 2}, {1, 2}}, EQ, 4)
+	sol := solveOrFatal(t, p)
+	if math.Abs(sol.X[0]) > 1e-7 || math.Abs(sol.X[1]-2) > 1e-7 {
+		t.Fatalf("x=%v want [0 2]", sol.X)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.SetObjectiveCoeff(5, 1); err == nil {
+		t.Fatal("expected out-of-range objective error")
+	}
+	if err := p.AddConstraint([]Term{{7, 1}}, LE, 1); err == nil {
+		t.Fatal("expected out-of-range constraint error")
+	}
+	if err := p.AddConstraint([]Term{{0, 1}}, Sense(99), 1); err == nil {
+		t.Fatal("expected invalid-sense error")
+	}
+}
+
+// TestRandomLPsAgainstBruteForce cross-checks the simplex optimum against a
+// dense grid/vertex enumeration on random small bounded LPs.
+func TestRandomLPsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		// min c·x s.t. A x <= b with x in a box [0,10]^2 baked in via
+		// constraints, so the problem is always feasible (x=0) and bounded.
+		c := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		numRows := 2 + rng.Intn(3)
+		type rowT struct {
+			a [2]float64
+			b float64
+		}
+		rows := make([]rowT, numRows)
+		for i := range rows {
+			rows[i] = rowT{
+				a: [2]float64{rng.NormFloat64(), rng.NormFloat64()},
+				b: math.Abs(rng.NormFloat64()) * 5,
+			}
+		}
+		p := NewProblem(2)
+		p.SetObjectiveCoeff(0, c[0])
+		p.SetObjectiveCoeff(1, c[1])
+		for _, r := range rows {
+			p.AddConstraint([]Term{{0, r.a[0]}, {1, r.a[1]}}, LE, r.b)
+		}
+		p.AddConstraint([]Term{{0, 1}}, LE, 10)
+		p.AddConstraint([]Term{{1, 1}}, LE, 10)
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Dense grid search (resolution fine enough vs tolerance below).
+		best := math.Inf(1)
+		const steps = 200
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				x := 10 * float64(i) / steps
+				y := 10 * float64(j) / steps
+				ok := true
+				for _, r := range rows {
+					if r.a[0]*x+r.a[1]*y > r.b+1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if v := c[0]*x + c[1]*y; v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if sol.Objective > best+1e-6 {
+			t.Fatalf("trial %d: simplex %g worse than grid %g", trial, sol.Objective, best)
+		}
+		if sol.Objective < best-0.2 {
+			// Grid is coarse; simplex may be slightly better but not wildly.
+			t.Fatalf("trial %d: simplex %g implausibly better than grid %g", trial, sol.Objective, best)
+		}
+	}
+}

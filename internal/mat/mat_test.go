@@ -1,0 +1,251 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("new matrix not zeroed: %v", m.Data)
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatalf("At(1,2)=%g want 5", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 5 {
+		t.Fatalf("Row(1)=%v want last element 5", row)
+	}
+	row[0] = 7 // views alias the matrix
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must be a view, not a copy")
+	}
+}
+
+func TestFromRowsAndVectors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows wrong layout: %v", m)
+	}
+	rv := RowVector([]float64{1, 2, 3})
+	if rv.Rows != 1 || rv.Cols != 3 {
+		t.Fatalf("RowVector shape %dx%d", rv.Rows, rv.Cols)
+	}
+	cv := ColVector([]float64{1, 2, 3})
+	if cv.Rows != 3 || cv.Cols != 1 {
+		t.Fatalf("ColVector shape %dx%d", cv.Rows, cv.Cols)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range want.Data {
+		if !almostEqual(c.Data[i], want.Data[i]) {
+			t.Fatalf("matmul=%v want %v", c, want)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandNormal(4, 4, 1, rng)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	c := MatMul(a, id)
+	for i := range a.Data {
+		if !almostEqual(c.Data[i], a.Data[i]) {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+func TestMatMulTransposedVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandNormal(3, 5, 1, rng)
+	b := RandNormal(3, 4, 1, rng)
+	// aᵀ·b via explicit transpose.
+	at := New(5, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := MatMul(at, b)
+	got := MatMulTransA(a, b)
+	if !got.SameShape(want) {
+		t.Fatalf("shape %dx%d want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if !almostEqual(got.Data[i], want.Data[i]) {
+			t.Fatal("MatMulTransA disagrees with explicit transpose")
+		}
+	}
+
+	c := RandNormal(4, 5, 1, rng)
+	d := RandNormal(2, 5, 1, rng)
+	dt := New(5, 2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 5; j++ {
+			dt.Set(j, i, d.At(i, j))
+		}
+	}
+	want2 := MatMul(c, dt)
+	got2 := MatMulTransB(c, d)
+	for i := range want2.Data {
+		if !almostEqual(got2.Data[i], want2.Data[i]) {
+			t.Fatal("MatMulTransB disagrees with explicit transpose")
+		}
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}, {3, 4}})
+	b := FromRows([][]float64{{2, 2}, {2, 2}})
+	if got := Add(a, b).At(0, 1); got != 0 {
+		t.Fatalf("add got %g", got)
+	}
+	if got := Sub(a, b).At(1, 1); got != 2 {
+		t.Fatalf("sub got %g", got)
+	}
+	if got := Mul(a, b).At(1, 0); got != 6 {
+		t.Fatalf("mul got %g", got)
+	}
+	if got := Scale(a, -1).At(0, 0); got != -1 {
+		t.Fatalf("scale got %g", got)
+	}
+	if got := Apply(a, math.Abs).At(0, 1); got != 2 {
+		t.Fatalf("apply got %g", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5}, {6}})
+	c := ConcatCols(a, b)
+	if c.Rows != 2 || c.Cols != 3 || c.At(0, 2) != 5 || c.At(1, 2) != 6 {
+		t.Fatalf("concat-cols wrong: %v", c)
+	}
+	d := ConcatRows(a, FromRows([][]float64{{7, 8}}))
+	if d.Rows != 3 || d.At(2, 1) != 8 {
+		t.Fatalf("concat-rows wrong: %v", d)
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	g := GatherRows(a, []int{2, 0, 2})
+	if g.Rows != 3 || g.At(0, 0) != 5 || g.At(1, 1) != 2 || g.At(2, 0) != 5 {
+		t.Fatalf("gather wrong: %v", g)
+	}
+}
+
+func TestSegmentSum(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}})
+	s := SegmentSum(a, []int{0, 1, 0, 2}, 3)
+	if s.At(0, 0) != 4 || s.At(1, 0) != 2 || s.At(2, 1) != 4 {
+		t.Fatalf("segment-sum wrong: %v", s)
+	}
+}
+
+func TestSegmentSumMatchesManual(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(20)
+		cols := 1 + r.Intn(5)
+		segs := 1 + r.Intn(6)
+		a := RandNormal(rows, cols, 1, rng)
+		ids := make([]int, rows)
+		for i := range ids {
+			ids[i] = r.Intn(segs)
+		}
+		got := SegmentSum(a, ids, segs)
+		want := New(segs, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				want.Data[ids[i]*cols+j] += a.At(i, j)
+			}
+		}
+		for i := range want.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumsAndReductions(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	sr := SumRows(a)
+	if sr.At(0, 0) != 4 || sr.At(0, 1) != 6 {
+		t.Fatalf("sum-rows wrong: %v", sr)
+	}
+	if Sum(a) != 10 {
+		t.Fatalf("sum=%g", Sum(a))
+	}
+	if MaxAbs(FromRows([][]float64{{-5, 2}})) != 5 {
+		t.Fatal("maxabs wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestMatMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandNormal(3, 4, 1, rng)
+		b := RandNormal(4, 2, 1, rng)
+		c := RandNormal(2, 3, 1, rng)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		for i := range left.Data {
+			if math.Abs(left.Data[i]-right.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}

@@ -1,0 +1,168 @@
+// Package nn provides neural-network building blocks on top of the autodiff
+// engine: dense layers, multilayer perceptrons, Xavier/He initialisation,
+// SGD and Adam optimisers, and JSON model serialisation. It is a
+// from-scratch substitute for the TensorFlow/Keras layers used by the paper.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gddr/internal/ad"
+	"gddr/internal/mat"
+)
+
+// Activation selects the nonlinearity applied after a dense layer.
+type Activation int
+
+// Supported activations. Linear means no nonlinearity.
+const (
+	Linear Activation = iota + 1
+	ReLU
+	Tanh
+	Sigmoid
+)
+
+func (a Activation) String() string {
+	switch a {
+	case Linear:
+		return "linear"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case Sigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(t *ad.Tape, x *ad.Node) *ad.Node {
+	switch a {
+	case ReLU:
+		return t.ReLU(x)
+	case Tanh:
+		return t.Tanh(x)
+	case Sigmoid:
+		return t.Sigmoid(x)
+	default:
+		return x
+	}
+}
+
+// Dense is a fully connected layer computing act(x·W + b).
+type Dense struct {
+	W, B *ad.Param
+	Act  Activation
+}
+
+// NewDense creates a dense layer with Xavier/Glorot-uniform weights.
+func NewDense(name string, in, out int, act Activation, rng *rand.Rand) *Dense {
+	limit := math.Sqrt(6.0 / float64(in+out))
+	if act == ReLU {
+		limit = math.Sqrt(2.0) * math.Sqrt(6.0/float64(in+out)) // He-style boost
+	}
+	return &Dense{
+		W:   ad.NewParam(name+".W", mat.RandUniform(in, out, -limit, limit, rng)),
+		B:   ad.NewParam(name+".b", mat.New(1, out)),
+		Act: act,
+	}
+}
+
+// Apply runs the layer on a batch (rows = samples).
+func (d *Dense) Apply(t *ad.Tape, x *ad.Node) *ad.Node {
+	y := t.AddRowBroadcast(t.MatMul(x, t.Use(d.W)), t.Use(d.B))
+	return d.Act.apply(t, y)
+}
+
+// Params returns the layer's trainable parameters.
+func (d *Dense) Params() []*ad.Param { return []*ad.Param{d.W, d.B} }
+
+// InDim returns the layer input width.
+func (d *Dense) InDim() int { return d.W.Value.Rows }
+
+// OutDim returns the layer output width.
+func (d *Dense) OutDim() int { return d.W.Value.Cols }
+
+// MLP is a stack of dense layers with a shared hidden activation and a
+// configurable output activation.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds an MLP with the given layer sizes (len >= 2: input, hidden…,
+// output). Hidden layers use hiddenAct; the final layer uses outAct.
+func NewMLP(name string, sizes []int, hiddenAct, outAct Activation, rng *rand.Rand) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs >= 2 sizes, got %v", sizes)
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hiddenAct
+		if i == len(sizes)-2 {
+			act = outAct
+		}
+		m.Layers = append(m.Layers,
+			NewDense(fmt.Sprintf("%s.%d", name, i), sizes[i], sizes[i+1], act, rng))
+	}
+	return m, nil
+}
+
+// Apply runs the MLP on a batch.
+func (m *MLP) Apply(t *ad.Tape, x *ad.Node) *ad.Node {
+	for _, l := range m.Layers {
+		x = l.Apply(t, x)
+	}
+	return x
+}
+
+// Params returns all trainable parameters.
+func (m *MLP) Params() []*ad.Param {
+	var ps []*ad.Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// InDim returns the expected input width.
+func (m *MLP) InDim() int { return m.Layers[0].InDim() }
+
+// OutDim returns the output width.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].OutDim() }
+
+// CountParams returns the total scalar parameter count of params.
+func CountParams(params []*ad.Param) int {
+	n := 0
+	for _, p := range params {
+		n += len(p.Value.Data)
+	}
+	return n
+}
+
+// GlobalGradNorm returns the L2 norm of all parameter gradients.
+func GlobalGradNorm(params []*ad.Param) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	return math.Sqrt(sq)
+}
+
+// ClipGradNorm scales gradients so their global L2 norm is at most maxNorm.
+func ClipGradNorm(params []*ad.Param, maxNorm float64) {
+	norm := GlobalGradNorm(params)
+	if norm <= maxNorm || norm == 0 {
+		return
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] *= scale
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/ad"
+	"gddr/internal/mat"
+)
+
+func TestDenseShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense("d", 4, 3, ReLU, rng)
+	if d.InDim() != 4 || d.OutDim() != 3 {
+		t.Fatalf("dims %d %d", d.InDim(), d.OutDim())
+	}
+	tape := ad.NewTape()
+	x := tape.Constant(mat.RandNormal(5, 4, 1, rng))
+	y := d.Apply(tape, x)
+	if y.Value.Rows != 5 || y.Value.Cols != 3 {
+		t.Fatalf("output %dx%d", y.Value.Rows, y.Value.Cols)
+	}
+	for _, v := range y.Value.Data {
+		if v < 0 {
+			t.Fatal("relu output negative")
+		}
+	}
+}
+
+func TestMLPConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := NewMLP("m", []int{6, 8, 8, 2}, ReLU, Linear, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layers) != 3 || m.InDim() != 6 || m.OutDim() != 2 {
+		t.Fatalf("mlp structure wrong: %d layers", len(m.Layers))
+	}
+	if _, err := NewMLP("bad", []int{4}, ReLU, Linear, rng); err == nil {
+		t.Fatal("single-size MLP accepted")
+	}
+	if got := CountParams(m.Params()); got != 6*8+8+8*8+8+8*2+2 {
+		t.Fatalf("param count %d", got)
+	}
+}
+
+// TestMLPLearnsXOR is an end-to-end learning test: Adam + MLP must fit the
+// XOR function, which requires the hidden layer and working gradients.
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewMLP("xor", []int{2, 8, 1}, Tanh, Linear, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.FromRows([][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	y := mat.FromRows([][]float64{{0}, {1}, {1}, {0}})
+	opt := NewAdam(m.Params(), 0.02)
+	var loss float64
+	for epoch := 0; epoch < 600; epoch++ {
+		tape := ad.NewTape()
+		pred := m.Apply(tape, tape.Constant(x))
+		diff := tape.Sub(pred, tape.Constant(y))
+		l := tape.Mean(tape.Square(diff))
+		if err := tape.Backward(l); err != nil {
+			t.Fatal(err)
+		}
+		opt.Step()
+		loss = l.Value.Data[0]
+	}
+	if loss > 0.01 {
+		t.Fatalf("XOR not learned, final MSE %g", loss)
+	}
+}
+
+func TestSGDMomentumDecreasesQuadratic(t *testing.T) {
+	p := ad.NewParam("x", mat.FromSlice(1, 1, []float64{5}))
+	opt := NewSGD([]*ad.Param{p}, 0.1, 0.9)
+	for i := 0; i < 300; i++ {
+		tape := ad.NewTape()
+		l := tape.Square(tape.Use(p))
+		if err := tape.Backward(l); err != nil {
+			t.Fatal(err)
+		}
+		opt.Step()
+	}
+	if math.Abs(p.Value.Data[0]) > 0.01 {
+		t.Fatalf("SGD did not converge: x=%g", p.Value.Data[0])
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := ad.NewParam("x", mat.FromSlice(1, 2, []float64{3, -4}))
+	opt := NewAdam([]*ad.Param{p}, 0.1)
+	for i := 0; i < 300; i++ {
+		tape := ad.NewTape()
+		l := tape.SumAll(tape.Square(tape.Use(p)))
+		if err := tape.Backward(l); err != nil {
+			t.Fatal(err)
+		}
+		opt.Step()
+	}
+	if math.Abs(p.Value.Data[0]) > 0.01 || math.Abs(p.Value.Data[1]) > 0.01 {
+		t.Fatalf("Adam did not converge: %v", p.Value.Data)
+	}
+}
+
+func TestGradClip(t *testing.T) {
+	p := ad.NewParam("p", mat.New(1, 3))
+	copy(p.Grad.Data, []float64{3, 4, 0}) // norm 5
+	ClipGradNorm([]*ad.Param{p}, 1)
+	if math.Abs(GlobalGradNorm([]*ad.Param{p})-1) > 1e-9 {
+		t.Fatalf("clipped norm %g", GlobalGradNorm([]*ad.Param{p}))
+	}
+	// Below the cap: untouched.
+	copy(p.Grad.Data, []float64{0.1, 0, 0})
+	ClipGradNorm([]*ad.Param{p}, 1)
+	if p.Grad.Data[0] != 0.1 {
+		t.Fatal("small gradient modified")
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	p := ad.NewParam("p", mat.FromSlice(1, 1, []float64{1}))
+	if err := CheckFinite([]*ad.Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	p.Value.Data[0] = math.NaN()
+	if err := CheckFinite([]*ad.Param{p}); err == nil {
+		t.Fatal("NaN not detected")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m1, err := NewMLP("m", []int{3, 4, 2}, ReLU, Linear, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, m1.Params()); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMLP("m", []int{3, 4, 2}, ReLU, Linear, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), m2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	x := mat.RandNormal(2, 3, 1, rng)
+	t1, t2 := ad.NewTape(), ad.NewTape()
+	y1 := m1.Apply(t1, t1.Constant(x))
+	y2 := m2.Apply(t2, t2.Constant(x))
+	for i := range y1.Value.Data {
+		if y1.Value.Data[i] != y2.Value.Data[i] {
+			t.Fatal("loaded model differs from saved model")
+		}
+	}
+}
+
+func TestLoadRejectsMismatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m1, _ := NewMLP("m", []int{3, 4, 2}, ReLU, Linear, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, m1.Params()); err != nil {
+		t.Fatal(err)
+	}
+	different, _ := NewMLP("m", []int{3, 5, 2}, ReLU, Linear, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), different.Params()); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	renamed, _ := NewMLP("other", []int{3, 4, 2}, ReLU, Linear, rng)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), renamed.Params()); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	if ReLU.String() != "relu" || Linear.String() != "linear" {
+		t.Fatal("activation names wrong")
+	}
+}

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"gddr/internal/ad"
+	"gddr/internal/mat"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the current gradients and clears them.
+	Step()
+	// SetLearningRate changes the step size (e.g. for schedules).
+	SetLearningRate(lr float64)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	params   []*ad.Param
+	lr       float64
+	momentum float64
+	velocity []*mat.Matrix
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD creates an SGD optimiser over params.
+func NewSGD(params []*ad.Param, lr, momentum float64) *SGD {
+	s := &SGD{params: params, lr: lr, momentum: momentum}
+	if momentum != 0 {
+		s.velocity = make([]*mat.Matrix, len(params))
+		for i, p := range params {
+			s.velocity[i] = mat.New(p.Value.Rows, p.Value.Cols)
+		}
+	}
+	return s
+}
+
+// Step applies one SGD update and zeroes gradients.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		if s.momentum != 0 {
+			v := s.velocity[i]
+			for j := range p.Value.Data {
+				v.Data[j] = s.momentum*v.Data[j] - s.lr*p.Grad.Data[j]
+				p.Value.Data[j] += v.Data[j]
+			}
+		} else {
+			for j := range p.Value.Data {
+				p.Value.Data[j] -= s.lr * p.Grad.Data[j]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SetLearningRate updates the step size.
+func (s *SGD) SetLearningRate(lr float64) { s.lr = lr }
+
+// Adam implements the Adam optimiser (Kingma & Ba, 2015) with bias
+// correction, the optimiser used by stable-baselines PPO2.
+type Adam struct {
+	params []*ad.Param
+	lr     float64
+	beta1  float64
+	beta2  float64
+	eps    float64
+	step   int
+	m, v   []*mat.Matrix
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam creates an Adam optimiser with standard hyperparameters
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(params []*ad.Param, lr float64) *Adam {
+	a := &Adam{params: params, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+	a.m = make([]*mat.Matrix, len(params))
+	a.v = make([]*mat.Matrix, len(params))
+	for i, p := range params {
+		a.m[i] = mat.New(p.Value.Rows, p.Value.Cols)
+		a.v[i] = mat.New(p.Value.Rows, p.Value.Cols)
+	}
+	return a
+}
+
+// Step applies one Adam update and zeroes gradients.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - math.Pow(a.beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.beta2, float64(a.step))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.Value.Data {
+			g := p.Grad.Data[j]
+			m.Data[j] = a.beta1*m.Data[j] + (1-a.beta1)*g
+			v.Data[j] = a.beta2*v.Data[j] + (1-a.beta2)*g*g
+			mhat := m.Data[j] / bc1
+			vhat := v.Data[j] / bc2
+			p.Value.Data[j] -= a.lr * mhat / (math.Sqrt(vhat) + a.eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SetLearningRate updates the step size.
+func (a *Adam) SetLearningRate(lr float64) { a.lr = lr }
+
+// CheckFinite returns an error if any parameter holds a NaN or Inf, naming
+// the first offender; useful as a training invariant.
+func CheckFinite(params []*ad.Param) error {
+	for _, p := range params {
+		for _, x := range p.Value.Data {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("nn: parameter %q contains non-finite value %g", p.Name, x)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gddr/internal/ad"
+	"gddr/internal/mat"
+)
+
+// paramJSON is the wire form of one parameter tensor.
+type paramJSON struct {
+	Name string    `json:"name"`
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// snapshotJSON is the wire form of a parameter set.
+type snapshotJSON struct {
+	Format int         `json:"format"`
+	Params []paramJSON `json:"params"`
+}
+
+// SaveParams writes params as JSON to w.
+func SaveParams(w io.Writer, params []*ad.Param) error {
+	snap := snapshotJSON{Format: 1, Params: make([]paramJSON, len(params))}
+	for i, p := range params {
+		snap.Params[i] = paramJSON{
+			Name: p.Name,
+			Rows: p.Value.Rows,
+			Cols: p.Value.Cols,
+			Data: p.Value.Data,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// LoadParams reads a JSON snapshot from r into params, matching by position
+// and validating names and shapes.
+func LoadParams(r io.Reader, params []*ad.Param) error {
+	var snap snapshotJSON
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("nn: decode snapshot: %w", err)
+	}
+	if snap.Format != 1 {
+		return fmt.Errorf("nn: unsupported snapshot format %d", snap.Format)
+	}
+	if len(snap.Params) != len(params) {
+		return fmt.Errorf("nn: snapshot has %d params, model has %d", len(snap.Params), len(params))
+	}
+	for i, pj := range snap.Params {
+		p := params[i]
+		if pj.Name != p.Name {
+			return fmt.Errorf("nn: param %d name mismatch: snapshot %q, model %q", i, pj.Name, p.Name)
+		}
+		if pj.Rows != p.Value.Rows || pj.Cols != p.Value.Cols {
+			return fmt.Errorf("nn: param %q shape mismatch: snapshot %dx%d, model %dx%d",
+				p.Name, pj.Rows, pj.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		if len(pj.Data) != pj.Rows*pj.Cols {
+			return fmt.Errorf("nn: param %q data length %d != %dx%d", p.Name, len(pj.Data), pj.Rows, pj.Cols)
+		}
+		p.Value = mat.FromSlice(pj.Rows, pj.Cols, append([]float64(nil), pj.Data...))
+		p.Grad = mat.New(pj.Rows, pj.Cols)
+	}
+	return nil
+}

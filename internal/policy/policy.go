@@ -1,0 +1,245 @@
+// Package policy implements the three agent policy architectures of the
+// paper's §VII: the MLP baseline of Valadarsky et al., the GNN policy that
+// reads a whole routing from edge outputs, and the iterative GNN policy that
+// sets one edge weight per action and also emits the softmin γ. All policies
+// expose a common interface producing a Gaussian action mean and a state
+// value for the PPO trainer.
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gddr/internal/ad"
+	"gddr/internal/env"
+	"gddr/internal/gnn"
+	"gddr/internal/mat"
+	"gddr/internal/nn"
+)
+
+// Policy builds, for one observation, the action-mean vector (1×actionDim)
+// and the state-value estimate (1×1) on the given tape.
+type Policy interface {
+	Forward(t *ad.Tape, obs *env.Observation) (mean, value *ad.Node, err error)
+	Params() []*ad.Param
+	Name() string
+}
+
+// Kind enumerates the built-in policy architectures.
+type Kind int
+
+// Policy kinds.
+const (
+	MLPKind Kind = iota + 1
+	GNNKind
+	GNNIterativeKind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case MLPKind:
+		return "mlp"
+	case GNNKind:
+		return "gnn"
+	case GNNIterativeKind:
+		return "gnn-iterative"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ParseKind parses a policy-kind name.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "mlp":
+		return MLPKind, nil
+	case "gnn":
+		return GNNKind, nil
+	case "gnn-iterative", "gnn_iterative", "iterative":
+		return GNNIterativeKind, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown kind %q", s)
+	}
+}
+
+// scaleFinalLayer shrinks the last layer of an MLP by f — the standard PPO
+// small-policy-head initialisation, which makes the untrained policy emit
+// near-zero action means (here: the capacity-aware warm-start routing).
+func scaleFinalLayer(m *nn.MLP, f float64) {
+	last := m.Layers[len(m.Layers)-1]
+	for i := range last.W.Value.Data {
+		last.W.Value.Data[i] *= f
+	}
+	for i := range last.B.Value.Data {
+		last.B.Value.Data[i] *= f
+	}
+}
+
+// MLP is the fixed-size baseline: two fully-connected trunks over the
+// flattened demand history, one producing per-edge action means and one the
+// state value. Its input and output sizes are bound to one topology, which
+// is exactly the limitation the paper's GNN policies remove.
+type MLP struct {
+	inDim, outDim int
+	pi            *nn.MLP
+	vf            *nn.MLP
+}
+
+var _ Policy = (*MLP)(nil)
+
+// NewMLP builds the baseline for a fixed memory length and topology size.
+func NewMLP(memory, numNodes, numEdges int, hidden []int, rng *rand.Rand) (*MLP, error) {
+	if memory < 1 || numNodes < 2 || numEdges < 1 {
+		return nil, fmt.Errorf("policy: invalid MLP dims memory=%d nodes=%d edges=%d", memory, numNodes, numEdges)
+	}
+	inDim := memory * numNodes * numNodes
+	piSizes := append(append([]int{inDim}, hidden...), numEdges)
+	vfSizes := append(append([]int{inDim}, hidden...), 1)
+	pi, err := nn.NewMLP("mlp.pi", piSizes, nn.Tanh, nn.Linear, rng)
+	if err != nil {
+		return nil, err
+	}
+	vf, err := nn.NewMLP("mlp.vf", vfSizes, nn.Tanh, nn.Linear, rng)
+	if err != nil {
+		return nil, err
+	}
+	scaleFinalLayer(pi, 0.01)
+	return &MLP{inDim: inDim, outDim: numEdges, pi: pi, vf: vf}, nil
+}
+
+// Forward implements Policy.
+func (p *MLP) Forward(t *ad.Tape, obs *env.Observation) (*ad.Node, *ad.Node, error) {
+	if len(obs.Flat) != p.inDim {
+		return nil, nil, fmt.Errorf("policy: mlp expects flat obs of %d values, got %d (mlp cannot generalise across topologies)", p.inDim, len(obs.Flat))
+	}
+	x := t.Constant(mat.RowVector(obs.Flat))
+	mean := p.pi.Apply(t, x)
+	value := p.vf.Apply(t, x)
+	return mean, value, nil
+}
+
+// Params implements Policy.
+func (p *MLP) Params() []*ad.Param {
+	return append(p.pi.Params(), p.vf.Params()...)
+}
+
+// Name implements Policy.
+func (p *MLP) Name() string { return "mlp" }
+
+// GNN is the paper's full graph-network policy (§VII-A): an encode-process-
+// decode model whose decoded edge attributes are the per-edge action means
+// and whose decoded global attribute is the state value. Parameter count is
+// independent of topology size, enabling generalisation.
+type GNN struct {
+	memory int
+	model  *gnn.EncodeProcessDecode
+}
+
+var _ Policy = (*GNN)(nil)
+
+// GNNConfig sizes a GNN policy.
+type GNNConfig struct {
+	Memory int // demand history length (node feature width = 2*Memory)
+	Hidden int // latent width of the GN blocks
+	Steps  int // message-passing steps
+}
+
+// DefaultGNNConfig mirrors the paper's small encode-process-decode setup.
+func DefaultGNNConfig(memory int) GNNConfig {
+	return GNNConfig{Memory: memory, Hidden: 24, Steps: 3}
+}
+
+// NewGNN builds the full-action GNN policy.
+func NewGNN(cfg GNNConfig, rng *rand.Rand) (*GNN, error) {
+	model, err := gnn.NewEncodeProcessDecode("gnn", gnn.Config{
+		In:     gnn.GraphSignature{NodeDim: 2 * cfg.Memory, EdgeDim: 4, GlobalDim: 1},
+		Out:    gnn.GraphSignature{NodeDim: 1, EdgeDim: 1, GlobalDim: 1},
+		Hidden: cfg.Hidden,
+		Steps:  cfg.Steps,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	scaleFinalLayer(model.EdgeDec, 0.01)
+	return &GNN{memory: cfg.Memory, model: model}, nil
+}
+
+// Forward implements Policy: means are the decoded edge attributes
+// transposed into a row, value is the decoded global attribute.
+func (p *GNN) Forward(t *ad.Tape, obs *env.Observation) (*ad.Node, *ad.Node, error) {
+	if obs.NodeFeat.Cols != 2*p.memory {
+		return nil, nil, fmt.Errorf("policy: gnn expects node features of width %d, got %d", 2*p.memory, obs.NodeFeat.Cols)
+	}
+	state := gnn.Lift(t, &gnn.Graphs{
+		Nodes:     obs.NodeFeat,
+		Edges:     obs.EdgeFeat,
+		Globals:   obs.Global,
+		Senders:   obs.Senders,
+		Receivers: obs.Receivers,
+	})
+	out := p.model.Apply(t, state)
+	mean := t.Reshape(out.Edges, 1, out.Edges.Value.Rows)
+	return mean, out.Globals, nil
+}
+
+// Params implements Policy.
+func (p *GNN) Params() []*ad.Param { return p.model.Params() }
+
+// Name implements Policy.
+func (p *GNN) Name() string { return "gnn" }
+
+// GNNIterative is the paper's iterative policy (§VII-B): the same encode-
+// process-decode structure, but the action (the weight for the single target
+// edge plus the softmin γ) is read from the global output, so the action
+// space is fixed-size regardless of topology — the property that allows
+// training across different graphs. The global decoder emits three values:
+// (weight, γ, value).
+type GNNIterative struct {
+	memory int
+	model  *gnn.EncodeProcessDecode
+}
+
+var _ Policy = (*GNNIterative)(nil)
+
+// NewGNNIterative builds the iterative GNN policy.
+func NewGNNIterative(cfg GNNConfig, rng *rand.Rand) (*GNNIterative, error) {
+	model, err := gnn.NewEncodeProcessDecode("gnni", gnn.Config{
+		In:     gnn.GraphSignature{NodeDim: 2 * cfg.Memory, EdgeDim: 4, GlobalDim: 1},
+		Out:    gnn.GraphSignature{NodeDim: 1, EdgeDim: 1, GlobalDim: 3},
+		Hidden: cfg.Hidden,
+		Steps:  cfg.Steps,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	scaleFinalLayer(model.GlobalDec, 0.01)
+	return &GNNIterative{memory: cfg.Memory, model: model}, nil
+}
+
+// Forward implements Policy: the first two decoded global channels are the
+// action mean (weight, γ), the third is the value estimate.
+func (p *GNNIterative) Forward(t *ad.Tape, obs *env.Observation) (*ad.Node, *ad.Node, error) {
+	if obs.NodeFeat.Cols != 2*p.memory {
+		return nil, nil, fmt.Errorf("policy: gnn-iterative expects node features of width %d, got %d", 2*p.memory, obs.NodeFeat.Cols)
+	}
+	if obs.TargetEdge < 0 {
+		return nil, nil, fmt.Errorf("policy: gnn-iterative needs iterative-mode observations (no target edge set)")
+	}
+	state := gnn.Lift(t, &gnn.Graphs{
+		Nodes:     obs.NodeFeat,
+		Edges:     obs.EdgeFeat,
+		Globals:   obs.Global,
+		Senders:   obs.Senders,
+		Receivers: obs.Receivers,
+	})
+	out := p.model.Apply(t, state)
+	mean := t.GatherCols(out.Globals, []int{0, 1})
+	value := t.GatherCols(out.Globals, []int{2})
+	return mean, value, nil
+}
+
+// Params implements Policy.
+func (p *GNNIterative) Params() []*ad.Param { return p.model.Params() }
+
+// Name implements Policy.
+func (p *GNNIterative) Name() string { return "gnn-iterative" }

@@ -1,0 +1,189 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"gddr/internal/ad"
+	"gddr/internal/env"
+	"gddr/internal/graph"
+	"gddr/internal/nn"
+	"gddr/internal/traffic"
+)
+
+func makeObs(t *testing.T, n int, mode env.Mode, memory int) *env.Observation {
+	t.Helper()
+	g, err := graph.Ring(n, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	seq, err := traffic.BimodalCyclical(n, memory+3, 2, traffic.DefaultBimodal(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := env.DefaultConfig()
+	cfg.Memory = memory
+	cfg.Mode = mode
+	e, err := env.New(g, seq, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := e.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs
+}
+
+func TestMLPForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, err := NewMLP(3, 4, 8, []int{16}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := makeObs(t, 4, env.FullAction, 3)
+	tape := ad.NewTape()
+	mean, value, err := p.Forward(tape, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.Value.Rows != 1 || mean.Value.Cols != 8 {
+		t.Fatalf("mean %dx%d want 1x8", mean.Value.Rows, mean.Value.Cols)
+	}
+	if value.Value.Rows != 1 || value.Value.Cols != 1 {
+		t.Fatalf("value %dx%d want 1x1", value.Value.Rows, value.Value.Cols)
+	}
+}
+
+func TestMLPRejectsDifferentTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p, err := NewMLP(3, 4, 8, []int{16}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := makeObs(t, 5, env.FullAction, 3) // 5-node ring: flat obs bigger
+	tape := ad.NewTape()
+	if _, _, err := p.Forward(tape, obs); err == nil {
+		t.Fatal("MLP accepted a different topology — it must not generalise")
+	}
+}
+
+func TestGNNForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, err := NewGNN(GNNConfig{Memory: 3, Hidden: 8, Steps: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := makeObs(t, 4, env.FullAction, 3)
+	tape := ad.NewTape()
+	mean, value, err := p.Forward(tape, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.Value.Cols != obs.G.NumEdges() {
+		t.Fatalf("mean cols %d want %d", mean.Value.Cols, obs.G.NumEdges())
+	}
+	if value.Value.Cols != 1 {
+		t.Fatalf("value cols %d", value.Value.Cols)
+	}
+}
+
+// TestGNNGeneralisesAcrossSizes is the paper's headline property: the same
+// GNN policy instance must produce correctly-sized actions on different
+// topologies with an unchanged parameter count.
+func TestGNNGeneralisesAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p, err := NewGNN(GNNConfig{Memory: 3, Hidden: 8, Steps: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := nn.CountParams(p.Params())
+	for _, n := range []int{4, 6, 9} {
+		obs := makeObs(t, n, env.FullAction, 3)
+		tape := ad.NewTape()
+		mean, _, err := p.Forward(tape, obs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if mean.Value.Cols != obs.G.NumEdges() {
+			t.Fatalf("n=%d: mean cols %d want %d", n, mean.Value.Cols, obs.G.NumEdges())
+		}
+	}
+	if nn.CountParams(p.Params()) != before {
+		t.Fatal("parameter count changed across topologies")
+	}
+}
+
+func TestGNNIterativeForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p, err := NewGNNIterative(GNNConfig{Memory: 3, Hidden: 8, Steps: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := makeObs(t, 4, env.IterativeAction, 3)
+	tape := ad.NewTape()
+	mean, value, err := p.Forward(tape, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.Value.Cols != 2 {
+		t.Fatalf("iterative mean cols %d want 2 (weight, gamma)", mean.Value.Cols)
+	}
+	if value.Value.Cols != 1 {
+		t.Fatalf("value cols %d", value.Value.Cols)
+	}
+}
+
+func TestGNNIterativeRejectsFullModeObs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p, err := NewGNNIterative(GNNConfig{Memory: 3, Hidden: 8, Steps: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := makeObs(t, 4, env.FullAction, 3)
+	tape := ad.NewTape()
+	if _, _, err := p.Forward(tape, obs); err == nil {
+		t.Fatal("iterative policy accepted a full-mode observation")
+	}
+}
+
+func TestMemoryMismatchRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p, err := NewGNN(GNNConfig{Memory: 5, Hidden: 8, Steps: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := makeObs(t, 4, env.FullAction, 3) // memory 3, policy expects 5
+	tape := ad.NewTape()
+	if _, _, err := p.Forward(tape, obs); err == nil {
+		t.Fatal("memory mismatch accepted")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for s, want := range map[string]Kind{
+		"mlp": MLPKind, "gnn": GNNKind, "gnn-iterative": GNNIterativeKind, "iterative": GNNIterativeKind,
+	} {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseKind(%q)=%v,%v want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if GNNIterativeKind.String() != "gnn-iterative" {
+		t.Fatal("kind string wrong")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mlp, _ := NewMLP(2, 4, 8, []int{8}, rng)
+	gnnPol, _ := NewGNN(GNNConfig{Memory: 2, Hidden: 4, Steps: 1}, rng)
+	it, _ := NewGNNIterative(GNNConfig{Memory: 2, Hidden: 4, Steps: 1}, rng)
+	if mlp.Name() != "mlp" || gnnPol.Name() != "gnn" || it.Name() != "gnn-iterative" {
+		t.Fatal("policy names wrong")
+	}
+}

@@ -1,0 +1,258 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gddr/internal/ad"
+	"gddr/internal/env"
+	"gddr/internal/mat"
+	"gddr/internal/nn"
+)
+
+// A2CConfig holds the hyperparameters of the synchronous advantage
+// actor-critic trainer, the alternative learning algorithm the paper's
+// further-work section suggests exploring instead of PPO (§IX-A). A2C takes
+// exactly one on-policy gradient step per rollout (no surrogate clipping,
+// no sample reuse), which makes it simpler but less sample-efficient.
+type A2CConfig struct {
+	RolloutSteps  int
+	Discount      float64
+	GAELambda     float64
+	LearningRate  float64
+	ValueCoef     float64
+	EntropyCoef   float64
+	MaxGradNorm   float64
+	InitialLogStd float64
+	RewardOffset  float64
+}
+
+// DefaultA2CConfig mirrors the PPO defaults where they overlap.
+func DefaultA2CConfig() A2CConfig {
+	return A2CConfig{
+		RolloutSteps:  64,
+		Discount:      0,
+		GAELambda:     0.95,
+		LearningRate:  5e-4,
+		ValueCoef:     0.5,
+		EntropyCoef:   0.001,
+		MaxGradNorm:   0.5,
+		InitialLogStd: -1.5,
+		RewardOffset:  1,
+	}
+}
+
+// Validate rejects unusable hyperparameters.
+func (c A2CConfig) Validate() error {
+	if c.RolloutSteps < 1 {
+		return fmt.Errorf("rl: a2c rollout steps %d < 1", c.RolloutSteps)
+	}
+	if c.Discount < 0 || c.Discount > 1 || c.GAELambda < 0 || c.GAELambda > 1 {
+		return fmt.Errorf("rl: a2c invalid discount %g / lambda %g", c.Discount, c.GAELambda)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("rl: a2c invalid learning rate %g", c.LearningRate)
+	}
+	return nil
+}
+
+// A2CTrainer runs synchronous advantage actor-critic on a policy.
+type A2CTrainer struct {
+	cfg    A2CConfig
+	pol    Forwarder
+	logStd *ad.Param
+	opt    *nn.Adam
+	rng    *rand.Rand
+
+	episodes  int
+	timesteps int
+}
+
+// Forwarder is the policy contract shared by the RL trainers.
+type Forwarder interface {
+	Forward(t *ad.Tape, obs *env.Observation) (mean, value *ad.Node, err error)
+	Params() []*ad.Param
+}
+
+// NewA2CTrainer builds an A2C trainer over the policy.
+func NewA2CTrainer(pol Forwarder, cfg A2CConfig, rng *rand.Rand) (*A2CTrainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("rl: a2c trainer needs a rand source")
+	}
+	logStd := ad.NewParam("a2c.log_std", mat.FromSlice(1, 1, []float64{cfg.InitialLogStd}))
+	params := append(pol.Params(), logStd)
+	return &A2CTrainer{
+		cfg:    cfg,
+		pol:    pol,
+		logStd: logStd,
+		opt:    nn.NewAdam(params, cfg.LearningRate),
+		rng:    rng,
+	}, nil
+}
+
+// Params returns all trained parameters.
+func (tr *A2CTrainer) Params() []*ad.Param { return append(tr.pol.Params(), tr.logStd) }
+
+// LogStd returns the current log standard deviation.
+func (tr *A2CTrainer) LogStd() float64 { return tr.logStd.Value.Data[0] }
+
+// Train runs A2C for totalSteps environment steps.
+func (tr *A2CTrainer) Train(e env.Interface, totalSteps int, onEpisode func(EpisodeStat)) error {
+	if totalSteps < 1 {
+		return fmt.Errorf("rl: totalSteps must be positive, got %d", totalSteps)
+	}
+	obs, err := e.Reset()
+	if err != nil {
+		return fmt.Errorf("rl: reset: %w", err)
+	}
+	epReward := 0.0
+	epSteps := 0
+	for done := 0; done < totalSteps; {
+		steps := tr.cfg.RolloutSteps
+		if rem := totalSteps - done; rem < steps {
+			steps = rem
+		}
+		batch := make([]*sample, 0, steps)
+		for len(batch) < steps {
+			action, logp, value, err := tr.act(obs)
+			if err != nil {
+				return err
+			}
+			next, reward, isDone, err := e.Step(action)
+			if err != nil {
+				return fmt.Errorf("rl: env step: %w", err)
+			}
+			shifted := reward
+			if reward != 0 {
+				shifted = reward + tr.cfg.RewardOffset
+			}
+			batch = append(batch, &sample{
+				obs: obs, action: action, logp: logp, value: value,
+				reward: shifted, done: isDone,
+			})
+			tr.timesteps++
+			epReward += reward
+			epSteps++
+			if isDone {
+				if onEpisode != nil {
+					meanRatio := 0.0
+					if epSteps > 0 {
+						meanRatio = -epReward / float64(epSteps)
+					}
+					onEpisode(EpisodeStat{
+						Episode:     tr.episodes,
+						Timestep:    tr.timesteps,
+						Steps:       epSteps,
+						TotalReward: epReward,
+						MeanRatio:   meanRatio,
+					})
+				}
+				tr.episodes++
+				epReward, epSteps = 0, 0
+				next, err = e.Reset()
+				if err != nil {
+					return fmt.Errorf("rl: reset: %w", err)
+				}
+			}
+			obs = next
+		}
+		var lastValue float64
+		if !batch[len(batch)-1].done {
+			_, _, lastValue, err = tr.act(obs)
+			if err != nil {
+				return err
+			}
+		}
+		computeGAE(batch, lastValue, tr.cfg.Discount, tr.cfg.GAELambda)
+		if err := tr.step(batch); err != nil {
+			return err
+		}
+		done += len(batch)
+	}
+	return nil
+}
+
+// act samples from the Gaussian policy without recording gradients.
+func (tr *A2CTrainer) act(obs *env.Observation) (action []float64, logp, value float64, err error) {
+	t := ad.NewTape()
+	mean, val, err := tr.pol.Forward(t, obs)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("rl: a2c policy forward: %w", err)
+	}
+	std := math.Exp(tr.logStd.Value.Data[0])
+	k := len(mean.Value.Data)
+	action = make([]float64, k)
+	logp = -0.5*float64(k)*math.Log(2*math.Pi) - float64(k)*tr.logStd.Value.Data[0]
+	for i, mu := range mean.Value.Data {
+		z := tr.rng.NormFloat64()
+		action[i] = mu + std*z
+		logp -= 0.5 * z * z
+	}
+	return action, logp, val.Value.Data[0], nil
+}
+
+// step applies one actor-critic gradient step over the whole rollout.
+func (tr *A2CTrainer) step(batch []*sample) error {
+	// Advantage normalisation.
+	meanAdv, stdAdv := 0.0, 0.0
+	for _, s := range batch {
+		meanAdv += s.adv
+	}
+	meanAdv /= float64(len(batch))
+	for _, s := range batch {
+		d := s.adv - meanAdv
+		stdAdv += d * d
+	}
+	stdAdv = math.Sqrt(stdAdv/float64(len(batch))) + 1e-8
+
+	t := ad.NewTape()
+	logStdNode := t.Use(tr.logStd)
+	invStd := t.Exp(t.Scale(logStdNode, -1))
+	var total *ad.Node
+	for _, s := range batch {
+		mean, value, err := tr.pol.Forward(t, s.obs)
+		if err != nil {
+			return fmt.Errorf("rl: a2c forward: %w", err)
+		}
+		k := float64(len(s.action))
+		actionNode := t.Constant(mat.RowVector(s.action))
+		diff := t.Sub(actionNode, mean)
+		z := t.MulScalar(diff, invStd)
+		logp := t.AddScalar(
+			t.Add(t.Scale(t.SumAll(t.Square(z)), -0.5), t.Scale(logStdNode, -k)),
+			-0.5*k*math.Log(2*math.Pi))
+		adv := (s.adv - meanAdv) / stdAdv
+		pgLoss := t.Scale(logp, -adv)
+		vLoss := t.Square(t.AddScalar(value, -s.ret))
+		entropy := t.Scale(logStdNode, k)
+		loss := t.Add(pgLoss, t.Scale(vLoss, tr.cfg.ValueCoef))
+		loss = t.Add(loss, t.Scale(entropy, -tr.cfg.EntropyCoef))
+		if total == nil {
+			total = loss
+		} else {
+			total = t.Add(total, loss)
+		}
+	}
+	total = t.Scale(total, 1/float64(len(batch)))
+	if err := t.Backward(total); err != nil {
+		return err
+	}
+	params := tr.Params()
+	if tr.cfg.MaxGradNorm > 0 {
+		nn.ClipGradNorm(params, tr.cfg.MaxGradNorm)
+	}
+	tr.opt.Step()
+	if v := tr.logStd.Value.Data[0]; v < -2.5 {
+		tr.logStd.Value.Data[0] = -2.5
+	} else if v > 0.5 {
+		tr.logStd.Value.Data[0] = 0.5
+	}
+	if err := nn.CheckFinite(params); err != nil {
+		return fmt.Errorf("rl: a2c after update at step %d: %w", tr.timesteps, err)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/ad"
+	"gddr/internal/mat"
+)
+
+func TestA2CConfigValidate(t *testing.T) {
+	cfg := DefaultA2CConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.RolloutSteps = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero rollout accepted")
+	}
+	bad = cfg
+	bad.LearningRate = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero lr accepted")
+	}
+	bad = cfg
+	bad.GAELambda = 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad lambda accepted")
+	}
+}
+
+func TestA2CSolvesBandit(t *testing.T) {
+	q := newQuadraticEnv(t, -0.4)
+	pol := &banditPolicy{
+		mu: ad.NewParam("mu", mat.New(1, 1)),
+		v:  ad.NewParam("v", mat.New(1, 1)),
+	}
+	cfg := DefaultA2CConfig()
+	cfg.RolloutSteps = 32
+	cfg.LearningRate = 0.02
+	tr, err := NewA2CTrainer(pol, cfg, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Train(q, 4000, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := pol.mu.Value.Data[0]
+	if math.Abs(got-(-0.4)) > 0.25 {
+		t.Fatalf("A2C did not find bandit optimum: mean=%g want ~-0.4", got)
+	}
+}
+
+func TestA2CRejectsBadInputs(t *testing.T) {
+	pol := &banditPolicy{mu: ad.NewParam("mu", mat.New(1, 1)), v: ad.NewParam("v", mat.New(1, 1))}
+	if _, err := NewA2CTrainer(pol, DefaultA2CConfig(), nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	tr, err := NewA2CTrainer(pol, DefaultA2CConfig(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Train(newQuadraticEnv(t, 0), 0, nil); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+}
+
+func TestA2CEpisodeStats(t *testing.T) {
+	q := newQuadraticEnv(t, 0)
+	pol := &banditPolicy{mu: ad.NewParam("mu", mat.New(1, 1)), v: ad.NewParam("v", mat.New(1, 1))}
+	cfg := DefaultA2CConfig()
+	cfg.RolloutSteps = 8
+	tr, err := NewA2CTrainer(pol, cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats []EpisodeStat
+	if err := tr.Train(q, 16, func(s EpisodeStat) { stats = append(stats, s) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 16 { // 1-step episodes
+		t.Fatalf("got %d stats want 16", len(stats))
+	}
+	if tr.LogStd() < -2.5 || tr.LogStd() > 0.5 {
+		t.Fatalf("log std %g outside clamp", tr.LogStd())
+	}
+}

@@ -1,0 +1,136 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/ad"
+	"gddr/internal/mat"
+)
+
+func TestLogStdClampedDuringTraining(t *testing.T) {
+	// A pathological learning rate must not let the standard deviation
+	// collapse (which freezes PPO) or explode.
+	q := newQuadraticEnv(t, 0.5)
+	pol := &banditPolicy{
+		mu: ad.NewParam("mu", mat.New(1, 1)),
+		v:  ad.NewParam("v", mat.New(1, 1)),
+	}
+	cfg := DefaultConfig()
+	cfg.RolloutSteps = 32
+	cfg.MiniBatch = 16
+	cfg.LearningRate = 0.5 // absurd on purpose
+	tr, err := NewTrainer(pol, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Train(q, 640, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.LogStd(); got < -2.5-1e-9 || got > 0.5+1e-9 {
+		t.Fatalf("log-std %g escaped the clamp [-2.5, 0.5]", got)
+	}
+}
+
+func TestEpisodeStatsReportRawRewards(t *testing.T) {
+	// With RewardOffset enabled, episode statistics must still report the
+	// raw environment reward (the learning-curve semantics of Figure 7).
+	q := newQuadraticEnv(t, 0)
+	pol := &banditPolicy{
+		mu: ad.NewParam("mu", mat.New(1, 1)),
+		v:  ad.NewParam("v", mat.New(1, 1)),
+	}
+	cfg := DefaultConfig()
+	cfg.RolloutSteps = 8
+	cfg.MiniBatch = 8
+	cfg.RewardOffset = 100 // obvious if it leaks into the stats
+	tr, err := NewTrainer(pol, cfg, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats []EpisodeStat
+	if err := tr.Train(q, 16, func(s EpisodeStat) { stats = append(stats, s) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 {
+		t.Fatal("no stats")
+	}
+	for _, s := range stats {
+		if s.TotalReward > 0 {
+			t.Fatalf("offset leaked into episode stats: %+v", s)
+		}
+	}
+}
+
+func TestMeanActionMatchesForward(t *testing.T) {
+	pol := &banditPolicy{
+		mu: ad.NewParam("mu", mat.FromSlice(1, 3, []float64{0.1, -0.2, 0.3})),
+		v:  ad.NewParam("v", mat.New(1, 1)),
+	}
+	a, err := MeanAction(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, -0.2, 0.3}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("mean action %v want %v", a, want)
+		}
+	}
+	// Mutating the returned slice must not affect the parameter.
+	a[0] = 99
+	if pol.mu.Value.Data[0] != 0.1 {
+		t.Fatal("MeanAction returned an aliased slice")
+	}
+}
+
+func TestActSamplingLogProbConsistency(t *testing.T) {
+	// The logp recorded by act() must equal the analytic Gaussian log
+	// density of the sampled action under the current mean and std.
+	pol := &banditPolicy{
+		mu: ad.NewParam("mu", mat.FromSlice(1, 2, []float64{0.5, -1})),
+		v:  ad.NewParam("v", mat.New(1, 1)),
+	}
+	cfg := DefaultConfig()
+	cfg.InitialLogStd = -0.7
+	tr, err := NewTrainer(pol, cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		action, logp, _, err := tr.act(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		std := math.Exp(-0.7)
+		want := 0.0
+		mus := []float64{0.5, -1}
+		for i, a := range action {
+			z := (a - mus[i]) / std
+			want += -0.5*z*z - math.Log(std) - 0.5*math.Log(2*math.Pi)
+		}
+		if math.Abs(logp-want) > 1e-9 {
+			t.Fatalf("trial %d: logp %g want %g", trial, logp, want)
+		}
+	}
+}
+
+func TestComputeGAEMatchesClosedFormGeometricSeries(t *testing.T) {
+	// Constant rewards, zero values, no termination: advantage at step 0 is
+	// the truncated geometric series sum_{i<n} (γλ)^i · r.
+	n := 6
+	r, gamma, lambda := 2.0, 0.9, 0.8
+	batch := make([]*sample, n)
+	for i := range batch {
+		batch[i] = &sample{reward: r}
+	}
+	computeGAE(batch, 0, gamma, lambda)
+	want := 0.0
+	for i := 0; i < n; i++ {
+		want += math.Pow(gamma*lambda, float64(i)) * r
+	}
+	if math.Abs(batch[0].adv-want) > 1e-9 {
+		t.Fatalf("adv=%g want %g", batch[0].adv, want)
+	}
+}

@@ -1,0 +1,406 @@
+// Package rl implements Proximal Policy Optimisation (Schulman et al.,
+// 2017) with generalised advantage estimation, clipped surrogate objective,
+// value loss, entropy bonus, and a diagonal Gaussian action head with a
+// single learned log standard deviation. It is a from-scratch substitute for
+// the stable-baselines PPO2 implementation the paper trains with; the shared
+// scalar log-std keeps the action distribution well defined when the action
+// dimensionality varies across topologies (the generalisation experiments).
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gddr/internal/ad"
+	"gddr/internal/env"
+	"gddr/internal/mat"
+	"gddr/internal/nn"
+	"gddr/internal/policy"
+)
+
+// Config holds the PPO hyperparameters (defaults mirror PPO2).
+type Config struct {
+	RolloutSteps  int     // environment steps per update batch
+	MiniBatch     int     // samples per gradient step
+	Epochs        int     // passes over each rollout
+	Discount      float64 // reward discount γ
+	GAELambda     float64 // GAE λ
+	ClipEps       float64 // surrogate clipping ε
+	LearningRate  float64
+	ValueCoef     float64
+	EntropyCoef   float64
+	MaxGradNorm   float64
+	InitialLogStd float64
+	// RewardOffset is added to every reward before it enters GAE and the
+	// value targets. GDDR rewards are -U_agent/U_opt <= -1, so an offset of
+	// +1 re-centres the return scale near zero without changing the optimal
+	// policy (a constant per-step baseline), which keeps the value loss
+	// from dominating shared policy/value trunks early in training.
+	// Episode statistics always report raw rewards.
+	RewardOffset float64
+}
+
+// DefaultConfig returns PPO2-style defaults tuned for this problem scale:
+// shorter rollouts (more updates per training budget) and a tighter initial
+// action standard deviation, because weight noise is amplified
+// exponentially by the action-to-weight mapping.
+func DefaultConfig() Config {
+	return Config{
+		RolloutSteps: 256,
+		MiniBatch:    32,
+		Epochs:       4,
+		// The full-action routing environment is a contextual bandit: the
+		// demand sequence evolves independently of the agent's actions, so
+		// future rewards carry no credit for the current action and a zero
+		// discount gives the exact, lowest-variance policy gradient. The
+		// iterative policy overrides this (see gddr.DefaultTrainConfig):
+		// within one demand matrix its actions do shape later observations.
+		Discount:      0,
+		GAELambda:     0.95,
+		ClipEps:       0.2,
+		LearningRate:  5e-4,
+		ValueCoef:     0.5,
+		EntropyCoef:   0.001,
+		MaxGradNorm:   0.5,
+		InitialLogStd: -1.5,
+		RewardOffset:  1,
+	}
+}
+
+// Validate rejects unusable hyperparameters.
+func (c Config) Validate() error {
+	if c.RolloutSteps < 1 || c.MiniBatch < 1 || c.Epochs < 1 {
+		return fmt.Errorf("rl: invalid batch config %+v", c)
+	}
+	if c.Discount < 0 || c.Discount > 1 || c.GAELambda < 0 || c.GAELambda > 1 {
+		return fmt.Errorf("rl: invalid discount %g / lambda %g", c.Discount, c.GAELambda)
+	}
+	if c.ClipEps <= 0 || c.LearningRate <= 0 {
+		return fmt.Errorf("rl: invalid clip %g / lr %g", c.ClipEps, c.LearningRate)
+	}
+	return nil
+}
+
+// EpisodeStat summarises one finished episode for learning-curve logging.
+type EpisodeStat struct {
+	Episode     int     // episode index, from 0
+	Timestep    int     // total environment steps when the episode ended
+	Steps       int     // steps in this episode
+	TotalReward float64 // sum of rewards (paper Figure 7's y-axis)
+	MeanRatio   float64 // mean U_agent/U_opt over reward-bearing steps
+}
+
+// Trainer runs PPO on a policy and environment.
+type Trainer struct {
+	cfg    Config
+	pol    policy.Policy
+	logStd *ad.Param
+	opt    *nn.Adam
+	rng    *rand.Rand
+
+	episodes  int
+	timesteps int
+}
+
+// NewTrainer builds a PPO trainer. The policy's parameters plus the shared
+// log-std are optimised jointly with Adam.
+func NewTrainer(pol policy.Policy, cfg Config, rng *rand.Rand) (*Trainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("rl: trainer needs a rand source")
+	}
+	logStd := ad.NewParam("ppo.log_std", mat.FromSlice(1, 1, []float64{cfg.InitialLogStd}))
+	params := append(pol.Params(), logStd)
+	return &Trainer{
+		cfg:    cfg,
+		pol:    pol,
+		logStd: logStd,
+		opt:    nn.NewAdam(params, cfg.LearningRate),
+		rng:    rng,
+	}, nil
+}
+
+// LogStd returns the current log standard deviation of the Gaussian head.
+func (tr *Trainer) LogStd() float64 { return tr.logStd.Value.Data[0] }
+
+// Params returns all trained parameters (policy + log-std).
+func (tr *Trainer) Params() []*ad.Param { return append(tr.pol.Params(), tr.logStd) }
+
+// sample holds one transition of a rollout.
+type sample struct {
+	obs    *env.Observation
+	action []float64
+	logp   float64
+	value  float64
+	reward float64
+	done   bool
+	adv    float64
+	ret    float64
+}
+
+// Train runs PPO for totalSteps environment steps on e. onEpisode, if not
+// nil, is invoked after every finished episode (for learning curves).
+func (tr *Trainer) Train(e env.Interface, totalSteps int, onEpisode func(EpisodeStat)) error {
+	if totalSteps < 1 {
+		return fmt.Errorf("rl: totalSteps must be positive, got %d", totalSteps)
+	}
+	obs, err := e.Reset()
+	if err != nil {
+		return fmt.Errorf("rl: reset: %w", err)
+	}
+	epReward := 0.0
+	epSteps := 0
+
+	for done := 0; done < totalSteps; {
+		steps := tr.cfg.RolloutSteps
+		if rem := totalSteps - done; rem < steps {
+			steps = rem
+		}
+		batch := make([]*sample, 0, steps)
+		for len(batch) < steps {
+			action, logp, value, err := tr.act(obs)
+			if err != nil {
+				return err
+			}
+			next, reward, isDone, err := e.Step(action)
+			if err != nil {
+				return fmt.Errorf("rl: env step: %w", err)
+			}
+			shifted := reward
+			if reward != 0 {
+				shifted = reward + tr.cfg.RewardOffset
+			}
+			batch = append(batch, &sample{
+				obs: obs, action: action, logp: logp, value: value,
+				reward: shifted, done: isDone,
+			})
+			tr.timesteps++
+			epReward += reward
+			epSteps++
+			if isDone {
+				if onEpisode != nil {
+					meanRatio := 0.0
+					if epSteps > 0 {
+						meanRatio = -epReward / float64(epSteps)
+					}
+					onEpisode(EpisodeStat{
+						Episode:     tr.episodes,
+						Timestep:    tr.timesteps,
+						Steps:       epSteps,
+						TotalReward: epReward,
+						MeanRatio:   meanRatio,
+					})
+				}
+				tr.episodes++
+				epReward, epSteps = 0, 0
+				next, err = e.Reset()
+				if err != nil {
+					return fmt.Errorf("rl: reset: %w", err)
+				}
+			}
+			obs = next
+		}
+		// Bootstrap value for the (possibly) unfinished trailing episode.
+		var lastValue float64
+		if !batch[len(batch)-1].done {
+			_, _, lastValue, err = tr.act(obs)
+			if err != nil {
+				return err
+			}
+		}
+		computeGAE(batch, lastValue, tr.cfg.Discount, tr.cfg.GAELambda)
+		if err := tr.update(batch); err != nil {
+			return err
+		}
+		if err := nn.CheckFinite(tr.Params()); err != nil {
+			return fmt.Errorf("rl: after update at step %d: %w", tr.timesteps, err)
+		}
+		done += len(batch)
+	}
+	return nil
+}
+
+// act samples an action from the current Gaussian policy (no gradients kept).
+func (tr *Trainer) act(obs *env.Observation) (action []float64, logp, value float64, err error) {
+	t := ad.NewTape()
+	mean, val, err := tr.pol.Forward(t, obs)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("rl: policy forward: %w", err)
+	}
+	std := math.Exp(tr.logStd.Value.Data[0])
+	k := len(mean.Value.Data)
+	action = make([]float64, k)
+	logp = -0.5 * float64(k) * math.Log(2*math.Pi)
+	logp -= float64(k) * tr.logStd.Value.Data[0]
+	for i, mu := range mean.Value.Data {
+		z := tr.rng.NormFloat64()
+		action[i] = mu + std*z
+		logp -= 0.5 * z * z
+	}
+	return action, logp, val.Value.Data[0], nil
+}
+
+// MeanAction returns the deterministic (mean) action for evaluation.
+func (tr *Trainer) MeanAction(obs *env.Observation) ([]float64, error) {
+	return MeanAction(tr.pol, obs)
+}
+
+// MeanAction evaluates pol deterministically on obs.
+func MeanAction(pol policy.Policy, obs *env.Observation) ([]float64, error) {
+	t := ad.NewTape()
+	mean, _, err := pol.Forward(t, obs)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), mean.Value.Data...), nil
+}
+
+// computeGAE fills adv and ret in place.
+func computeGAE(batch []*sample, lastValue, discount, lambda float64) {
+	adv := 0.0
+	nextValue := lastValue
+	for i := len(batch) - 1; i >= 0; i-- {
+		s := batch[i]
+		nonTerminal := 1.0
+		if s.done {
+			nonTerminal = 0
+			adv = 0
+		}
+		delta := s.reward + discount*nextValue*nonTerminal - s.value
+		adv = delta + discount*lambda*nonTerminal*adv
+		s.adv = adv
+		s.ret = adv + s.value
+		nextValue = s.value
+	}
+}
+
+// update runs the clipped-surrogate optimisation epochs over the rollout.
+func (tr *Trainer) update(batch []*sample) error {
+	// Advantage normalisation over the whole rollout.
+	meanAdv, stdAdv := 0.0, 0.0
+	for _, s := range batch {
+		meanAdv += s.adv
+	}
+	meanAdv /= float64(len(batch))
+	for _, s := range batch {
+		d := s.adv - meanAdv
+		stdAdv += d * d
+	}
+	stdAdv = math.Sqrt(stdAdv/float64(len(batch))) + 1e-8
+
+	idx := make([]int, len(batch))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < tr.cfg.Epochs; epoch++ {
+		tr.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += tr.cfg.MiniBatch {
+			end := start + tr.cfg.MiniBatch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			if err := tr.minibatch(batch, idx[start:end], meanAdv, stdAdv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// minibatch accumulates the PPO loss over the selected samples and applies
+// one Adam step.
+func (tr *Trainer) minibatch(batch []*sample, idx []int, meanAdv, stdAdv float64) error {
+	t := ad.NewTape()
+	logStdNode := t.Use(tr.logStd)
+	invStd := t.Exp(t.Scale(logStdNode, -1))
+	var total *ad.Node
+	for _, i := range idx {
+		s := batch[i]
+		mean, value, err := tr.pol.Forward(t, s.obs)
+		if err != nil {
+			return fmt.Errorf("rl: minibatch forward: %w", err)
+		}
+		k := float64(len(s.action))
+		actionNode := t.Constant(mat.RowVector(s.action))
+		diff := t.Sub(actionNode, mean)
+		z := t.MulScalar(diff, invStd)
+		// log π(a|s) = -½Σz² - k·logσ - k/2·log2π
+		logp := t.AddScalar(
+			t.Add(t.Scale(t.SumAll(t.Square(z)), -0.5), t.Scale(logStdNode, -k)),
+			-0.5*k*math.Log(2*math.Pi))
+		ratio := t.Exp(t.AddScalar(logp, -s.logp))
+		adv := (s.adv - meanAdv) / stdAdv
+		surr1 := t.Scale(ratio, adv)
+		surr2 := t.Scale(t.ClampConst(ratio, 1-tr.cfg.ClipEps, 1+tr.cfg.ClipEps), adv)
+		pgLoss := t.Scale(t.Min(surr1, surr2), -1)
+		vLoss := t.Square(t.AddScalar(value, -s.ret))
+		// Gaussian entropy = k(logσ + ½log2πe); only logσ carries gradient.
+		entropy := t.Scale(logStdNode, k)
+		loss := t.Add(pgLoss, t.Scale(vLoss, tr.cfg.ValueCoef))
+		loss = t.Add(loss, t.Scale(entropy, -tr.cfg.EntropyCoef))
+		if total == nil {
+			total = loss
+		} else {
+			total = t.Add(total, loss)
+		}
+	}
+	total = t.Scale(total, 1/float64(len(idx)))
+	if err := t.Backward(total); err != nil {
+		return err
+	}
+	params := tr.Params()
+	if tr.cfg.MaxGradNorm > 0 {
+		nn.ClipGradNorm(params, tr.cfg.MaxGradNorm)
+	}
+	tr.opt.Step()
+	// Keep exploration alive: a collapsed (or exploded) standard deviation
+	// freezes PPO because identical actions yield zero advantages.
+	if v := tr.logStd.Value.Data[0]; v < -2.5 {
+		tr.logStd.Value.Data[0] = -2.5
+	} else if v > 0.5 {
+		tr.logStd.Value.Data[0] = 0.5
+	}
+	return nil
+}
+
+// Evaluate runs the policy deterministically for episodes full episodes on
+// e and returns the mean per-step ratio U_agent/U_opt (lower is better; 1.0
+// is LP-optimal). In iterative mode only reward-bearing steps count.
+func Evaluate(pol policy.Policy, e env.Interface, episodes int) (float64, error) {
+	if episodes < 1 {
+		return 0, fmt.Errorf("rl: evaluate needs >= 1 episode")
+	}
+	var sum float64
+	var count int
+	for ep := 0; ep < episodes; ep++ {
+		obs, err := e.Reset()
+		if err != nil {
+			return 0, err
+		}
+		for {
+			action, err := MeanAction(pol, obs)
+			if err != nil {
+				return 0, err
+			}
+			next, reward, done, err := e.Step(action)
+			if err != nil {
+				return 0, err
+			}
+			if reward != 0 {
+				sum += -reward
+				count++
+			}
+			if done {
+				break
+			}
+			obs = next
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("rl: evaluation produced no reward-bearing steps")
+	}
+	return sum / float64(count), nil
+}

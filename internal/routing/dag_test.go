@@ -1,0 +1,196 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/graph"
+	"gddr/internal/topo"
+	"gddr/internal/traffic"
+)
+
+func TestDAGRetainsMultipath(t *testing.T) {
+	// Diamond 0→{1,2}→3 with asymmetric weights: both branches must stay in
+	// the DAG (the paper's loop-breaking explicitly keeps longer paths for
+	// load balancing; downhill pruning keeps every strictly-downhill path).
+	g := graph.New(4)
+	e01 := g.MustAddEdge(0, 1, 10)
+	e13 := g.MustAddEdge(1, 3, 10)
+	e02 := g.MustAddEdge(0, 2, 10)
+	e23 := g.MustAddEdge(2, 3, 10)
+	// Both branch entry nodes must be strictly closer to the sink than the
+	// source for both branches to survive downhill pruning: d(1)=5, d(2)=2,
+	// d(0)=10, so both 0→1 and 0→2 descend.
+	w := make([]float64, 4)
+	w[e01], w[e13] = 5, 5
+	w[e02], w[e23] = 8, 2
+	keep, dist, err := DestinationDAG(g, 3, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keep[e01] || !keep[e13] || !keep[e02] || !keep[e23] {
+		t.Fatalf("downhill pruning dropped a strictly-downhill branch: keep=%v dist=%v", keep, dist)
+	}
+}
+
+func TestDAGDropsUphillEdges(t *testing.T) {
+	// Triangle with sink 2: the edge 2→0 (leaving the sink) and any edge
+	// increasing distance must be dropped.
+	g := graph.New(3)
+	e01 := g.MustAddEdge(0, 1, 10)
+	e12 := g.MustAddEdge(1, 2, 10)
+	e20 := g.MustAddEdge(2, 0, 10)
+	e10 := g.MustAddEdge(1, 0, 10)
+	keep, _, err := DestinationDAG(g, 2, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keep[e20] {
+		t.Fatal("edge leaving the sink retained")
+	}
+	if keep[e10] {
+		t.Fatal("uphill edge 1->0 retained (d(1)=1 < d(0)=2)")
+	}
+	if !keep[e01] || !keep[e12] {
+		t.Fatal("downhill path dropped")
+	}
+}
+
+func TestSplittingRatiosClampTinyWeights(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 2, 10)
+	// Zero and negative-ish weights must be clamped, not rejected.
+	r, err := SplittingRatios(g, 2, []float64{0, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio[0] != 1 || r.Ratio[1] != 1 {
+		t.Fatalf("ratios=%v want single-path 1/1", r.Ratio)
+	}
+}
+
+func TestSplittingRatiosRejectNaN(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 2, 10)
+	if _, err := SplittingRatios(g, 2, []float64{math.NaN(), 1}, 2); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+}
+
+func TestLoadsRejectsNegativeDemand(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 0, 10)
+	r, err := SplittingRatios(g, 1, []float64{1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := traffic.NewDemandMatrix(2)
+	dm.Data[1] = -5 // (0,1) negative
+	loads := make([]float64, 2)
+	if err := r.Loads(g, dm, loads); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+}
+
+// TestNoFlowLostAnywhere: total injected demand equals total absorbed
+// demand at every destination under random weights — the §IV-A "no traffic
+// is lost" constraint end-to-end.
+func TestNoFlowLostAnywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		g, err := graph.RandomConnected(6+rng.Intn(6), 3, 5, 20, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm := traffic.Bimodal(g.NumNodes(), traffic.BimodalParams{
+			LowMean: 5, LowStd: 1, HighMean: 15, HighStd: 2, ElephantProb: 0.25,
+		}, rng)
+		w := make([]float64, g.NumEdges())
+		for i := range w {
+			w[i] = 0.1 + 3*rng.Float64()
+		}
+		for sink := 0; sink < g.NumNodes(); sink++ {
+			r, err := SplittingRatios(g, sink, w, 1+rng.Float64()*4)
+			if err != nil {
+				t.Fatalf("trial %d sink %d: %v", trial, sink, err)
+			}
+			loads := make([]float64, g.NumEdges())
+			if err := r.Loads(g, dm, loads); err != nil {
+				t.Fatal(err)
+			}
+			var absorbed float64
+			for _, ei := range g.InEdges(sink) {
+				absorbed += loads[ei]
+			}
+			for _, ei := range g.OutEdges(sink) {
+				absorbed -= loads[ei] // sink must emit nothing
+			}
+			want := dm.InSum(sink)
+			if math.Abs(absorbed-want) > 1e-6*(1+want) {
+				t.Fatalf("trial %d sink %d: absorbed %g want %g", trial, sink, absorbed, want)
+			}
+		}
+	}
+}
+
+// TestGammaChangesSplit: on a graph with asymmetric weights, γ must shift
+// the split between branches (sharper = more on the cheaper branch).
+func TestGammaChangesSplit(t *testing.T) {
+	g := graph.New(4)
+	e01 := g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 3, 10)
+	e02 := g.MustAddEdge(0, 2, 10)
+	g.MustAddEdge(2, 3, 10)
+	// d(1)=2, d(2)=1, d(0)=5: both branches downhill, scores 5 vs 6, so the
+	// branch via node 1 is cheaper but not exclusively chosen.
+	w := []float64{3, 2, 5, 1}
+	soft, err := SplittingRatios(g, 3, w, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharp, err := SplittingRatios(g, 3, w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sharp.Ratio[e01] > soft.Ratio[e01]) {
+		t.Fatalf("sharper gamma must concentrate on cheap branch: %g vs %g",
+			sharp.Ratio[e01], soft.Ratio[e01])
+	}
+	if sharp.Ratio[e02] >= soft.Ratio[e02] {
+		t.Fatal("expensive branch should lose share with sharper gamma")
+	}
+}
+
+// TestPerFlowRoutingConstraints verifies the two formal constraints of
+// §IV-A on Abilene for every destination: ratios form a distribution at
+// every transit vertex and the destination forwards nothing.
+func TestPerFlowRoutingConstraints(t *testing.T) {
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(43))
+	w := make([]float64, g.NumEdges())
+	for i := range w {
+		w[i] = 0.2 + rng.Float64()*2
+	}
+	for sink := 0; sink < g.NumNodes(); sink++ {
+		r, err := SplittingRatios(g, sink, w, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			var sum float64
+			for _, ei := range g.OutEdges(v) {
+				sum += r.Ratio[ei]
+			}
+			if v == sink && sum != 0 {
+				t.Fatalf("sink %d forwards traffic", sink)
+			}
+			if v != sink && math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("vertex %d ratios sum to %g for sink %d", v, sum, sink)
+			}
+		}
+	}
+}

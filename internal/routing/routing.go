@@ -1,0 +1,318 @@
+// Package routing implements the paper's routing translation (§VI): deriving
+// a fully-specified, loop-free, multipath routing strategy from per-edge
+// weights via softmin splitting ratios, plus the evaluation machinery that
+// turns a routing and a demand matrix into link loads and the maximum link
+// utilisation, and the shortest-path baseline of the evaluation section.
+package routing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gddr/internal/graph"
+	"gddr/internal/traffic"
+)
+
+// DefaultGamma is the softmin spread parameter used when a policy does not
+// learn γ itself (the iterative GNN policy emits γ as part of its action).
+const DefaultGamma = 2.0
+
+// MinWeight is the smallest admissible edge weight; weights are clamped up
+// to it so that softmin distances stay strictly positive and the downhill
+// DAG construction is well defined.
+const MinWeight = 1e-6
+
+// Softmin normalises values into a probability distribution favouring small
+// entries: softmin(x)_i = exp(-γ·x_i) / Σ_j exp(-γ·x_j). It is numerically
+// stabilised by shifting by the minimum entry.
+func Softmin(values []float64, gamma float64) []float64 {
+	out := make([]float64, len(values))
+	if len(values) == 0 {
+		return out
+	}
+	minV := values[0]
+	for _, v := range values {
+		if v < minV {
+			minV = v
+		}
+	}
+	var sum float64
+	for i, v := range values {
+		e := math.Exp(-gamma * (v - minV))
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// DestinationDAG converts the weighted graph into the loop-free DAG used for
+// routing towards sink, together with the per-node distances to the sink.
+//
+// The paper's Figure 3 algorithm (Dijkstra plus frontier-meets path repair)
+// is underspecified; we implement the standard equivalent documented in
+// DESIGN.md substitution #4: keep edge (u,v) iff d(u) > d(v) where d is the
+// weighted shortest-path distance to the sink. The result is acyclic, keeps
+// every shortest path and every strictly "downhill" longer path, and
+// therefore retains the multipath diversity the paper's loop-breaking aims
+// to preserve.
+func DestinationDAG(g *graph.Graph, sink int, weights []float64) (keep []bool, dist []float64, err error) {
+	dist, err = g.DistancesTo(sink, weights)
+	if err != nil {
+		return nil, nil, err
+	}
+	keep = make([]bool, g.NumEdges())
+	for ei, e := range g.Edges() {
+		if math.IsInf(dist[e.From], 1) || math.IsInf(dist[e.To], 1) {
+			continue
+		}
+		if dist[e.From] > dist[e.To] {
+			keep[ei] = true
+		}
+	}
+	return keep, dist, nil
+}
+
+// Ratios holds, for one destination, the per-edge splitting ratios: for each
+// vertex v, the kept out-edges of v carry the fraction Ratio[e] of all
+// traffic transiting v that is destined for Sink.
+type Ratios struct {
+	Sink  int
+	Ratio []float64 // per edge index; zero on dropped edges
+	Keep  []bool
+	Dist  []float64
+}
+
+// SplittingRatios runs the paper's softmin routing algorithm (Figure 2) for
+// one destination: per vertex, the score of each kept out-edge is the edge
+// weight plus the neighbour's distance to the sink, and the splitting
+// ratios are the softmin of those scores.
+func SplittingRatios(g *graph.Graph, sink int, weights []float64, gamma float64) (*Ratios, error) {
+	if gamma <= 0 {
+		return nil, fmt.Errorf("routing: gamma must be positive, got %g", gamma)
+	}
+	clamped := make([]float64, len(weights))
+	for i, w := range weights {
+		if math.IsNaN(w) {
+			return nil, fmt.Errorf("routing: weight %d is NaN", i)
+		}
+		if w < MinWeight {
+			w = MinWeight
+		}
+		clamped[i] = w
+	}
+	keep, dist, err := DestinationDAG(g, sink, clamped)
+	if err != nil {
+		return nil, err
+	}
+	ratio := make([]float64, g.NumEdges())
+	for v := 0; v < g.NumNodes(); v++ {
+		if v == sink || math.IsInf(dist[v], 1) {
+			continue
+		}
+		var kept []int
+		var scores []float64
+		for _, ei := range g.OutEdges(v) {
+			if keep[ei] {
+				kept = append(kept, ei)
+				scores = append(scores, clamped[ei]+dist[g.Edge(ei).To])
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("routing: node %d has no downhill edge to sink %d", v, sink)
+		}
+		probs := Softmin(scores, gamma)
+		for i, ei := range kept {
+			ratio[ei] = probs[i]
+		}
+	}
+	return &Ratios{Sink: sink, Ratio: ratio, Keep: keep, Dist: dist}, nil
+}
+
+// Loads propagates all demand destined for r.Sink through the splitting
+// ratios and accumulates the per-edge load into loads (len NumEdges).
+// Propagation processes vertices in decreasing distance order, which is a
+// topological order of the downhill DAG.
+func (r *Ratios) Loads(g *graph.Graph, dm *traffic.DemandMatrix, loads []float64) error {
+	n := g.NumNodes()
+	inflow := make([]float64, n)
+	total := 0.0
+	for s := 0; s < n; s++ {
+		d := dm.At(s, r.Sink)
+		if d < 0 {
+			return fmt.Errorf("routing: negative demand at (%d,%d)", s, r.Sink)
+		}
+		if d > 0 && math.IsInf(r.Dist[s], 1) {
+			return fmt.Errorf("routing: node %d cannot reach sink %d but has demand", s, r.Sink)
+		}
+		inflow[s] = d
+		total += d
+	}
+	if total == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return r.Dist[order[i]] > r.Dist[order[j]] })
+	for _, v := range order {
+		if v == r.Sink || inflow[v] == 0 {
+			continue
+		}
+		if math.IsInf(r.Dist[v], 1) {
+			continue
+		}
+		for _, ei := range g.OutEdges(v) {
+			if !r.Keep[ei] || r.Ratio[ei] == 0 {
+				continue
+			}
+			f := inflow[v] * r.Ratio[ei]
+			loads[ei] += f
+			inflow[g.Edge(ei).To] += f
+		}
+		inflow[v] = 0
+	}
+	return nil
+}
+
+// Result is the outcome of evaluating a routing strategy on a demand matrix.
+type Result struct {
+	MaxUtilization float64
+	Loads          []float64 // per-edge carried traffic
+	Utilization    []float64 // per-edge load/capacity
+}
+
+// MeanUtilization returns the average per-edge utilisation, the alternative
+// utility function of the paper's further-work section (§IX-A).
+func (r *Result) MeanUtilization() float64 {
+	if len(r.Utilization) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, u := range r.Utilization {
+		sum += u
+	}
+	return sum / float64(len(r.Utilization))
+}
+
+// EvaluateWeights runs the full softmin routing translation for every
+// destination with demand and returns the maximum link utilisation, the
+// paper's evaluation metric.
+func EvaluateWeights(g *graph.Graph, dm *traffic.DemandMatrix, weights []float64, gamma float64) (*Result, error) {
+	if dm.N != g.NumNodes() {
+		return nil, fmt.Errorf("routing: demand matrix size %d != graph nodes %d", dm.N, g.NumNodes())
+	}
+	if len(weights) != g.NumEdges() {
+		return nil, fmt.Errorf("routing: %d weights for %d edges", len(weights), g.NumEdges())
+	}
+	loads := make([]float64, g.NumEdges())
+	for sink := 0; sink < g.NumNodes(); sink++ {
+		if dm.InSum(sink) == 0 {
+			continue
+		}
+		ratios, err := SplittingRatios(g, sink, weights, gamma)
+		if err != nil {
+			return nil, fmt.Errorf("routing: sink %d: %w", sink, err)
+		}
+		if err := ratios.Loads(g, dm, loads); err != nil {
+			return nil, fmt.Errorf("routing: sink %d: %w", sink, err)
+		}
+	}
+	util := make([]float64, g.NumEdges())
+	uMax := 0.0
+	for ei := range util {
+		util[ei] = loads[ei] / g.Edge(ei).Capacity
+		if util[ei] > uMax {
+			uMax = util[ei]
+		}
+	}
+	return &Result{MaxUtilization: uMax, Loads: loads, Utilization: util}, nil
+}
+
+// ShortestPath evaluates classic single-shortest-path routing (hop count,
+// deterministic smallest-id tie break), the baseline drawn as a dotted line
+// in the paper's Figures 6 and 8.
+func ShortestPath(g *graph.Graph, dm *traffic.DemandMatrix) (*Result, error) {
+	if dm.N != g.NumNodes() {
+		return nil, fmt.Errorf("routing: demand matrix size %d != graph nodes %d", dm.N, g.NumNodes())
+	}
+	weights := g.UnitWeights()
+	loads := make([]float64, g.NumEdges())
+	const eps = 1e-9
+	for sink := 0; sink < g.NumNodes(); sink++ {
+		if dm.InSum(sink) == 0 {
+			continue
+		}
+		dist, err := g.DistancesTo(sink, weights)
+		if err != nil {
+			return nil, err
+		}
+		// next[v] is the single next-hop edge from v towards the sink.
+		next := make([]int, g.NumNodes())
+		for v := range next {
+			next[v] = -1
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if v == sink || math.IsInf(dist[v], 1) {
+				continue
+			}
+			bestEdge := -1
+			bestTo := -1
+			for _, ei := range g.OutEdges(v) {
+				to := g.Edge(ei).To
+				if math.Abs(weights[ei]+dist[to]-dist[v]) <= eps {
+					if bestEdge == -1 || to < bestTo {
+						bestEdge = ei
+						bestTo = to
+					}
+				}
+			}
+			if bestEdge == -1 {
+				return nil, fmt.Errorf("routing: no shortest-path next hop at node %d towards %d", v, sink)
+			}
+			next[v] = bestEdge
+		}
+		// Propagate in decreasing-distance order.
+		order := make([]int, g.NumNodes())
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool { return dist[order[i]] > dist[order[j]] })
+		inflow := make([]float64, g.NumNodes())
+		for s := 0; s < g.NumNodes(); s++ {
+			d := dm.At(s, sink)
+			if d > 0 && math.IsInf(dist[s], 1) {
+				return nil, fmt.Errorf("routing: node %d cannot reach sink %d but has demand", s, sink)
+			}
+			inflow[s] = d
+		}
+		for _, v := range order {
+			if v == sink || inflow[v] == 0 || next[v] < 0 {
+				continue
+			}
+			loads[next[v]] += inflow[v]
+			inflow[g.Edge(next[v]).To] += inflow[v]
+			inflow[v] = 0
+		}
+	}
+	util := make([]float64, g.NumEdges())
+	uMax := 0.0
+	for ei := range util {
+		util[ei] = loads[ei] / g.Edge(ei).Capacity
+		if util[ei] > uMax {
+			uMax = util[ei]
+		}
+	}
+	return &Result{MaxUtilization: uMax, Loads: loads, Utilization: util}, nil
+}
+
+// InverseCapacityECMP evaluates softmin routing with oblivious inverse-
+// capacity weights and a sharp gamma, approximating OSPF-with-recommended-
+// weights ECMP: an additional traffic-oblivious baseline.
+func InverseCapacityECMP(g *graph.Graph, dm *traffic.DemandMatrix) (*Result, error) {
+	return EvaluateWeights(g, dm, g.InverseCapacityWeights(), 10*DefaultGamma)
+}

@@ -1,0 +1,113 @@
+// Package stats provides the summary statistics used to render learning
+// curves the way the paper's Figure 7 does: windowed smoothing of episode
+// rewards with a confidence band.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than 2 values).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sq float64
+	for _, x := range xs {
+		d := x - m
+		sq += d * d
+	}
+	return math.Sqrt(sq / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g outside [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// CurvePoint is one smoothed point of a learning curve.
+type CurvePoint struct {
+	X     float64 // window-centre x value (e.g. timestep)
+	Mean  float64
+	Lower float64 // mean - 1.96·stderr
+	Upper float64 // mean + 1.96·stderr
+}
+
+// SmoothCurve buckets (x, y) observations into windows of the given width
+// along x and returns, per window, the mean with a 95% normal-approximation
+// confidence band — the solid line and pale block of the paper's Figure 7.
+func SmoothCurve(xs, ys []float64, window float64) ([]CurvePoint, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("stats: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stats: empty curve")
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("stats: window must be positive, got %g", window)
+	}
+	type bucket struct {
+		ys []float64
+	}
+	buckets := make(map[int]*bucket)
+	for i, x := range xs {
+		k := int(math.Floor(x / window))
+		b, ok := buckets[k]
+		if !ok {
+			b = &bucket{}
+			buckets[k] = b
+		}
+		b.ys = append(b.ys, ys[i])
+	}
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]CurvePoint, 0, len(keys))
+	for _, k := range keys {
+		b := buckets[k]
+		m := Mean(b.ys)
+		stderr := 0.0
+		if len(b.ys) > 1 {
+			stderr = StdDev(b.ys) / math.Sqrt(float64(len(b.ys)))
+		}
+		out = append(out, CurvePoint{
+			X:     (float64(k) + 0.5) * window,
+			Mean:  m,
+			Lower: m - 1.96*stderr,
+			Upper: m + 1.96*stderr,
+		})
+	}
+	return out, nil
+}

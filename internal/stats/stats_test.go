@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean=%g want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2.138089935299395) > 1e-12 {
+		t.Fatalf("stddev=%g", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("empty/degenerate cases wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	for _, tc := range []struct {
+		q, want float64
+	}{{0, 1}, {0.5, 2}, {1, 3}, {0.25, 1.5}} {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("q=%g got %g want %g", tc.q, got, tc.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Fatal("empty quantile accepted")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("out-of-range q accepted")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v, err := Quantile(xs, q)
+			if err != nil || v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmoothCurve(t *testing.T) {
+	xs := []float64{0, 1, 2, 10, 11, 12}
+	ys := []float64{1, 2, 3, 10, 11, 12}
+	pts, err := SmoothCurve(xs, ys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d windows want 2", len(pts))
+	}
+	if pts[0].Mean != 2 || pts[1].Mean != 11 {
+		t.Fatalf("means %g %g want 2 11", pts[0].Mean, pts[1].Mean)
+	}
+	if pts[0].Lower > pts[0].Mean || pts[0].Upper < pts[0].Mean {
+		t.Fatal("confidence band does not bracket mean")
+	}
+	if pts[0].X >= pts[1].X {
+		t.Fatal("windows not ordered")
+	}
+}
+
+func TestSmoothCurveValidation(t *testing.T) {
+	if _, err := SmoothCurve([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := SmoothCurve(nil, nil, 1); err == nil {
+		t.Fatal("empty curve accepted")
+	}
+	if _, err := SmoothCurve([]float64{1}, []float64{1}, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestSmoothCurveBandShrinksWithSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	small := make([]float64, 10)
+	large := make([]float64, 1000)
+	for i := range small {
+		small[i] = rng.NormFloat64()
+	}
+	for i := range large {
+		large[i] = rng.NormFloat64()
+	}
+	xsSmall := make([]float64, len(small))
+	xsLarge := make([]float64, len(large))
+	ptsSmall, err := SmoothCurve(xsSmall, small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptsLarge, err := SmoothCurve(xsLarge, large, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptsLarge[0].Upper-ptsLarge[0].Lower >= ptsSmall[0].Upper-ptsSmall[0].Lower {
+		t.Fatal("confidence band did not shrink with more samples")
+	}
+}

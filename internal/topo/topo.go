@@ -1,0 +1,201 @@
+// Package topo embeds the real-world network topologies used in the paper's
+// evaluation. The paper draws graphs from The Internet Topology Zoo; because
+// this reproduction is offline, the relevant topologies are embedded as code
+// from their public descriptions (see DESIGN.md substitution #3). All links
+// are bidirectional with symmetric capacities, as in the Zoo data.
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gddr/internal/graph"
+)
+
+// Capacity units are Mbit/s-like abstract units; only ratios matter because
+// the evaluation metric is relative link utilisation.
+const (
+	oc192 = 9920 // OC-192 trunk
+	oc48  = 2480 // OC-48 trunk
+)
+
+type link struct {
+	a, b     string
+	capacity float64
+}
+
+func build(name string, nodes []string, links []link) *graph.Graph {
+	g := graph.New(len(nodes))
+	index := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		g.SetName(i, n)
+		index[n] = i
+	}
+	for _, l := range links {
+		ai, ok := index[l.a]
+		if !ok {
+			panic(fmt.Sprintf("topo %s: unknown node %q", name, l.a))
+		}
+		bi, ok := index[l.b]
+		if !ok {
+			panic(fmt.Sprintf("topo %s: unknown node %q", name, l.b))
+		}
+		if err := g.AddBidirectional(ai, bi, l.capacity); err != nil {
+			panic(fmt.Sprintf("topo %s: %v", name, err))
+		}
+	}
+	return g
+}
+
+// Abilene returns the Internet2 Abilene backbone: 11 PoPs, 14 bidirectional
+// links (OC-192 trunks; the Atlanta–Indianapolis link was OC-48). This is
+// the fixed graph of the paper's Figure 6 experiment.
+func Abilene() *graph.Graph {
+	nodes := []string{
+		"Seattle", "Sunnyvale", "LosAngeles", "Denver", "KansasCity",
+		"Houston", "Chicago", "Indianapolis", "Atlanta", "WashingtonDC",
+		"NewYork",
+	}
+	links := []link{
+		{"Seattle", "Sunnyvale", oc192},
+		{"Seattle", "Denver", oc192},
+		{"Sunnyvale", "LosAngeles", oc192},
+		{"Sunnyvale", "Denver", oc192},
+		{"LosAngeles", "Houston", oc192},
+		{"Denver", "KansasCity", oc192},
+		{"KansasCity", "Houston", oc192},
+		{"KansasCity", "Indianapolis", oc192},
+		{"Houston", "Atlanta", oc192},
+		{"Chicago", "Indianapolis", oc192},
+		{"Chicago", "NewYork", oc192},
+		{"Indianapolis", "Atlanta", oc48},
+		{"Atlanta", "WashingtonDC", oc192},
+		{"WashingtonDC", "NewYork", oc192},
+	}
+	return build("abilene", nodes, links)
+}
+
+// NSFNet returns the classic 14-node, 21-link NSFNET T1 backbone.
+func NSFNet() *graph.Graph {
+	nodes := []string{
+		"WA", "CA1", "CA2", "UT", "CO", "TX", "NE", "IL", "PA", "GA",
+		"MI", "NY", "NJ", "DC",
+	}
+	links := []link{
+		{"WA", "CA1", oc48}, {"WA", "CA2", oc48}, {"WA", "IL", oc48},
+		{"CA1", "CA2", oc48}, {"CA1", "UT", oc48},
+		{"CA2", "TX", oc48},
+		{"UT", "CO", oc48}, {"UT", "MI", oc48},
+		{"CO", "TX", oc48}, {"CO", "NE", oc48},
+		{"TX", "GA", oc48}, {"TX", "DC", oc48},
+		{"NE", "IL", oc48}, {"NE", "DC", oc48},
+		{"IL", "PA", oc48},
+		{"PA", "GA", oc48}, {"PA", "NY", oc48},
+		{"GA", "NJ", oc48},
+		{"MI", "NY", oc48}, {"MI", "NJ", oc48},
+		{"NY", "DC", oc48},
+	}
+	return build("nsfnet", nodes, links)
+}
+
+// B4 returns Google's 12-site, 19-link B4 inter-datacenter WAN.
+func B4() *graph.Graph {
+	nodes := []string{
+		"b4_1", "b4_2", "b4_3", "b4_4", "b4_5", "b4_6", "b4_7", "b4_8",
+		"b4_9", "b4_10", "b4_11", "b4_12",
+	}
+	links := []link{
+		{"b4_1", "b4_2", oc192}, {"b4_1", "b4_3", oc192},
+		{"b4_2", "b4_3", oc192}, {"b4_2", "b4_5", oc192},
+		{"b4_3", "b4_4", oc192}, {"b4_4", "b4_5", oc192},
+		{"b4_4", "b4_6", oc192}, {"b4_5", "b4_7", oc192},
+		{"b4_6", "b4_7", oc192}, {"b4_6", "b4_8", oc192},
+		{"b4_7", "b4_9", oc192}, {"b4_8", "b4_9", oc192},
+		{"b4_8", "b4_10", oc192}, {"b4_9", "b4_11", oc192},
+		{"b4_10", "b4_11", oc192}, {"b4_10", "b4_12", oc192},
+		{"b4_11", "b4_12", oc192}, {"b4_2", "b4_4", oc192},
+		{"b4_6", "b4_9", oc192},
+	}
+	return build("b4", nodes, links)
+}
+
+// Geant returns a 22-node GÉANT-like pan-European research backbone.
+func Geant() *graph.Graph {
+	nodes := []string{
+		"AT", "BE", "CH", "CZ", "DE", "DK", "ES", "FI", "FR", "GR", "HR",
+		"HU", "IE", "IL", "IT", "LU", "NL", "NO", "PL", "PT", "SE", "UK",
+	}
+	links := []link{
+		{"AT", "CH", oc192}, {"AT", "CZ", oc192}, {"AT", "DE", oc192},
+		{"AT", "HU", oc192}, {"AT", "IT", oc48}, {"AT", "HR", oc48},
+		{"BE", "FR", oc192}, {"BE", "NL", oc192}, {"BE", "LU", oc48},
+		{"CH", "DE", oc192}, {"CH", "FR", oc192}, {"CH", "IT", oc192},
+		{"CZ", "DE", oc192}, {"CZ", "PL", oc192},
+		{"DE", "DK", oc192}, {"DE", "FR", oc192}, {"DE", "NL", oc192},
+		{"DE", "PL", oc48}, {"DE", "IL", oc48},
+		{"DK", "NO", oc192}, {"DK", "SE", oc192},
+		{"ES", "FR", oc192}, {"ES", "PT", oc192}, {"ES", "IT", oc48},
+		{"FI", "SE", oc192},
+		{"FR", "UK", oc192}, {"FR", "LU", oc48},
+		{"GR", "IT", oc48}, {"GR", "IL", oc48},
+		{"HR", "HU", oc48},
+		{"IE", "UK", oc192},
+		{"IT", "IL", oc48},
+		{"NL", "UK", oc192},
+		{"NO", "SE", oc192},
+		{"PL", "SE", oc48},
+		{"PT", "UK", oc48},
+		{"SE", "UK", oc192},
+	}
+	return build("geant", nodes, links)
+}
+
+// Named returns the embedded topology with the given name.
+func Named(name string) (*graph.Graph, error) {
+	switch name {
+	case "abilene":
+		return Abilene(), nil
+	case "nsfnet":
+		return NSFNet(), nil
+	case "b4":
+		return B4(), nil
+	case "geant":
+		return Geant(), nil
+	default:
+		return nil, fmt.Errorf("topo: unknown topology %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the embedded topology names in sorted order.
+func Names() []string {
+	names := []string{"abilene", "nsfnet", "b4", "geant"}
+	sort.Strings(names)
+	return names
+}
+
+// EvaluationSet returns the "different graphs" set of the paper's Figure 8:
+// topologies between half and double the size of Abilene (11 nodes), i.e.
+// 5–22 nodes. It mixes the embedded real topologies in that range with
+// deterministic synthetic graphs derived from the seed.
+func EvaluationSet(seed int64) ([]*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	graphs := []*graph.Graph{NSFNet(), B4(), Geant()}
+	ring, err := graph.Ring(8, oc192)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := graph.Grid(3, 4, oc192)
+	if err != nil {
+		return nil, err
+	}
+	graphs = append(graphs, ring, grid)
+	for _, n := range []int{6, 9, 14, 18} {
+		g, err := graph.RandomConnected(n, 3.0, oc48, oc192, rng)
+		if err != nil {
+			return nil, err
+		}
+		graphs = append(graphs, g)
+	}
+	return graphs, nil
+}

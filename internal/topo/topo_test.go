@@ -1,0 +1,103 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestAbileneShape(t *testing.T) {
+	g := Abilene()
+	if g.NumNodes() != 11 {
+		t.Fatalf("abilene nodes=%d want 11", g.NumNodes())
+	}
+	if g.NumEdges() != 28 { // 14 bidirectional links
+		t.Fatalf("abilene edges=%d want 28", g.NumEdges())
+	}
+	if !g.StronglyConnected() {
+		t.Fatal("abilene must be strongly connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllTopologiesValid(t *testing.T) {
+	for _, name := range Names() {
+		g, err := Named(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !g.StronglyConnected() {
+			t.Fatalf("%s not strongly connected", name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// All real topologies here have symmetric links.
+		for _, e := range g.Edges() {
+			if _, err := g.EdgeBetween(e.To, e.From); err != nil {
+				t.Fatalf("%s: link %d->%d has no reverse", name, e.From, e.To)
+			}
+		}
+	}
+}
+
+func TestNamedUnknown(t *testing.T) {
+	if _, err := Named("not-a-topology"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestTopologySizes(t *testing.T) {
+	cases := map[string][2]int{ // name -> nodes, bidirectional links
+		"nsfnet": {14, 21},
+		"b4":     {12, 19},
+		"geant":  {22, 37},
+	}
+	for name, want := range cases {
+		g, err := Named(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumNodes() != want[0] || g.NumEdges() != 2*want[1] {
+			t.Fatalf("%s: %d nodes %d edges, want %d nodes %d edges",
+				name, g.NumNodes(), g.NumEdges(), want[0], 2*want[1])
+		}
+	}
+}
+
+func TestEvaluationSetWithinSizeBand(t *testing.T) {
+	graphs, err := EvaluationSet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) < 5 {
+		t.Fatalf("evaluation set too small: %d", len(graphs))
+	}
+	for i, g := range graphs {
+		if g.NumNodes() < 5 || g.NumNodes() > 22 {
+			t.Fatalf("graph %d has %d nodes, outside the half-to-double-Abilene band", i, g.NumNodes())
+		}
+		if !g.StronglyConnected() {
+			t.Fatalf("graph %d not strongly connected", i)
+		}
+	}
+}
+
+func TestEvaluationSetDeterministic(t *testing.T) {
+	a, err := EvaluationSet(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluationSet(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic set size")
+	}
+	for i := range a {
+		if a[i].NumNodes() != b[i].NumNodes() || a[i].NumEdges() != b[i].NumEdges() {
+			t.Fatalf("graph %d differs across same-seed calls", i)
+		}
+	}
+}

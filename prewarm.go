@@ -1,0 +1,79 @@
+package gddr
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Prewarm solves the LP optimum for every distinct demand matrix of the
+// scenario concurrently with at most workers goroutines (0 = GOMAXPROCS)
+// and stores the results in the cache. Training and evaluation then never
+// block on an LP solve. It returns the number of optima computed (cache
+// hits excluded) and the first error encountered, if any.
+func Prewarm(s *Scenario, cache *OptimalCache, workers int) (int, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if cache == nil {
+		return 0, fmt.Errorf("gddr: prewarm needs a cache to fill")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		g  *Graph
+		dm *DemandMatrix
+	}
+	// Deduplicate (graph, matrix) pairs — cyclical sequences repeat base
+	// matrices by pointer.
+	seen := make(map[job]bool)
+	var jobs []job
+	for _, item := range s.Items {
+		for _, seq := range item.Sequences {
+			for _, dm := range seq {
+				j := job{g: item.Graph, dm: dm}
+				if !seen[j] {
+					seen[j] = true
+					jobs = append(jobs, j)
+				}
+			}
+		}
+	}
+
+	before := cache.Len()
+	jobCh := make(chan job)
+	errCh := make(chan error, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			failed := false
+			for j := range jobCh {
+				if failed {
+					continue // keep draining so the producer never blocks
+				}
+				if _, err := cache.Get(j.g, j.dm); err != nil {
+					select {
+					case errCh <- fmt.Errorf("gddr: prewarm: %w", err):
+					default: // keep only the first error
+					}
+					failed = true
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return cache.Len() - before, err
+	default:
+		return cache.Len() - before, nil
+	}
+}

@@ -1,0 +1,83 @@
+package gddr
+
+import (
+	"testing"
+)
+
+func TestPrewarmFillsCache(t *testing.T) {
+	s := tinyScenario(t, 31) // 8 DMs, cycle 2 → 2 distinct matrices
+	cache := NewOptimalCache()
+	n, err := Prewarm(s, cache, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("prewarm computed %d optima, want 2 (cycle length)", n)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache has %d entries, want 2", cache.Len())
+	}
+	// Second call is a no-op.
+	n2, err := Prewarm(s, cache, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 0 {
+		t.Fatalf("second prewarm recomputed %d optima", n2)
+	}
+}
+
+func TestPrewarmValidation(t *testing.T) {
+	if _, err := Prewarm(&Scenario{}, NewOptimalCache(), 1); err == nil {
+		t.Fatal("empty scenario accepted")
+	}
+	if _, err := Prewarm(tinyScenario(t, 32), nil, 1); err == nil {
+		t.Fatal("nil cache accepted")
+	}
+}
+
+func TestPrewarmDefaultWorkers(t *testing.T) {
+	s := tinyScenario(t, 33)
+	cache := NewOptimalCache()
+	if _, err := Prewarm(s, cache, 0); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("no optima computed with default workers")
+	}
+}
+
+func TestPrewarmMatchesSequentialValues(t *testing.T) {
+	s := tinyScenario(t, 34)
+	concurrent := NewOptimalCache()
+	if _, err := Prewarm(s, concurrent, 8); err != nil {
+		t.Fatal(err)
+	}
+	sequential := NewOptimalCache()
+	for _, item := range s.Items {
+		for _, seq := range item.Sequences {
+			for _, dm := range seq {
+				if _, err := sequential.Get(item.Graph, dm); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, item := range s.Items {
+		for _, seq := range item.Sequences {
+			for _, dm := range seq {
+				a, err := concurrent.Get(item.Graph, dm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := sequential.Get(item.Graph, dm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a != b {
+					t.Fatalf("concurrent optimum %g != sequential %g", a, b)
+				}
+			}
+		}
+	}
+}

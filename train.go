@@ -1,0 +1,201 @@
+package gddr
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"gddr/internal/env"
+	"gddr/internal/nn"
+	"gddr/internal/policy"
+	"gddr/internal/rl"
+	"gddr/internal/routing"
+)
+
+// TrainConfig configures agent construction and PPO training.
+type TrainConfig struct {
+	Policy     PolicyKind
+	Memory     int     // demand history length m (paper: 5)
+	Gamma      float64 // softmin γ for non-iterative policies
+	TotalSteps int     // environment steps of PPO training
+	Seed       int64
+	PPO        PPOConfig
+	GNN        GNNConfig // used by GNN policies
+	MLPHidden  []int     // hidden layer sizes of the MLP baseline
+	// CapacityAware warm-starts the action-to-weight mapping around
+	// inverse-capacity base weights (see env.Config.CapacityAware and
+	// DESIGN.md substitution #5).
+	CapacityAware bool
+}
+
+// DefaultTrainConfig returns the tuned defaults of this reproduction
+// (standing in for the paper's OpenTuner search; see DESIGN.md
+// substitution #6).
+func DefaultTrainConfig(kind PolicyKind) TrainConfig {
+	cfg := TrainConfig{
+		Policy:        kind,
+		Memory:        5,
+		Gamma:         routing.DefaultGamma,
+		TotalSteps:    20000,
+		Seed:          1,
+		PPO:           rl.DefaultConfig(),
+		GNN:           policy.DefaultGNNConfig(5),
+		MLPHidden:     []int{128, 128},
+		CapacityAware: true,
+	}
+	if kind == policy.GNNIterativeKind {
+		// Iterative actions influence later observations within a demand-
+		// matrix round and are rewarded only at the round's final step, so
+		// credit must flow backwards across the |E| iterations: an
+		// undiscounted return with a long GAE horizon.
+		cfg.PPO.Discount = 1
+		cfg.PPO.GAELambda = 0.98
+	}
+	return cfg
+}
+
+// Agent is a trained routing agent.
+type Agent struct {
+	Kind    PolicyKind
+	Config  TrainConfig
+	policy  policy.Policy
+	trainer *rl.Trainer
+}
+
+// NewAgent constructs an untrained agent (policy weights initialised from
+// the config seed). scenario is needed only by the MLP policy to size its
+// fixed input and output layers.
+func NewAgent(cfg TrainConfig, scenario *Scenario) (*Agent, error) {
+	if cfg.Memory < 1 {
+		return nil, fmt.Errorf("gddr: memory must be >= 1, got %d", cfg.Memory)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var pol policy.Policy
+	var err error
+	switch cfg.Policy {
+	case policy.MLPKind:
+		if scenario == nil || len(scenario.Items) != 1 {
+			return nil, fmt.Errorf("gddr: the MLP policy requires exactly one topology (got %d); it cannot generalise", countItems(scenario))
+		}
+		g := scenario.Items[0].Graph
+		pol, err = policy.NewMLP(cfg.Memory, g.NumNodes(), g.NumEdges(), cfg.MLPHidden, rng)
+	case policy.GNNKind:
+		gcfg := cfg.GNN
+		gcfg.Memory = cfg.Memory
+		pol, err = policy.NewGNN(gcfg, rng)
+	case policy.GNNIterativeKind:
+		gcfg := cfg.GNN
+		gcfg.Memory = cfg.Memory
+		pol, err = policy.NewGNNIterative(gcfg, rng)
+	default:
+		return nil, fmt.Errorf("gddr: unknown policy kind %v", cfg.Policy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	trainer, err := rl.NewTrainer(pol, cfg.PPO, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{Kind: cfg.Policy, Config: cfg, policy: pol, trainer: trainer}, nil
+}
+
+func countItems(s *Scenario) int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Items)
+}
+
+// envConfig derives the environment configuration for the agent.
+func (a *Agent) envConfig() env.Config {
+	mode := env.FullAction
+	if a.Kind == policy.GNNIterativeKind {
+		mode = env.IterativeAction
+	}
+	gamma := a.Config.Gamma
+	if gamma <= 0 {
+		gamma = routing.DefaultGamma
+	}
+	return env.Config{
+		Memory:        a.Config.Memory,
+		Gamma:         gamma,
+		Mode:          mode,
+		WeightScale:   2,
+		CapacityAware: a.Config.CapacityAware,
+	}
+}
+
+// Train runs PPO on the scenario for cfg.TotalSteps environment steps and
+// returns the per-episode learning curve. The LP cache may be shared across
+// calls; pass nil for a private one.
+func (a *Agent) Train(scenario *Scenario, cache *OptimalCache) ([]EpisodeStat, error) {
+	if err := scenario.Validate(); err != nil {
+		return nil, err
+	}
+	if a.Config.TotalSteps < 1 {
+		return nil, fmt.Errorf("gddr: TotalSteps must be positive, got %d", a.Config.TotalSteps)
+	}
+	if cache == nil {
+		cache = NewOptimalCache()
+	}
+	envs, err := scenario.envs(a.envConfig(), cache)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(a.Config.Seed + 1))
+	menv, err := env.NewMulti(envs, rng)
+	if err != nil {
+		return nil, err
+	}
+	var stats []EpisodeStat
+	err = a.trainer.Train(menv, a.Config.TotalSteps, func(st rl.EpisodeStat) {
+		stats = append(stats, st)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gddr: training %v policy: %w", a.Kind, err)
+	}
+	return stats, nil
+}
+
+// Evaluate runs the agent deterministically over every sequence of the
+// scenario once and returns the mean per-timestep U_agent/U_opt ratio
+// (lower is better; 1.0 matches the LP optimum).
+func (a *Agent) Evaluate(scenario *Scenario, cache *OptimalCache) (float64, error) {
+	if err := scenario.Validate(); err != nil {
+		return 0, err
+	}
+	if cache == nil {
+		cache = NewOptimalCache()
+	}
+	envs, err := scenario.envs(a.envConfig(), cache)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, e := range envs {
+		ratio, err := rl.Evaluate(a.policy, e, 1)
+		if err != nil {
+			return 0, err
+		}
+		sum += ratio
+	}
+	return sum / float64(len(envs)), nil
+}
+
+// Save writes the agent's parameters as JSON.
+func (a *Agent) Save(w io.Writer) error {
+	return nn.SaveParams(w, a.trainer.Params())
+}
+
+// Load restores parameters saved by Save into an agent constructed with the
+// same TrainConfig.
+func (a *Agent) Load(r io.Reader) error {
+	return nn.LoadParams(r, a.trainer.Params())
+}
+
+// NumParams returns the trainable parameter count (the paper's scalability
+// argument: fixed for GNN policies regardless of topology size).
+func (a *Agent) NumParams() int {
+	return nn.CountParams(a.trainer.Params())
+}

@@ -6,6 +6,7 @@
 package gddr
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -47,80 +48,93 @@ func benchOptions() ExperimentOptions {
 	return opts
 }
 
+// benchExperiment regenerates one registered experiment per iteration and
+// reports every scalar metric of its report.
+func benchExperiment(b *testing.B, name string) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		report, err := RunExperiment(context.Background(), name, WithExperimentOptions(opts))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\n%s (steps=%d):\n%s", name, opts.TrainSteps, report.String())
+		for _, metric := range report.MetricNames() {
+			b.ReportMetric(report.Metrics[metric], metric)
+		}
+	}
+}
+
 // BenchmarkFigure6 regenerates the paper's Figure 6: mean max-utilisation
 // ratio on held-out Abilene sequences for the MLP, GNN, and iterative GNN
 // policies against the shortest-path dotted line.
-func BenchmarkFigure6(b *testing.B) {
-	opts := benchOptions()
-	for i := 0; i < b.N; i++ {
-		res, err := Figure6(opts)
-		if err != nil {
-			b.Fatal(err)
-		}
-		fmt.Printf("\nFigure 6 (steps=%d): policy -> mean U_agent/U_opt (lower is better)\n", opts.TrainSteps)
-		fmt.Printf("  MLP            %8.4f\n", res.MLP)
-		fmt.Printf("  GNN            %8.4f\n", res.GNN)
-		fmt.Printf("  GNN Iterative  %8.4f\n", res.GNNIterative)
-		fmt.Printf("  Shortest path  %8.4f (dotted line)\n", res.ShortestPath)
-		b.ReportMetric(res.MLP, "mlp_ratio")
-		b.ReportMetric(res.GNN, "gnn_ratio")
-		b.ReportMetric(res.GNNIterative, "gnn_iter_ratio")
-		b.ReportMetric(res.ShortestPath, "sp_ratio")
-	}
-}
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "figure6") }
 
 // BenchmarkFigure7 regenerates the paper's Figure 7 learning curves:
 // total reward per episode against cumulative timesteps for MLP and GNN.
-func BenchmarkFigure7(b *testing.B) {
-	opts := benchOptions()
+func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "figure7") }
+
+// BenchmarkFigure8 regenerates the paper's Figure 8: generalisation of the
+// GNN policies to modified and entirely different topologies.
+func BenchmarkFigure8(b *testing.B) { benchExperiment(b, "figure8") }
+
+// newBenchRouter builds a Router over an untrained GNN agent on Abilene
+// plus a pool of demand matrices to route.
+func newBenchRouter(b *testing.B, workers int) (*Router, []*DemandMatrix) {
+	b.Helper()
+	agent, err := NewAgent(GNNPolicy, nil, WithMemory(3), WithGNNSize(16, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := topo.Abilene()
+	router, err := NewRouter(agent, g, WithRouterWorkers(workers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20))
+	dms := make([]*DemandMatrix, 16)
+	for i := range dms {
+		dms[i] = traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+	}
+	return router, dms
+}
+
+// BenchmarkRouterRoute measures single-caller serving latency: one Route
+// call per iteration, policy forward plus routing translation.
+func BenchmarkRouterRoute(b *testing.B) {
+	router, dms := newBenchRouter(b, 1)
+	defer router.Close()
+	ctx := context.Background()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Figure7(opts)
-		if err != nil {
+		if _, err := router.Route(ctx, dms[i%len(dms)]); err != nil {
 			b.Fatal(err)
-		}
-		fmt.Printf("\nFigure 7 (steps=%d): reward per episode (higher is better)\n", opts.TrainSteps)
-		for name, stats := range map[string][]EpisodeStat{"MLP": res.MLP, "GNN": res.GNN} {
-			if len(stats) == 0 {
-				continue
-			}
-			first, last := stats[0], stats[len(stats)-1]
-			fmt.Printf("  %-4s episodes=%3d first=%8.2f last=%8.2f\n",
-				name, len(stats), first.TotalReward, last.TotalReward)
-			step := len(stats) / 8
-			if step == 0 {
-				step = 1
-			}
-			for j := 0; j < len(stats); j += step {
-				fmt.Printf("    %-4s t=%6d reward=%8.2f\n", name, stats[j].Timestep, stats[j].TotalReward)
-			}
-		}
-		if n := len(res.GNN); n > 0 {
-			b.ReportMetric(res.GNN[n-1].TotalReward, "gnn_final_reward")
-		}
-		if n := len(res.MLP); n > 0 {
-			b.ReportMetric(res.MLP[n-1].TotalReward, "mlp_final_reward")
 		}
 	}
 }
 
-// BenchmarkFigure8 regenerates the paper's Figure 8: generalisation of the
-// GNN policies to modified and entirely different topologies.
-func BenchmarkFigure8(b *testing.B) {
-	opts := benchOptions()
-	for i := 0; i < b.N; i++ {
-		res, err := Figure8(opts)
-		if err != nil {
-			b.Fatal(err)
+// BenchmarkRouterRouteConcurrent measures 8-way concurrent serving
+// throughput with a deliberately small worker pool, so simultaneous
+// requests queue up and get batched onto shared forward passes.
+func BenchmarkRouterRouteConcurrent(b *testing.B) {
+	router, dms := newBenchRouter(b, 2)
+	defer router.Close()
+	ctx := context.Background()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := router.Route(ctx, dms[i%len(dms)]); err != nil {
+				b.Error(err) // Fatal must not be called off the benchmark goroutine
+				return
+			}
+			i++
 		}
-		fmt.Printf("\nFigure 8 (steps=%d): mean U_agent/U_opt (lower is better)\n", opts.TrainSteps)
-		fmt.Printf("  %-16s %14s %14s\n", "policy", "modifications", "different")
-		fmt.Printf("  %-16s %14.4f %14.4f\n", "GNN", res.ModificationsGNN, res.DifferentGNN)
-		fmt.Printf("  %-16s %14.4f %14.4f\n", "GNN Iterative", res.ModificationsGNNIter, res.DifferentGNNIter)
-		fmt.Printf("  %-16s %14.4f %14.4f (dotted lines)\n", "Shortest path", res.ModificationsSP, res.DifferentSP)
-		b.ReportMetric(res.ModificationsGNN, "mod_gnn_ratio")
-		b.ReportMetric(res.DifferentGNN, "diff_gnn_ratio")
-		b.ReportMetric(res.ModificationsGNNIter, "mod_iter_ratio")
-		b.ReportMetric(res.DifferentGNNIter, "diff_iter_ratio")
+	})
+	b.StopTimer()
+	stats := router.Stats()
+	if stats.Batches > 0 {
+		b.ReportMetric(float64(stats.Requests)/float64(stats.Batches), "reqs/batch")
 	}
 }
 

@@ -1,6 +1,8 @@
-// Command gddr-eval evaluates a saved GDDR model (or the classic baselines)
-// on fresh demand sequences over an embedded topology, reporting the mean
-// ratio of achieved to optimal maximum link utilisation.
+// Command gddr-eval evaluates a saved GDDR model (or the classic
+// baselines) on fresh demand sequences over an embedded topology,
+// reporting the mean ratio of achieved to optimal maximum link
+// utilisation. With a model it also serves the sequences through the
+// Router inference engine, reporting per-decision latency.
 //
 // Example:
 //
@@ -8,14 +10,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"time"
 
 	"gddr"
 	"gddr/internal/policy"
-	"gddr/internal/routing"
 	"gddr/internal/topo"
 	"gddr/internal/traffic"
 )
@@ -42,6 +46,32 @@ func run() error {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Classic baselines come from the experiment registry so every tool
+	// reports them identically.
+	report, err := gddr.RunExperiment(ctx, "baselines",
+		gddr.WithTopology(*topoName),
+		gddr.WithSeed(*seed),
+		gddr.WithMemory(*memory),
+		gddr.WithSequences(0, *seqs),
+		gddr.WithSequenceShape(*seqLen, *cycle))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology %s baselines (mean U/U_opt, lower is better):\n", *topoName)
+	for _, name := range report.MetricNames() {
+		fmt.Printf("  %-32s %8.4f\n", name, report.Metrics[name])
+	}
+
+	if *modelPath == "" {
+		return nil
+	}
+	kind, err := policy.ParseKind(*policyName)
+	if err != nil {
+		return err
+	}
 	g, err := topo.Named(*topoName)
 	if err != nil {
 		return err
@@ -54,44 +84,9 @@ func run() error {
 	scenario := gddr.NewScenario(g, sequences)
 	cache := gddr.NewOptimalCache()
 
-	sp, err := gddr.ShortestPathRatio(scenario, *memory, cache)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("topology %s: shortest-path mean ratio %.4f\n", *topoName, sp)
-
-	// Oblivious inverse-capacity ECMP baseline for context.
-	var obliviousSum float64
-	var obliviousCount int
-	for _, seq := range sequences {
-		for t := *memory; t < len(seq); t++ {
-			res, err := routing.InverseCapacityECMP(g, seq[t])
-			if err != nil {
-				return err
-			}
-			opt, err := cache.Get(g, seq[t])
-			if err != nil {
-				return err
-			}
-			obliviousSum += res.MaxUtilization / opt
-			obliviousCount++
-		}
-	}
-	fmt.Printf("topology %s: inverse-capacity ECMP mean ratio %.4f\n",
-		*topoName, obliviousSum/float64(obliviousCount))
-
-	if *modelPath == "" {
-		return nil
-	}
-	kind, err := policy.ParseKind(*policyName)
-	if err != nil {
-		return err
-	}
-	cfg := gddr.DefaultTrainConfig(kind)
-	cfg.Memory = *memory
-	cfg.GNN.Hidden = *hidden
-	cfg.GNN.Steps = *msgSteps
-	agent, err := gddr.NewAgent(cfg, scenario)
+	agent, err := gddr.NewAgent(kind, scenario,
+		gddr.WithMemory(*memory),
+		gddr.WithGNNSize(*hidden, *msgSteps))
 	if err != nil {
 		return err
 	}
@@ -103,10 +98,55 @@ func run() error {
 	if err := agent.Load(f); err != nil {
 		return err
 	}
-	ratio, err := agent.Evaluate(scenario, cache)
+	ratio, err := agent.Evaluate(ctx, scenario, cache)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("model %s (%s): mean ratio %.4f\n", *modelPath, kind, ratio)
+
+	// Serve the same traffic through the Router inference engine: the
+	// deployable form of the agent (paper's "GNN as router" claim). One
+	// router per sequence, warmed with the first `memory` demands and
+	// scored on the rest, so each decision observes the same demand
+	// history as Evaluate and the two mean ratios are comparable.
+	var sum float64
+	var count int
+	var passes int64
+	var elapsed time.Duration
+	for _, seq := range sequences {
+		if len(seq) <= *memory {
+			continue
+		}
+		router, err := gddr.NewRouter(agent, g, gddr.WithWarmHistory(seq[:*memory]...))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for _, dm := range seq[*memory:] {
+			d, err := router.Route(ctx, dm)
+			if err != nil {
+				router.Close()
+				return err
+			}
+			opt, err := cache.GetContext(ctx, g, dm)
+			if err != nil {
+				router.Close()
+				return err
+			}
+			if opt <= 1e-12 {
+				continue
+			}
+			sum += d.MaxUtilization / opt
+			count++
+		}
+		elapsed += time.Since(start)
+		passes += router.Stats().ForwardPasses
+		router.Close()
+	}
+	if count == 0 {
+		return fmt.Errorf("no routable timesteps (sequences shorter than memory?)")
+	}
+	fmt.Printf("router serving: %d decisions, mean ratio %.4f, %s/decision (%d forward passes)\n",
+		count, sum/float64(count), (elapsed / time.Duration(count)).Round(time.Microsecond), passes)
 	return nil
 }

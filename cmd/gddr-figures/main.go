@@ -1,17 +1,23 @@
-// Command gddr-figures regenerates the paper's evaluation figures as
-// printed series: Figure 6 (fixed-graph policy comparison), Figure 7
-// (learning curves), and Figure 8 (generalisation to unseen topologies).
+// Command gddr-figures regenerates the paper's evaluation figures through
+// the named-experiment registry: figure6 (fixed-graph policy comparison),
+// figure7 (learning curves), figure8 (generalisation to unseen
+// topologies), and any other registered experiment. Interrupting with
+// Ctrl-C cancels the run at the next PPO rollout or LP solve.
 //
 // Example:
 //
-//	gddr-figures -figure 6 -steps 8000
-//	gddr-figures -figure all -scale paper   # full paper-scale run (hours)
+//	gddr-figures -list
+//	gddr-figures -experiment figure6 -steps 8000
+//	gddr-figures -experiment all -scale paper   # full paper-scale run (hours)
+//	gddr-figures -experiment figure7 -json > figure7.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"gddr"
 )
@@ -25,104 +31,100 @@ func main() {
 
 func run() error {
 	var (
-		figure = flag.String("figure", "all", "which figure to regenerate: 6, 7, 8, or all")
-		scale  = flag.String("scale", "default", "experiment scale: default (minutes) or paper (hours)")
-		steps  = flag.Int("steps", 0, "override training steps (0: scale default)")
-		seed   = flag.Int64("seed", 7, "random seed")
+		experiment = flag.String("experiment", "", "registered experiment to run, or 'all' for the three figures")
+		figure     = flag.String("figure", "", "legacy alias: 6, 7, 8, or all")
+		list       = flag.Bool("list", false, "list registered experiments and exit")
+		scale      = flag.String("scale", "default", "experiment scale: default (minutes) or paper (hours)")
+		steps      = flag.Int("steps", 0, "override training steps (0: scale default)")
+		seed       = flag.Int64("seed", 7, "random seed")
+		jsonOut    = flag.Bool("json", false, "emit the report as JSON instead of text")
+		verbose    = flag.Bool("v", false, "report per-episode training progress")
 	)
 	flag.Parse()
 
-	opts := gddr.DefaultExperimentOptions()
-	if *scale == "paper" {
-		opts = gddr.PaperExperimentOptions()
-	} else if *scale != "default" {
-		return fmt.Errorf("unknown scale %q", *scale)
-	}
-	if *steps > 0 {
-		opts.TrainSteps = *steps
-	}
-	opts.Seed = *seed
-
-	runs := map[string]func() error{
-		"6": func() error { return figure6(opts) },
-		"7": func() error { return figure7(opts) },
-		"8": func() error { return figure8(opts) },
-	}
-	if *figure == "all" {
-		for _, f := range []string{"6", "7", "8"} {
-			if err := runs[f](); err != nil {
-				return err
-			}
+	if *list {
+		for _, exp := range gddr.Experiments() {
+			fmt.Printf("%-12s %s\n", exp.Name, exp.Description)
 		}
 		return nil
 	}
-	f, ok := runs[*figure]
-	if !ok {
-		return fmt.Errorf("unknown figure %q (want 6, 7, 8, or all)", *figure)
-	}
-	return f()
-}
 
-func figure6(opts gddr.ExperimentOptions) error {
-	fmt.Println("=== Figure 6: learning to route on a fixed graph (Abilene) ===")
-	fmt.Println("bar heights: mean U_agent/U_opt on held-out sequences; lower is better")
-	res, err := gddr.Figure6(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-16s %8.4f\n", "MLP", res.MLP)
-	fmt.Printf("%-16s %8.4f\n", "GNN", res.GNN)
-	fmt.Printf("%-16s %8.4f\n", "GNN Iterative", res.GNNIterative)
-	fmt.Printf("%-16s %8.4f  (dotted line)\n", "Shortest path", res.ShortestPath)
-	fmt.Println()
-	return nil
-}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-func figure7(opts gddr.ExperimentOptions) error {
-	fmt.Println("=== Figure 7: learning curves (reward per episode vs timesteps) ===")
-	res, err := gddr.Figure7(opts)
-	if err != nil {
-		return err
+	var opts []gddr.Option
+	switch *scale {
+	case "paper":
+		opts = append(opts, gddr.WithPaperScale())
+	case "default":
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
 	}
-	print := func(name string, eps []gddr.EpisodeStat) error {
-		fmt.Printf("-- %s raw --\n", name)
-		fmt.Println("timestep,reward_per_episode,mean_ratio")
-		for _, st := range eps {
-			fmt.Printf("%d,%.3f,%.4f\n", st.Timestep, st.TotalReward, st.MeanRatio)
+	opts = append(opts, gddr.WithSeed(*seed))
+	if *steps > 0 {
+		opts = append(opts, gddr.WithTotalSteps(*steps))
+	}
+	if *verbose {
+		opts = append(opts, gddr.WithProgress(func(p gddr.Progress) {
+			if p.Episode != nil {
+				fmt.Printf("  [%s] episode %4d  timestep %7d  reward %9.2f\n",
+					p.Stage, p.Episode.Episode, p.Episode.Timestep, p.Episode.TotalReward)
+			}
+		}))
+	}
+
+	name := *experiment
+	if name == "" {
+		switch *figure {
+		case "6", "7", "8":
+			name = "figure" + *figure
+		case "all", "":
+			name = "all"
+		default:
+			return fmt.Errorf("unknown figure %q (want 6, 7, 8, or all)", *figure)
 		}
-		// Smoothed series with a 95% confidence band, as the paper plots.
-		curve, err := gddr.SmoothLearningCurve(eps, 8)
+	}
+
+	names := []string{name}
+	if name == "all" {
+		names = []string{"figure6", "figure7", "figure8"}
+	}
+	for _, n := range names {
+		report, err := gddr.RunExperiment(ctx, n, opts...)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("-- %s smoothed (mean, 95%% band) --\n", name)
-		fmt.Println("timestep,mean,lower,upper")
-		for _, p := range curve {
-			fmt.Printf("%.0f,%.3f,%.3f,%.3f\n", p.X, p.Mean, p.Lower, p.Upper)
+		if err := printReport(report, *jsonOut); err != nil {
+			return err
 		}
-		return nil
 	}
-	if err := print("MLP", res.MLP); err != nil {
-		return err
-	}
-	if err := print("GNN", res.GNN); err != nil {
-		return err
-	}
-	fmt.Println()
 	return nil
 }
 
-func figure8(opts gddr.ExperimentOptions) error {
-	fmt.Println("=== Figure 8: generalising to unseen graphs ===")
-	fmt.Println("bar heights: mean U_agent/U_opt; lower is better")
-	res, err := gddr.Figure8(opts)
-	if err != nil {
-		return err
+func printReport(report *gddr.Report, jsonOut bool) error {
+	if jsonOut {
+		data, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
 	}
-	fmt.Printf("%-16s %22s %18s\n", "policy", "graph modifications", "different graphs")
-	fmt.Printf("%-16s %22.4f %18.4f\n", "GNN", res.ModificationsGNN, res.DifferentGNN)
-	fmt.Printf("%-16s %22.4f %18.4f\n", "GNN Iterative", res.ModificationsGNNIter, res.DifferentGNNIter)
-	fmt.Printf("%-16s %22.4f %18.4f  (dotted lines)\n", "Shortest path", res.ModificationsSP, res.DifferentSP)
+	fmt.Printf("=== %s: %s ===\n", report.Experiment, report.Description)
+	fmt.Print(report.String())
+	// Learning curves additionally get the paper's smoothed presentation
+	// (mean with a 95% confidence band over equal timestep windows).
+	for _, name := range report.CurveNames() {
+		smoothed, err := gddr.SmoothLearningCurve(report.Curves[name], 8)
+		if err != nil {
+			return fmt.Errorf("smoothing %s curve: %w", name, err)
+		}
+		fmt.Printf("-- %s smoothed (mean, 95%% band) --\n", name)
+		fmt.Println("timestep,mean,lower,upper")
+		for _, p := range smoothed {
+			fmt.Printf("%.0f,%.3f,%.3f,%.3f\n", p.X, p.Mean, p.Lower, p.Upper)
+		}
+	}
 	fmt.Println()
 	return nil
 }

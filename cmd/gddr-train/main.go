@@ -1,5 +1,6 @@
 // Command gddr-train trains a GDDR routing agent with PPO on an embedded
-// topology and saves the learned parameters as JSON.
+// topology and saves the learned parameters as JSON. Ctrl-C cancels the
+// run at the next PPO rollout, keeping the last completed update.
 //
 // Example:
 //
@@ -7,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 
 	"gddr"
 	"gddr/internal/policy"
@@ -42,6 +45,9 @@ func run() error {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	kind, err := policy.ParseKind(*policyName)
 	if err != nil {
 		return err
@@ -57,14 +63,21 @@ func run() error {
 	}
 	scenario := gddr.NewScenario(g, sequences)
 
-	cfg := gddr.DefaultTrainConfig(kind)
-	cfg.Memory = *memory
-	cfg.TotalSteps = *steps
-	cfg.Seed = *seed
-	cfg.GNN.Hidden = *hidden
-	cfg.GNN.Steps = *msgSteps
-
-	agent, err := gddr.NewAgent(cfg, scenario)
+	opts := []gddr.Option{
+		gddr.WithMemory(*memory),
+		gddr.WithTotalSteps(*steps),
+		gddr.WithSeed(*seed),
+		gddr.WithGNNSize(*hidden, *msgSteps),
+	}
+	if !*quiet {
+		opts = append(opts, gddr.WithProgress(func(p gddr.Progress) {
+			if p.Episode != nil {
+				fmt.Printf("episode %4d  timestep %7d  reward %9.2f  mean-ratio %.4f\n",
+					p.Episode.Episode, p.Episode.Timestep, p.Episode.TotalReward, p.Episode.MeanRatio)
+			}
+		}))
+	}
+	agent, err := gddr.NewAgent(kind, scenario, opts...)
 	if err != nil {
 		return err
 	}
@@ -72,21 +85,17 @@ func run() error {
 		kind, *topoName, g.NumNodes(), g.NumEdges(), agent.NumParams(), *steps)
 
 	cache := gddr.NewOptimalCache()
-	stats, err := agent.Train(scenario, cache)
+	if _, err := gddr.Prewarm(ctx, scenario, cache); err != nil {
+		return err
+	}
+	if _, err := agent.Train(ctx, scenario, cache); err != nil {
+		return err
+	}
+	ratio, err := agent.Evaluate(ctx, scenario, cache)
 	if err != nil {
 		return err
 	}
-	if !*quiet {
-		for _, st := range stats {
-			fmt.Printf("episode %4d  timestep %7d  reward %9.2f  mean-ratio %.4f\n",
-				st.Episode, st.Timestep, st.TotalReward, st.MeanRatio)
-		}
-	}
-	ratio, err := agent.Evaluate(scenario, cache)
-	if err != nil {
-		return err
-	}
-	sp, err := gddr.ShortestPathRatio(scenario, *memory, cache)
+	sp, err := gddr.ShortestPathRatio(ctx, scenario, *memory, cache)
 	if err != nil {
 		return err
 	}

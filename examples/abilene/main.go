@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,13 +24,19 @@ func main() {
 }
 
 func run(steps int, seed int64) error {
+	ctx := context.Background()
 	train, test, err := gddr.AbileneScenario(3, 2, 30, 5, seed)
 	if err != nil {
 		return err
 	}
 	cache := gddr.NewOptimalCache()
+	for _, s := range []*gddr.Scenario{train, test} {
+		if _, err := gddr.Prewarm(ctx, s, cache); err != nil {
+			return err
+		}
+	}
 
-	sp, err := gddr.ShortestPathRatio(test, 3, cache)
+	sp, err := gddr.ShortestPathRatio(ctx, test, 3, cache)
 	if err != nil {
 		return err
 	}
@@ -37,22 +44,20 @@ func run(steps int, seed int64) error {
 	fmt.Printf("%-16s %10s %12s %10.4f\n", "shortest-path", "-", "-", sp)
 
 	for _, kind := range []gddr.PolicyKind{gddr.MLPPolicy, gddr.GNNPolicy, gddr.GNNIterativePolicy} {
-		cfg := gddr.DefaultTrainConfig(kind)
-		cfg.Memory = 3
-		cfg.TotalSteps = steps
-		cfg.Seed = seed
-		cfg.GNN.Hidden = 16
-		cfg.GNN.Steps = 2
-		agent, err := gddr.NewAgent(cfg, train)
+		agent, err := gddr.NewAgent(kind, train,
+			gddr.WithMemory(3),
+			gddr.WithTotalSteps(steps),
+			gddr.WithSeed(seed),
+			gddr.WithGNNSize(16, 2))
 		if err != nil {
 			return err
 		}
 		start := time.Now()
-		if _, err := agent.Train(train, cache); err != nil {
+		if _, err := agent.Train(ctx, train, cache); err != nil {
 			return err
 		}
 		elapsed := time.Since(start).Round(time.Second)
-		ratio, err := agent.Evaluate(test, cache)
+		ratio, err := agent.Evaluate(ctx, test, cache)
 		if err != nil {
 			return err
 		}

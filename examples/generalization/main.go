@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,20 +47,22 @@ func run(steps int, seed int64) error {
 		trainScenario.Add(g, seqs)
 	}
 
-	cfg := gddr.DefaultTrainConfig(gddr.GNNPolicy)
-	cfg.Memory = 3
-	cfg.TotalSteps = steps
-	cfg.Seed = seed
-	cfg.GNN.Hidden = 16
-	cfg.GNN.Steps = 2
-	agent, err := gddr.NewAgent(cfg, trainScenario)
+	ctx := context.Background()
+	agent, err := gddr.NewAgent(gddr.GNNPolicy, trainScenario,
+		gddr.WithMemory(3),
+		gddr.WithTotalSteps(steps),
+		gddr.WithSeed(seed),
+		gddr.WithGNNSize(16, 2))
 	if err != nil {
 		return err
 	}
 	cache := gddr.NewOptimalCache()
 	fmt.Printf("training one GNN agent (%d params) on %d topologies...\n",
 		agent.NumParams(), len(trainScenario.Items))
-	if _, err := agent.Train(trainScenario, cache); err != nil {
+	if _, err := gddr.Prewarm(ctx, trainScenario, cache); err != nil {
+		return err
+	}
+	if _, err := agent.Train(ctx, trainScenario, cache); err != nil {
 		return err
 	}
 
@@ -80,11 +83,11 @@ func run(steps int, seed int64) error {
 			return err
 		}
 		s := gddr.NewScenario(tgt.g, seqs)
-		agentRatio, err := agent.Evaluate(s, cache)
+		agentRatio, err := agent.Evaluate(ctx, s, cache)
 		if err != nil {
 			return err
 		}
-		spRatio, err := gddr.ShortestPathRatio(s, cfg.Memory, cache)
+		spRatio, err := gddr.ShortestPathRatio(ctx, s, agent.Config.Memory, cache)
 		if err != nil {
 			return err
 		}

@@ -1,9 +1,13 @@
-// Quickstart: train a GNN routing agent on the Abilene backbone for a few
-// thousand PPO steps and compare it against shortest-path routing and the
-// LP optimum. Runs in about a minute.
+// Quickstart: the v2 workflow end to end — train a GNN routing agent on
+// the Abilene backbone, save and reload its parameters, then serve live
+// routing decisions with the Router inference engine and compare them
+// against shortest-path routing and the LP optimum. Runs in about a
+// minute.
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +21,8 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// 1. Workload: cyclical bimodal traffic on Abilene, 2 training
 	//    sequences and 1 held-out test sequence.
 	train, test, err := gddr.AbileneScenario(2, 1, 20, 5, 1)
@@ -25,21 +31,23 @@ func run() error {
 	}
 
 	// 2. Agent: the paper's GNN policy (encode-process-decode graph
-	//    network), trained with PPO.
-	cfg := gddr.DefaultTrainConfig(gddr.GNNPolicy)
-	cfg.Memory = 3
-	cfg.TotalSteps = 3000
-	cfg.GNN.Hidden = 16
-	cfg.GNN.Steps = 2
-	agent, err := gddr.NewAgent(cfg, train)
+	//    network) trained with PPO, composed with functional options.
+	agent, err := gddr.NewAgent(gddr.GNNPolicy, train,
+		gddr.WithMemory(3),
+		gddr.WithTotalSteps(3000),
+		gddr.WithGNNSize(16, 2))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("GNN agent with %d parameters (independent of topology size)\n", agent.NumParams())
 
-	// 3. Train, sharing one LP cache between training and evaluation.
+	// 3. Prewarm the LP cache concurrently, then train. The context
+	//    cancels either phase at the next LP solve or PPO rollout.
 	cache := gddr.NewOptimalCache()
-	stats, err := agent.Train(train, cache)
+	if _, err := gddr.Prewarm(ctx, train, cache); err != nil {
+		return err
+	}
+	stats, err := agent.Train(ctx, train, cache)
 	if err != nil {
 		return err
 	}
@@ -51,15 +59,49 @@ func run() error {
 
 	// 4. Evaluate on the held-out sequence. A ratio of 1.0 would match the
 	//    multicommodity-flow LP optimum computed with perfect knowledge.
-	agentRatio, err := agent.Evaluate(test, cache)
+	agentRatio, err := agent.Evaluate(ctx, test, cache)
 	if err != nil {
 		return err
 	}
-	spRatio, err := gddr.ShortestPathRatio(test, cfg.Memory, cache)
+	spRatio, err := gddr.ShortestPathRatio(ctx, test, 3, cache)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("held-out mean U/U_opt: agent %.4f, shortest path %.4f (optimal = 1.0)\n",
 		agentRatio, spRatio)
+
+	// 5. Deploy: save the parameters, load them into a fresh agent, and
+	//    wrap it as a thread-safe serving Router — the paper's "GNN as
+	//    deployable router". Decisions carry edge weights, splitting
+	//    ratios, and the resulting max link utilisation.
+	var model bytes.Buffer
+	if err := agent.Save(&model); err != nil {
+		return err
+	}
+	served, err := gddr.NewAgent(gddr.GNNPolicy, nil,
+		gddr.WithMemory(3),
+		gddr.WithGNNSize(16, 2))
+	if err != nil {
+		return err
+	}
+	if err := served.Load(&model); err != nil {
+		return err
+	}
+	router, err := gddr.NewRouter(served, gddr.Abilene())
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+	for _, dm := range test.Items[0].Sequences[0][:4] {
+		d, err := router.Route(ctx, dm)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("routed demand: max utilisation %.4f with gamma %.2f over %d destinations\n",
+			d.MaxUtilization, d.Gamma, len(d.Splits))
+	}
+	rs := router.Stats()
+	fmt.Printf("router served %d requests in %d batches (%d forward passes)\n",
+		rs.Requests, rs.Batches, rs.ForwardPasses)
 	return nil
 }

@@ -1,10 +1,12 @@
 package gddr
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"gddr/internal/graph"
+	"gddr/internal/routing"
 	"gddr/internal/stats"
 	"gddr/internal/topo"
 	"gddr/internal/traffic"
@@ -12,17 +14,23 @@ import (
 
 // ExperimentOptions scales the paper's experiments. Paper-scale values are
 // noted per field; the defaults are laptop-scale (DESIGN.md substitution
-// #5) and preserve the qualitative shape of the results.
+// #5) and preserve the qualitative shape of the results. Callers normally
+// set these through functional options (WithSeed, WithTotalSteps, ...)
+// rather than mutating fields.
 type ExperimentOptions struct {
-	Seed       int64
-	TrainSteps int // paper: 500000
-	TrainSeqs  int // paper: 7
-	TestSeqs   int // paper: 3
-	SeqLen     int // paper: 60
-	Cycle      int // paper: 10
-	Memory     int // paper: 5
-	GNNHidden  int
-	GNNSteps   int
+	Seed       int64 `json:"seed"`
+	TrainSteps int   `json:"train_steps"` // paper: 500000
+	TrainSeqs  int   `json:"train_seqs"`  // paper: 7
+	TestSeqs   int   `json:"test_seqs"`   // paper: 3
+	SeqLen     int   `json:"seq_len"`     // paper: 60
+	Cycle      int   `json:"cycle"`       // paper: 10
+	Memory     int   `json:"memory"`      // paper: 5
+	GNNHidden  int   `json:"gnn_hidden"`
+	GNNSteps   int   `json:"gnn_steps"`
+	// Topology names the embedded graph for experiments that are not bound
+	// to a specific one (empty means "abilene"); the figure experiments
+	// follow the paper and ignore it.
+	Topology string `json:"topology,omitempty"`
 }
 
 // DefaultExperimentOptions returns the scaled-down defaults.
@@ -37,6 +45,7 @@ func DefaultExperimentOptions() ExperimentOptions {
 		Memory:     3,
 		GNNHidden:  16,
 		GNNSteps:   2,
+		Topology:   "abilene",
 	}
 }
 
@@ -53,6 +62,7 @@ func PaperExperimentOptions() ExperimentOptions {
 		Memory:     5,
 		GNNHidden:  24,
 		GNNSteps:   3,
+		Topology:   "abilene",
 	}
 }
 
@@ -74,112 +84,135 @@ func (o ExperimentOptions) trainConfig(kind PolicyKind) TrainConfig {
 	return cfg
 }
 
-// Figure6Result holds the fixed-graph comparison of the paper's Figure 6:
-// mean U_agent/U_opt on held-out Abilene sequences per policy, plus the
-// shortest-path baseline (the dotted line).
-type Figure6Result struct {
-	MLP          float64
-	GNN          float64
-	GNNIterative float64
-	ShortestPath float64
+// topology resolves the configured topology name.
+func (o ExperimentOptions) topology() (*Graph, error) {
+	name := o.Topology
+	if name == "" {
+		name = "abilene"
+	}
+	return topo.Named(name)
 }
 
-// Figure6 trains the MLP, GNN, and iterative-GNN policies on Abilene and
-// evaluates them on held-out sequences, reproducing the paper's Figure 6.
-func Figure6(opts ExperimentOptions) (*Figure6Result, error) {
+func init() {
+	mustRegisterExperiment(Experiment{
+		Name:        "figure6",
+		Description: "fixed-graph policy comparison on Abilene (paper Figure 6)",
+		Run:         runFigure6,
+	})
+	mustRegisterExperiment(Experiment{
+		Name:        "figure7",
+		Description: "MLP vs GNN learning curves on Abilene (paper Figure 7)",
+		Run:         runFigure7,
+	})
+	mustRegisterExperiment(Experiment{
+		Name:        "figure8",
+		Description: "generalisation to modified and unseen topologies (paper Figure 8)",
+		Run:         runFigure8,
+	})
+	mustRegisterExperiment(Experiment{
+		Name:        "baselines",
+		Description: "classic routing baselines vs the LP optimum (no learning)",
+		Run:         runBaselines,
+	})
+}
+
+// trainAndEvaluate builds, trains, and evaluates one policy, reporting
+// progress under the given stage name; it returns the held-out ratio and
+// the learning curve.
+func trainAndEvaluate(ctx context.Context, kind PolicyKind, train, test *Scenario, opts ExperimentOptions, cache *OptimalCache, progress ProgressFunc, stage string) (float64, []EpisodeStat, error) {
+	agent, err := NewAgent(kind, train,
+		WithConfig(opts.trainConfig(kind)),
+		WithProgress(stagedProgress(progress, stage)))
+	if err != nil {
+		return 0, nil, err
+	}
+	curve, err := agent.Train(ctx, train, cache)
+	if err != nil {
+		return 0, nil, err
+	}
+	ratio, err := agent.Evaluate(ctx, test, cache)
+	if err != nil {
+		return 0, nil, err
+	}
+	return ratio, curve, nil
+}
+
+// runFigure6 trains the MLP, GNN, and iterative-GNN policies on Abilene
+// and evaluates them on held-out sequences, reproducing the paper's
+// Figure 6 (mean U_agent/U_opt per policy plus the shortest-path dotted
+// line).
+func runFigure6(ctx context.Context, opts ExperimentOptions, progress ProgressFunc) (*Report, error) {
 	train, test, err := AbileneScenario(opts.TrainSeqs, opts.TestSeqs, opts.SeqLen, opts.Cycle, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
 	cache := NewOptimalCache()
-	if _, err := Prewarm(train, cache, 0); err != nil {
-		return nil, err
+	for _, s := range []*Scenario{train, test} {
+		if _, err := Prewarm(ctx, s, cache, WithProgress(stagedProgress(progress, "figure6"))); err != nil {
+			return nil, err
+		}
 	}
-	if _, err := Prewarm(test, cache, 0); err != nil {
-		return nil, err
-	}
-	res := &Figure6Result{}
-	res.ShortestPath, err = ShortestPathRatio(test, opts.Memory, cache)
+	metrics := make(map[string]float64)
+	metrics["shortest_path_ratio"], err = ShortestPathRatio(ctx, test, opts.Memory, cache)
 	if err != nil {
 		return nil, err
 	}
-	for _, kind := range []PolicyKind{MLPPolicy, GNNPolicy, GNNIterativePolicy} {
-		agent, err := NewAgent(opts.trainConfig(kind), train)
+	for _, p := range []struct {
+		kind   PolicyKind
+		metric string
+	}{
+		{MLPPolicy, "mlp_ratio"},
+		{GNNPolicy, "gnn_ratio"},
+		{GNNIterativePolicy, "gnn_iterative_ratio"},
+	} {
+		ratio, _, err := trainAndEvaluate(ctx, p.kind, train, test, opts, cache, progress, "figure6/"+p.kind.String())
 		if err != nil {
 			return nil, err
 		}
-		if _, err := agent.Train(train, cache); err != nil {
-			return nil, err
-		}
-		ratio, err := agent.Evaluate(test, cache)
-		if err != nil {
-			return nil, err
-		}
-		switch kind {
-		case MLPPolicy:
-			res.MLP = ratio
-		case GNNPolicy:
-			res.GNN = ratio
-		case GNNIterativePolicy:
-			res.GNNIterative = ratio
-		}
+		metrics[p.metric] = ratio
 	}
-	return res, nil
+	return &Report{Metrics: metrics}, nil
 }
 
-// Figure7Result holds learning curves (total reward per episode against
-// cumulative environment timesteps) for the MLP and GNN agents.
-type Figure7Result struct {
-	MLP []EpisodeStat
-	GNN []EpisodeStat
-}
-
-// Figure7 reproduces the paper's Figure 7 learning-curve comparison.
-func Figure7(opts ExperimentOptions) (*Figure7Result, error) {
+// runFigure7 reproduces the paper's Figure 7 learning-curve comparison:
+// total reward per episode against cumulative timesteps for the MLP and
+// GNN policies.
+func runFigure7(ctx context.Context, opts ExperimentOptions, progress ProgressFunc) (*Report, error) {
 	train, _, err := AbileneScenario(opts.TrainSeqs, opts.TestSeqs, opts.SeqLen, opts.Cycle, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
 	cache := NewOptimalCache()
-	if _, err := Prewarm(train, cache, 0); err != nil {
+	if _, err := Prewarm(ctx, train, cache, WithProgress(stagedProgress(progress, "figure7"))); err != nil {
 		return nil, err
 	}
-	res := &Figure7Result{}
+	metrics := make(map[string]float64)
+	curves := make(map[string][]EpisodeStat)
 	for _, kind := range []PolicyKind{MLPPolicy, GNNPolicy} {
-		agent, err := NewAgent(opts.trainConfig(kind), train)
+		name := kind.String()
+		agent, err := NewAgent(kind, train,
+			WithConfig(opts.trainConfig(kind)),
+			WithProgress(stagedProgress(progress, "figure7/"+name)))
 		if err != nil {
 			return nil, err
 		}
-		stats, err := agent.Train(train, cache)
+		curve, err := agent.Train(ctx, train, cache)
 		if err != nil {
 			return nil, err
 		}
-		switch kind {
-		case MLPPolicy:
-			res.MLP = stats
-		case GNNPolicy:
-			res.GNN = stats
+		curves[name] = curve
+		metrics[name+"_episodes"] = float64(len(curve))
+		if len(curve) > 0 {
+			metrics[name+"_final_reward"] = curve[len(curve)-1].TotalReward
 		}
 	}
-	return res, nil
+	return &Report{Metrics: metrics, Curves: curves}, nil
 }
 
-// Figure8Result holds the generalisation experiment of the paper's Figure
-// 8: mean ratios for the GNN and iterative-GNN policies trained and tested
-// on (a) Abilene with small random modifications and (b) entirely different
-// graphs, plus the shortest-path baselines.
-type Figure8Result struct {
-	ModificationsGNN     float64
-	ModificationsGNNIter float64
-	ModificationsSP      float64
-	DifferentGNN         float64
-	DifferentGNNIter     float64
-	DifferentSP          float64
-}
-
-// Figure8 reproduces the paper's Figure 8. Only GNN policies participate:
-// as the paper notes, the MLP cannot be applied across topologies at all.
-func Figure8(opts ExperimentOptions) (*Figure8Result, error) {
+// runFigure8 reproduces the paper's Figure 8 generalisation experiment.
+// Only GNN policies participate: as the paper notes, the MLP cannot be
+// applied across topologies at all.
+func runFigure8(ctx context.Context, opts ExperimentOptions, progress ProgressFunc) (*Report, error) {
 	modTrain, modTest, err := modifiedAbileneScenarios(opts)
 	if err != nil {
 		return nil, err
@@ -190,42 +223,96 @@ func Figure8(opts ExperimentOptions) (*Figure8Result, error) {
 	}
 	cache := NewOptimalCache()
 	for _, s := range []*Scenario{modTrain, modTest, diffTrain, diffTest} {
-		if _, err := Prewarm(s, cache, 0); err != nil {
+		if _, err := Prewarm(ctx, s, cache, WithProgress(stagedProgress(progress, "figure8"))); err != nil {
 			return nil, err
 		}
 	}
-	res := &Figure8Result{}
-	res.ModificationsSP, err = ShortestPathRatio(modTest, opts.Memory, cache)
+	metrics := make(map[string]float64)
+	metrics["mod_shortest_path_ratio"], err = ShortestPathRatio(ctx, modTest, opts.Memory, cache)
 	if err != nil {
 		return nil, err
 	}
-	res.DifferentSP, err = ShortestPathRatio(diffTest, opts.Memory, cache)
+	metrics["diff_shortest_path_ratio"], err = ShortestPathRatio(ctx, diffTest, opts.Memory, cache)
 	if err != nil {
 		return nil, err
 	}
-	run := func(kind PolicyKind, train, test *Scenario) (float64, error) {
-		agent, err := NewAgent(opts.trainConfig(kind), train)
+	for _, run := range []struct {
+		kind        PolicyKind
+		train, test *Scenario
+		metric      string
+		stage       string
+	}{
+		{GNNPolicy, modTrain, modTest, "mod_gnn_ratio", "figure8/modifications/gnn"},
+		{GNNIterativePolicy, modTrain, modTest, "mod_gnn_iterative_ratio", "figure8/modifications/gnn-iterative"},
+		{GNNPolicy, diffTrain, diffTest, "diff_gnn_ratio", "figure8/different/gnn"},
+		{GNNIterativePolicy, diffTrain, diffTest, "diff_gnn_iterative_ratio", "figure8/different/gnn-iterative"},
+	} {
+		ratio, _, err := trainAndEvaluate(ctx, run.kind, run.train, run.test, opts, cache, progress, run.stage)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		if _, err := agent.Train(train, cache); err != nil {
-			return 0, err
+		metrics[run.metric] = ratio
+	}
+	return &Report{Metrics: metrics}, nil
+}
+
+// runBaselines evaluates the classic non-learning routing strategies —
+// shortest path, inverse-capacity ECMP, and unit-weight softmin — against
+// the LP optimum on fresh demand sequences over the configured topology.
+// It is cheap (no training) and gives the context the learned ratios are
+// judged against.
+func runBaselines(ctx context.Context, opts ExperimentOptions, progress ProgressFunc) (*Report, error) {
+	g, err := opts.topology()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	seqs, err := traffic.Sequences(max(1, opts.TestSeqs), g.NumNodes(), opts.SeqLen, opts.Cycle, traffic.DefaultBimodal(), rng)
+	if err != nil {
+		return nil, err
+	}
+	scenario := NewScenario(g, seqs)
+	cache := NewOptimalCache()
+	if _, err := Prewarm(ctx, scenario, cache, WithProgress(stagedProgress(progress, "baselines"))); err != nil {
+		return nil, err
+	}
+	sp, err := ShortestPathRatio(ctx, scenario, opts.Memory, cache)
+	if err != nil {
+		return nil, err
+	}
+	var ecmpSum, softminSum float64
+	var count int
+	unit := g.UnitWeights()
+	for _, seq := range seqs {
+		for t := opts.Memory; t < len(seq); t++ {
+			opt, err := cache.GetContext(ctx, g, seq[t])
+			if err != nil {
+				return nil, err
+			}
+			if opt <= 1e-12 {
+				continue
+			}
+			ecmp, err := routing.InverseCapacityECMP(g, seq[t])
+			if err != nil {
+				return nil, err
+			}
+			soft, err := routing.EvaluateWeights(g, seq[t], unit, routing.DefaultGamma)
+			if err != nil {
+				return nil, err
+			}
+			ecmpSum += ecmp.MaxUtilization / opt
+			softminSum += soft.MaxUtilization / opt
+			count++
 		}
-		return agent.Evaluate(test, cache)
 	}
-	if res.ModificationsGNN, err = run(GNNPolicy, modTrain, modTest); err != nil {
-		return nil, err
+	if count == 0 {
+		return nil, fmt.Errorf("gddr: baselines produced no evaluable timesteps")
 	}
-	if res.ModificationsGNNIter, err = run(GNNIterativePolicy, modTrain, modTest); err != nil {
-		return nil, err
-	}
-	if res.DifferentGNN, err = run(GNNPolicy, diffTrain, diffTest); err != nil {
-		return nil, err
-	}
-	if res.DifferentGNNIter, err = run(GNNIterativePolicy, diffTrain, diffTest); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return &Report{Metrics: map[string]float64{
+		"shortest_path_ratio":         sp,
+		"inverse_capacity_ecmp_ratio": ecmpSum / float64(count),
+		"unit_softmin_ratio":          softminSum / float64(count),
+	}}, nil
 }
 
 // modifiedAbileneScenarios builds train/test scenarios over Abilene plus
@@ -245,7 +332,7 @@ func modifiedAbileneScenarios(opts ExperimentOptions) (train, test *Scenario, er
 	train = &Scenario{}
 	test = &Scenario{}
 	for i, g := range variants {
-		trainS, err := traffic.Sequences(maxInt(1, opts.TrainSeqs/2), g.NumNodes(), opts.SeqLen, opts.Cycle, params, rng)
+		trainS, err := traffic.Sequences(max(1, opts.TrainSeqs/2), g.NumNodes(), opts.SeqLen, opts.Cycle, params, rng)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -291,13 +378,6 @@ func differentGraphScenarios(opts ExperimentOptions) (train, test *Scenario, err
 		return nil, nil, fmt.Errorf("gddr: evaluation set too small to split")
 	}
 	return train, test, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // CurvePoint is one smoothed learning-curve point with a confidence band.

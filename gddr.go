@@ -15,6 +15,7 @@
 package gddr
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -145,8 +146,12 @@ func AbileneScenario(trainSeqs, testSeqs, seqLen, cycle int, seed int64) (train,
 // ShortestPathRatio evaluates classic shortest-path routing on every
 // (sequence, timestep) of the scenario (skipping the first memory steps to
 // match agent evaluation) and returns the mean U_sp/U_opt ratio — the dotted
-// baseline of the paper's Figures 6 and 8.
-func ShortestPathRatio(s *Scenario, memory int, cache *OptimalCache) (float64, error) {
+// baseline of the paper's Figures 6 and 8. Cancellation of ctx is honoured
+// before every LP solve.
+func ShortestPathRatio(ctx context.Context, s *Scenario, memory int, cache *OptimalCache) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := s.Validate(); err != nil {
 		return 0, err
 	}
@@ -162,7 +167,7 @@ func ShortestPathRatio(s *Scenario, memory int, cache *OptimalCache) (float64, e
 				if err != nil {
 					return 0, err
 				}
-				opt, err := cache.Get(item.Graph, seq[t])
+				opt, err := cache.GetContext(ctx, item.Graph, seq[t])
 				if err != nil {
 					return 0, err
 				}

@@ -2,6 +2,8 @@ package gddr
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"math/rand"
 	"testing"
 
@@ -76,7 +78,7 @@ func TestAbileneScenario(t *testing.T) {
 
 func TestShortestPathRatioAboveOne(t *testing.T) {
 	s := tinyScenario(t, 2)
-	ratio, err := ShortestPathRatio(s, 2, nil)
+	ratio, err := ShortestPathRatio(context.Background(), s, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,20 +91,21 @@ func TestTrainEvaluateAllPolicies(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training test skipped in -short mode")
 	}
+	ctx := context.Background()
 	s := tinyScenario(t, 3)
 	cache := NewOptimalCache()
 	for _, kind := range []PolicyKind{MLPPolicy, GNNPolicy, GNNIterativePolicy} {
-		agent, err := NewAgent(tinyConfig(kind), s)
+		agent, err := NewAgent(kind, s, WithConfig(tinyConfig(kind)))
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
 		if agent.NumParams() == 0 {
 			t.Fatalf("%v: zero parameters", kind)
 		}
-		if _, err := agent.Train(s, cache); err != nil {
+		if _, err := agent.Train(ctx, s, cache); err != nil {
 			t.Fatalf("%v train: %v", kind, err)
 		}
-		ratio, err := agent.Evaluate(s, cache)
+		ratio, err := agent.Evaluate(ctx, s, cache)
 		if err != nil {
 			t.Fatalf("%v evaluate: %v", kind, err)
 		}
@@ -115,15 +118,16 @@ func TestTrainEvaluateAllPolicies(t *testing.T) {
 func TestMLPRequiresSingleTopology(t *testing.T) {
 	s := tinyScenario(t, 4)
 	s.Add(NSFNet(), s.Items[0].Sequences) // invalid sizes but rejected earlier
-	if _, err := NewAgent(tinyConfig(MLPPolicy), s); err == nil {
+	if _, err := NewAgent(MLPPolicy, s, WithConfig(tinyConfig(MLPPolicy))); err == nil {
 		t.Fatal("MLP accepted a multi-topology scenario")
 	}
 }
 
 func TestAgentSaveLoadRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	s := tinyScenario(t, 5)
 	cfg := tinyConfig(GNNPolicy)
-	a1, err := NewAgent(cfg, s)
+	a1, err := NewAgent(GNNPolicy, s, WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,9 +135,8 @@ func TestAgentSaveLoadRoundTrip(t *testing.T) {
 	if err := a1.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	cfg2 := cfg
-	cfg2.Seed = 999 // different init; loading must override it
-	a2, err := NewAgent(cfg2, s)
+	// Different init seed; loading must override it.
+	a2, err := NewAgent(GNNPolicy, s, WithConfig(cfg), WithSeed(999))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,11 +144,11 @@ func TestAgentSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	cache := NewOptimalCache()
-	r1, err := a1.Evaluate(s, cache)
+	r1, err := a1.Evaluate(ctx, s, cache)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := a2.Evaluate(s, cache)
+	r2, err := a2.Evaluate(ctx, s, cache)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +159,7 @@ func TestAgentSaveLoadRoundTrip(t *testing.T) {
 
 func TestGNNParamCountTopologyIndependent(t *testing.T) {
 	cfg := tinyConfig(GNNPolicy)
-	a1, err := NewAgent(cfg, tinyScenario(t, 6))
+	a1, err := NewAgent(GNNPolicy, tinyScenario(t, 6), WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +169,7 @@ func TestGNNParamCountTopologyIndependent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := NewAgent(cfg, NewScenario(g, seqs))
+	a2, err := NewAgent(GNNPolicy, NewScenario(g, seqs), WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,52 +178,139 @@ func TestGNNParamCountTopologyIndependent(t *testing.T) {
 	}
 }
 
-func TestFigure6Smoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment smoke test skipped in -short mode")
-	}
-	res, err := Figure6(tinyOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
-	for name, v := range map[string]float64{
-		"mlp": res.MLP, "gnn": res.GNN, "gnn-iterative": res.GNNIterative, "sp": res.ShortestPath,
-	} {
-		if v < 1 {
-			t.Fatalf("figure 6 %s ratio %g < 1 impossible", name, v)
+func TestExperimentRegistryLists(t *testing.T) {
+	names := make(map[string]bool)
+	for _, exp := range Experiments() {
+		if exp.Name == "" || exp.Run == nil {
+			t.Fatalf("registry holds malformed experiment %+v", exp)
 		}
+		names[exp.Name] = true
+	}
+	for _, want := range []string{"figure6", "figure7", "figure8", "baselines"} {
+		if !names[want] {
+			t.Errorf("experiment %q not registered", want)
+		}
+	}
+	if err := RegisterExperiment(Experiment{Name: "figure6", Run: runFigure6}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if _, err := RunExperiment(context.Background(), "no-such-experiment"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// Agent-construction options would be silently ignored by experiments,
+	// so RunExperiment must reject them loudly.
+	if _, err := RunExperiment(context.Background(), "baselines", WithPPO(DefaultTrainConfig(GNNPolicy).PPO)); err == nil {
+		t.Error("agent-construction option accepted by RunExperiment")
 	}
 }
 
-func TestFigure7Smoke(t *testing.T) {
+func TestRunExperimentFigure6(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke test skipped in -short mode")
 	}
-	res, err := Figure7(tinyOptions())
+	var sawTrain bool
+	report, err := RunExperiment(context.Background(), "figure6",
+		WithExperimentOptions(tinyOptions()),
+		WithProgress(func(p Progress) {
+			if p.Episode != nil {
+				sawTrain = true
+			}
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.MLP) == 0 || len(res.GNN) == 0 {
+	if report.Experiment != "figure6" {
+		t.Fatalf("report experiment %q", report.Experiment)
+	}
+	for _, name := range []string{"mlp_ratio", "gnn_ratio", "gnn_iterative_ratio", "shortest_path_ratio"} {
+		v, ok := report.Metrics[name]
+		if !ok {
+			t.Fatalf("metric %s missing from %v", name, report.MetricNames())
+		}
+		if v < 1 {
+			t.Fatalf("figure6 %s ratio %g < 1 impossible", name, v)
+		}
+	}
+	if !sawTrain {
+		t.Error("progress callback never saw a training episode")
+	}
+	data, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("report does not round-trip through JSON: %v", err)
+	}
+	if decoded.Metrics["gnn_ratio"] != report.Metrics["gnn_ratio"] {
+		t.Fatal("JSON round-trip lost metrics")
+	}
+}
+
+func TestRunExperimentFigure7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	report, err := RunExperiment(context.Background(), "figure7", WithExperimentOptions(tinyOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Curves["mlp"]) == 0 || len(report.Curves["gnn"]) == 0 {
 		t.Fatal("learning curves empty")
 	}
-	for _, st := range res.GNN {
+	for _, st := range report.Curves["gnn"] {
 		if st.TotalReward > 0 {
 			t.Fatalf("positive episode reward %g impossible (rewards are -ratios)", st.TotalReward)
 		}
 	}
 }
 
-func TestFigure8Smoke(t *testing.T) {
+func TestRunExperimentFigure8(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke test skipped in -short mode")
 	}
-	opts := tinyOptions()
-	res, err := Figure8(opts)
+	report, err := RunExperiment(context.Background(), "figure8", WithExperimentOptions(tinyOptions()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.ModificationsGNN < 1 || res.DifferentGNNIter < 1 || res.ModificationsSP < 1 {
-		t.Fatalf("figure 8 ratios below 1: %+v", res)
+	for _, name := range []string{"mod_gnn_ratio", "diff_gnn_iterative_ratio", "mod_shortest_path_ratio"} {
+		if report.Metrics[name] < 1 {
+			t.Fatalf("figure8 ratios below 1: %v", report.Metrics)
+		}
+	}
+}
+
+func TestRunExperimentBaselines(t *testing.T) {
+	report, err := RunExperiment(context.Background(), "baselines",
+		WithExperimentOptions(tinyOptions()), WithTopology("nsfnet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Options.Topology != "nsfnet" {
+		t.Fatalf("topology option lost: %+v", report.Options)
+	}
+	for _, name := range []string{"shortest_path_ratio", "inverse_capacity_ecmp_ratio", "unit_softmin_ratio"} {
+		if report.Metrics[name] < 1 {
+			t.Fatalf("baseline %s ratio %g < 1 impossible", name, report.Metrics[name])
+		}
+	}
+}
+
+func TestTrainCancellation(t *testing.T) {
+	s := tinyScenario(t, 40)
+	cfg := tinyConfig(GNNPolicy)
+	cfg.TotalSteps = 100000 // far more than a cancelled run can finish
+	agent, err := NewAgent(GNNPolicy, s, WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := agent.Train(ctx, s, NewOptimalCache()); err == nil {
+		t.Fatal("cancelled training reported success")
+	}
+	if _, err := agent.Evaluate(ctx, s, NewOptimalCache()); err == nil {
+		t.Fatal("cancelled evaluation reported success")
 	}
 }
 

@@ -1,0 +1,3 @@
+module gddr
+
+go 1.24

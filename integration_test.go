@@ -1,6 +1,7 @@
 package gddr
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -27,19 +28,15 @@ func TestWarmStartBeatsShortestPathOnDiverseTopologies(t *testing.T) {
 			t.Fatal(err)
 		}
 		s := NewScenario(tc.g, seqs)
-		cfg := DefaultTrainConfig(GNNPolicy)
-		cfg.Memory = 2
-		cfg.GNN.Hidden = 8
-		cfg.GNN.Steps = 2
-		agent, err := NewAgent(cfg, s)
+		agent, err := NewAgent(GNNPolicy, s, WithMemory(2), WithGNNSize(8, 2))
 		if err != nil {
 			t.Fatal(err)
 		}
-		agentRatio, err := agent.Evaluate(s, cache)
+		agentRatio, err := agent.Evaluate(context.Background(), s, cache)
 		if err != nil {
 			t.Fatal(err)
 		}
-		spRatio, err := ShortestPathRatio(s, cfg.Memory, cache)
+		spRatio, err := ShortestPathRatio(context.Background(), s, 2, cache)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,25 +58,26 @@ func TestTrainingImprovesTrainSetRatio(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	cfg := DefaultTrainConfig(GNNPolicy)
 	cfg.Memory = 3
 	cfg.TotalSteps = 4000
 	cfg.PPO.LearningRate = 1e-3
 	cfg.GNN.Hidden = 16
 	cfg.GNN.Steps = 2
-	agent, err := NewAgent(cfg, train)
+	agent, err := NewAgent(GNNPolicy, train, WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cache := NewOptimalCache()
-	before, err := agent.Evaluate(train, cache)
+	before, err := agent.Evaluate(ctx, train, cache)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := agent.Train(train, cache); err != nil {
+	if _, err := agent.Train(ctx, train, cache); err != nil {
 		t.Fatal(err)
 	}
-	after, err := agent.Evaluate(train, cache)
+	after, err := agent.Evaluate(ctx, train, cache)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +99,7 @@ func TestGeneralisationTransferDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := DefaultTrainConfig(GNNPolicy)
-	cfg.Memory = 2
-	cfg.GNN.Hidden = 8
-	cfg.GNN.Steps = 1
-	agent, err := NewAgent(cfg, NewScenario(abilene, seqsA))
+	agent, err := NewAgent(GNNPolicy, NewScenario(abilene, seqsA), WithMemory(2), WithGNNSize(8, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +108,7 @@ func TestGeneralisationTransferDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ratio, err := agent.Evaluate(NewScenario(g, seqs), nil)
+		ratio, err := agent.Evaluate(context.Background(), NewScenario(g, seqs), nil)
 		if err != nil {
 			t.Fatalf("transfer to %d-node graph: %v", g.NumNodes(), err)
 		}

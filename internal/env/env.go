@@ -6,6 +6,7 @@
 package env
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -139,21 +140,36 @@ func NewOptimalCache() *OptimalCache {
 // Get returns the optimal max utilisation for dm on g, solving the LP on a
 // cache miss.
 func (c *OptimalCache) Get(g *graph.Graph, dm *traffic.DemandMatrix) (float64, error) {
-	return c.get(g, dm, MaxUtilization)
+	return c.get(context.Background(), g, dm, MaxUtilization)
+}
+
+// GetContext is Get with cancellation: on a cache miss the context is
+// checked before the LP solve starts, so a cancelled caller never pays for
+// an optimum it no longer needs.
+func (c *OptimalCache) GetContext(ctx context.Context, g *graph.Graph, dm *traffic.DemandMatrix) (float64, error) {
+	return c.get(ctx, g, dm, MaxUtilization)
 }
 
 // GetMean returns the optimal mean utilisation for dm on g.
 func (c *OptimalCache) GetMean(g *graph.Graph, dm *traffic.DemandMatrix) (float64, error) {
-	return c.get(g, dm, MeanUtilization)
+	return c.get(context.Background(), g, dm, MeanUtilization)
 }
 
-func (c *OptimalCache) get(g *graph.Graph, dm *traffic.DemandMatrix, obj Objective) (float64, error) {
+// GetMeanContext is GetMean with cancellation checked before a miss-solve.
+func (c *OptimalCache) GetMeanContext(ctx context.Context, g *graph.Graph, dm *traffic.DemandMatrix) (float64, error) {
+	return c.get(ctx, g, dm, MeanUtilization)
+}
+
+func (c *OptimalCache) get(ctx context.Context, g *graph.Graph, dm *traffic.DemandMatrix, obj Objective) (float64, error) {
 	key := cacheKey{g: g, dm: dm, obj: obj}
 	c.mu.Lock()
 	v, ok := c.m[key]
 	c.mu.Unlock()
 	if ok {
 		return v, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	var opt float64
 	var err error
@@ -185,7 +201,8 @@ type Env struct {
 	seq  []*traffic.DemandMatrix
 	cfg  Config
 	opt  *OptimalCache
-	base []float64 // per-edge base weights of the action mapping
+	ctx  context.Context // bound per run; cancels cache-miss LP solves
+	base []float64       // per-edge base weights of the action mapping
 
 	// Episode state.
 	t int // index of the DM being routed next (starts at cfg.Memory)
@@ -231,11 +248,22 @@ func New(g *graph.Graph, seq []*traffic.DemandMatrix, cfg Config, opt *OptimalCa
 	if cfg.CapacityAware {
 		base = g.InverseCapacityWeights()
 	}
-	return &Env{g: g, seq: seq, cfg: cfg, opt: opt, base: base}, nil
+	return &Env{g: g, seq: seq, cfg: cfg, opt: opt, ctx: context.Background(), base: base}, nil
 }
 
 // Graph returns the environment's topology.
 func (e *Env) Graph() *graph.Graph { return e.g }
+
+// SetContext binds ctx to the environment: reward computations consult it
+// before solving an LP on a cache miss, so cancelling the context stops a
+// training or evaluation run at the next solve. A nil ctx resets to the
+// background context.
+func (e *Env) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
+}
 
 // ActionDim returns |E| in full mode, 2 (weight, γ) in iterative mode.
 func (e *Env) ActionDim() int {
@@ -336,11 +364,25 @@ func (e *Env) stepIterative(action []float64) (*Observation, float64, bool, erro
 // weightFromAction maps an action value to a strictly positive edge weight,
 // multiplicative around the per-edge base weight.
 func (e *Env) weightFromAction(edge int, a float64) float64 {
-	return e.base[edge] * math.Exp(e.cfg.WeightScale*clamp(a, -1, 1))
+	return WeightFromAction(e.base[edge], e.cfg.WeightScale, a)
+}
+
+// WeightFromAction maps one action value to a strictly positive edge
+// weight, multiplicative around the edge's base weight. It is the single
+// definition of the action-to-weight mapping, shared by the training
+// environment and the serving Router.
+func WeightFromAction(base, scale, a float64) float64 {
+	return base * math.Exp(scale*clamp(a, -1, 1))
 }
 
 // gammaFromAction maps the γ action channel to a positive softmin spread.
 func gammaFromAction(a float64) float64 {
+	return GammaFromAction(a)
+}
+
+// GammaFromAction maps the iterative policy's γ action channel (Eq. 7) to
+// a positive softmin spread, shared with the serving Router.
+func GammaFromAction(a float64) float64 {
 	return routing.DefaultGamma * math.Exp(clamp(a, -1, 1))
 }
 
@@ -357,10 +399,10 @@ func (e *Env) rewardFor(weights []float64, gamma float64) (float64, error) {
 	switch e.cfg.Objective {
 	case MeanUtilization:
 		achieved = res.MeanUtilization()
-		opt, err = e.opt.GetMean(e.g, dm)
+		opt, err = e.opt.GetMeanContext(e.ctx, e.g, dm)
 	default:
 		achieved = res.MaxUtilization
-		opt, err = e.opt.Get(e.g, dm)
+		opt, err = e.opt.GetContext(e.ctx, e.g, dm)
 	}
 	if err != nil {
 		return 0, err

@@ -1,19 +1,40 @@
 package env
 
 import (
+	"fmt"
+
+	"gddr/internal/graph"
 	"gddr/internal/mat"
+	"gddr/internal/traffic"
 )
 
-// observe builds the observation for the demand history seq[t-m : t].
-func (e *Env) observe() (*Observation, error) {
-	m := e.cfg.Memory
-	n := e.g.NumNodes()
-	ne := e.g.NumEdges()
+// Observe builds the full-action observation for a demand history on g: the
+// per-node in/out demand sums of §V-B, the capacity edge feature, and the
+// flattened raw history for the MLP baseline. hist must hold the m most
+// recent demand matrices, oldest first. The iterative-mode edge-feature
+// columns are zero; use SetIterativeState to fill them.
+//
+// This is the serving entry point: gddr.Router feeds live demand histories
+// through it without constructing an episode environment.
+func Observe(g *graph.Graph, hist []*traffic.DemandMatrix) (*Observation, error) {
+	m := len(hist)
+	if m < 1 {
+		return nil, fmt.Errorf("env: observe needs at least one demand matrix")
+	}
+	n := g.NumNodes()
+	ne := g.NumEdges()
+	for i, dm := range hist {
+		if dm == nil {
+			return nil, fmt.Errorf("env: history matrix %d is nil", i)
+		}
+		if dm.N != n {
+			return nil, fmt.Errorf("env: history matrix %d has size %d, graph has %d nodes", i, dm.N, n)
+		}
+	}
 
 	nodeFeat := mat.New(n, 2*m)
 	flat := make([]float64, 0, m*n*n)
-	for h := 0; h < m; h++ {
-		dm := e.seq[e.t-m+h]
+	for h, dm := range hist {
 		// Per-node in/out sums, normalised by the largest node sum of this
 		// DM so features stay comparable across graph sizes (§V-B).
 		outs := make([]float64, n)
@@ -53,31 +74,18 @@ func (e *Env) observe() (*Observation, error) {
 	edgeFeat := mat.New(ne, 4)
 	maxCap := 0.0
 	for ei := 0; ei < ne; ei++ {
-		if c := e.g.Edge(ei).Capacity; c > maxCap {
+		if c := g.Edge(ei).Capacity; c > maxCap {
 			maxCap = c
 		}
 	}
 	for ei := 0; ei < ne; ei++ {
-		edgeFeat.Set(ei, 0, e.g.Edge(ei).Capacity/maxCap)
-	}
-	target := -1
-	if e.cfg.Mode == IterativeAction {
-		target = e.iterEdge
-		for ei := 0; ei < ne; ei++ {
-			edgeFeat.Set(ei, 1, e.pendingWeights[ei])
-			if e.pendingSet[ei] {
-				edgeFeat.Set(ei, 2, 1)
-			}
-			if ei == target {
-				edgeFeat.Set(ei, 3, 1)
-			}
-		}
+		edgeFeat.Set(ei, 0, g.Edge(ei).Capacity/maxCap)
 	}
 
 	senders := make([]int, ne)
 	receivers := make([]int, ne)
 	for ei := 0; ei < ne; ei++ {
-		edge := e.g.Edge(ei)
+		edge := g.Edge(ei)
 		senders[ei] = edge.From
 		receivers[ei] = edge.To
 	}
@@ -86,13 +94,50 @@ func (e *Env) observe() (*Observation, error) {
 	global.Data[0] = 1 // constant bias channel
 
 	return &Observation{
-		G:          e.g,
+		G:          g,
 		NodeFeat:   nodeFeat,
 		EdgeFeat:   edgeFeat,
 		Global:     global,
 		Senders:    senders,
 		Receivers:  receivers,
 		Flat:       flat,
-		TargetEdge: target,
+		TargetEdge: -1,
 	}, nil
+}
+
+// SetIterativeState overwrites the iterative-mode edge features in place:
+// column 1 holds the pending action value per edge, column 2 marks edges
+// whose weight has been set this round, column 3 marks the edge the next
+// action will set (Eq. 6). target may be -1 to clear.
+func (o *Observation) SetIterativeState(pending []float64, set []bool, target int) {
+	ne := o.EdgeFeat.Rows
+	for ei := 0; ei < ne; ei++ {
+		v, s, tg := 0.0, 0.0, 0.0
+		if pending != nil {
+			v = pending[ei]
+		}
+		if set != nil && set[ei] {
+			s = 1
+		}
+		if ei == target {
+			tg = 1
+		}
+		o.EdgeFeat.Set(ei, 1, v)
+		o.EdgeFeat.Set(ei, 2, s)
+		o.EdgeFeat.Set(ei, 3, tg)
+	}
+	o.TargetEdge = target
+}
+
+// observe builds the observation for the demand history seq[t-m : t].
+func (e *Env) observe() (*Observation, error) {
+	m := e.cfg.Memory
+	obs, err := Observe(e.g, e.seq[e.t-m:e.t])
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.Mode == IterativeAction {
+		obs.SetIterativeState(e.pendingWeights, e.pendingSet, e.iterEdge)
+	}
+	return obs, nil
 }

@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -100,8 +101,12 @@ func (tr *A2CTrainer) Params() []*ad.Param { return append(tr.pol.Params(), tr.l
 // LogStd returns the current log standard deviation.
 func (tr *A2CTrainer) LogStd() float64 { return tr.logStd.Value.Data[0] }
 
-// Train runs A2C for totalSteps environment steps.
-func (tr *A2CTrainer) Train(e env.Interface, totalSteps int, onEpisode func(EpisodeStat)) error {
+// Train runs A2C for totalSteps environment steps. Cancellation is checked
+// once per rollout, mirroring the PPO trainer.
+func (tr *A2CTrainer) Train(ctx context.Context, e env.Interface, totalSteps int, onEpisode func(EpisodeStat)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if totalSteps < 1 {
 		return fmt.Errorf("rl: totalSteps must be positive, got %d", totalSteps)
 	}
@@ -112,6 +117,9 @@ func (tr *A2CTrainer) Train(e env.Interface, totalSteps int, onEpisode func(Epis
 	epReward := 0.0
 	epSteps := 0
 	for done := 0; done < totalSteps; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		steps := tr.cfg.RolloutSteps
 		if rem := totalSteps - done; rem < steps {
 			steps = rem

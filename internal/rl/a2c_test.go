@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -44,7 +45,7 @@ func TestA2CSolvesBandit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Train(q, 4000, nil); err != nil {
+	if err := tr.Train(context.Background(), q, 4000, nil); err != nil {
 		t.Fatal(err)
 	}
 	got := pol.mu.Value.Data[0]
@@ -62,7 +63,7 @@ func TestA2CRejectsBadInputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Train(newQuadraticEnv(t, 0), 0, nil); err == nil {
+	if err := tr.Train(context.Background(), newQuadraticEnv(t, 0), 0, nil); err == nil {
 		t.Fatal("zero steps accepted")
 	}
 }
@@ -77,7 +78,7 @@ func TestA2CEpisodeStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats []EpisodeStat
-	if err := tr.Train(q, 16, func(s EpisodeStat) { stats = append(stats, s) }); err != nil {
+	if err := tr.Train(context.Background(), q, 16, func(s EpisodeStat) { stats = append(stats, s) }); err != nil {
 		t.Fatal(err)
 	}
 	if len(stats) != 16 { // 1-step episodes

@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -25,7 +26,7 @@ func TestLogStdClampedDuringTraining(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Train(q, 640, nil); err != nil {
+	if err := tr.Train(context.Background(), q, 640, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := tr.LogStd(); got < -2.5-1e-9 || got > 0.5+1e-9 {
@@ -50,7 +51,7 @@ func TestEpisodeStatsReportRawRewards(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats []EpisodeStat
-	if err := tr.Train(q, 16, func(s EpisodeStat) { stats = append(stats, s) }); err != nil {
+	if err := tr.Train(context.Background(), q, 16, func(s EpisodeStat) { stats = append(stats, s) }); err != nil {
 		t.Fatal(err)
 	}
 	if len(stats) == 0 {

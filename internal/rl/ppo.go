@@ -8,6 +8,7 @@
 package rl
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -143,7 +144,13 @@ type sample struct {
 
 // Train runs PPO for totalSteps environment steps on e. onEpisode, if not
 // nil, is invoked after every finished episode (for learning curves).
-func (tr *Trainer) Train(e env.Interface, totalSteps int, onEpisode func(EpisodeStat)) error {
+// Cancellation is checked once per rollout: when ctx is done, Train returns
+// its error before collecting the next batch, leaving the parameters at the
+// last completed update.
+func (tr *Trainer) Train(ctx context.Context, e env.Interface, totalSteps int, onEpisode func(EpisodeStat)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if totalSteps < 1 {
 		return fmt.Errorf("rl: totalSteps must be positive, got %d", totalSteps)
 	}
@@ -155,6 +162,9 @@ func (tr *Trainer) Train(e env.Interface, totalSteps int, onEpisode func(Episode
 	epSteps := 0
 
 	for done := 0; done < totalSteps; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		steps := tr.cfg.RolloutSteps
 		if rem := totalSteps - done; rem < steps {
 			steps = rem
@@ -369,13 +379,20 @@ func (tr *Trainer) minibatch(batch []*sample, idx []int, meanAdv, stdAdv float64
 // Evaluate runs the policy deterministically for episodes full episodes on
 // e and returns the mean per-step ratio U_agent/U_opt (lower is better; 1.0
 // is LP-optimal). In iterative mode only reward-bearing steps count.
-func Evaluate(pol policy.Policy, e env.Interface, episodes int) (float64, error) {
+// Cancellation is checked at every episode boundary.
+func Evaluate(ctx context.Context, pol policy.Policy, e env.Interface, episodes int) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if episodes < 1 {
 		return 0, fmt.Errorf("rl: evaluate needs >= 1 episode")
 	}
 	var sum float64
 	var count int
 	for ep := 0; ep < episodes; ep++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		obs, err := e.Reset()
 		if err != nil {
 			return 0, err

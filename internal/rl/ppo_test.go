@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -144,7 +145,7 @@ func TestPPOSolvesBandit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Train(q, 4000, nil); err != nil {
+	if err := tr.Train(context.Background(), q, 4000, nil); err != nil {
 		t.Fatal(err)
 	}
 	got := pol.mu.Value.Data[0]
@@ -167,7 +168,7 @@ func TestTrainerRejectsBadInputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Train(newQuadraticEnv(t, 0), 0, nil); err == nil {
+	if err := tr.Train(context.Background(), newQuadraticEnv(t, 0), 0, nil); err == nil {
 		t.Fatal("zero steps accepted")
 	}
 }
@@ -200,7 +201,7 @@ func TestEpisodeStatsReported(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats []EpisodeStat
-	if err := tr.Train(e, 20, func(s EpisodeStat) { stats = append(stats, s) }); err != nil {
+	if err := tr.Train(context.Background(), e, 20, func(s EpisodeStat) { stats = append(stats, s) }); err != nil {
 		t.Fatal(err)
 	}
 	if len(stats) == 0 {
@@ -239,11 +240,11 @@ func TestEvaluateDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := Evaluate(pol, e, 1)
+	r1, err := Evaluate(context.Background(), pol, e, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Evaluate(pol, e, 1)
+	r2, err := Evaluate(context.Background(), pol, e, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestEvaluateDeterministic(t *testing.T) {
 	if r1 < 1 {
 		t.Fatalf("ratio %g < 1 impossible (LP is optimal)", r1)
 	}
-	if _, err := Evaluate(pol, e, 0); err == nil {
+	if _, err := Evaluate(context.Background(), pol, e, 0); err == nil {
 		t.Fatal("zero episodes accepted")
 	}
 }
@@ -285,7 +286,7 @@ func TestPPOImprovesRouting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before, err := Evaluate(pol, e, 1)
+	before, err := Evaluate(context.Background(), pol, e, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,10 +298,10 @@ func TestPPOImprovesRouting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Train(e, 1500, nil); err != nil {
+	if err := tr.Train(context.Background(), e, 1500, nil); err != nil {
 		t.Fatal(err)
 	}
-	after, err := Evaluate(pol, e, 1)
+	after, err := Evaluate(context.Background(), pol, e, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,193 @@
+package gddr
+
+// This file defines the v2 functional-option surface: a single Option type
+// layered over the existing TrainConfig and ExperimentOptions structs so
+// that callers compose agents and experiments instead of mutating config
+// fields. The same options are accepted by NewAgent, Prewarm, and
+// RunExperiment; each consumer reads the subset that concerns it.
+
+// Progress is one progress report from a long-running operation. Total is
+// zero when the total amount of work is unknown up front.
+type Progress struct {
+	// Stage names the phase emitting the report: "prewarm", "train",
+	// "evaluate", or an experiment-defined stage such as "figure6/gnn".
+	Stage string
+	// Step counts completed work units — environment steps for training,
+	// LP solves for prewarming, sequences for evaluation.
+	Step int
+	// Total is the number of work units the stage will perform, if known.
+	Total int
+	// Episode is set when a training episode just finished (learning-curve
+	// consumers); nil otherwise.
+	Episode *EpisodeStat
+}
+
+// ProgressFunc receives progress reports. Implementations must be safe for
+// concurrent use when passed to Prewarm, which reports from worker
+// goroutines (reports are serialised by the caller, but the function must
+// not assume it runs on any particular goroutine).
+type ProgressFunc func(Progress)
+
+// settings is the merged option state. Agent construction consumes cfg and
+// progress; Prewarm consumes workers and progress; RunExperiment consumes
+// exp, workers, and progress. cfgOnly records options that affect agent
+// construction exclusively, so RunExperiment can reject them instead of
+// silently ignoring them.
+type settings struct {
+	cfg      TrainConfig
+	exp      ExperimentOptions
+	progress ProgressFunc
+	workers  int
+	cfgOnly  []string
+}
+
+// Option configures agent construction (NewAgent), cache prewarming
+// (Prewarm), or a registered experiment (RunExperiment).
+type Option func(*settings)
+
+func newSettings(kind PolicyKind) *settings {
+	return &settings{
+		cfg: DefaultTrainConfig(kind),
+		exp: DefaultExperimentOptions(),
+	}
+}
+
+func (s *settings) apply(opts []Option) *settings {
+	for _, opt := range opts {
+		if opt != nil {
+			opt(s)
+		}
+	}
+	return s
+}
+
+// WithConfig replaces the full agent training configuration. Later options
+// still apply on top, so WithConfig(cfg) composes with, say, WithSeed.
+// Agent-construction only: registered experiments derive their agent
+// configs from ExperimentOptions, so RunExperiment rejects this option.
+func WithConfig(cfg TrainConfig) Option {
+	return func(s *settings) {
+		s.cfg = cfg
+		s.cfgOnly = append(s.cfgOnly, "WithConfig")
+	}
+}
+
+// WithExperimentOptions replaces the full experiment preset (for example
+// PaperExperimentOptions()). Later options still apply on top.
+func WithExperimentOptions(opts ExperimentOptions) Option {
+	return func(s *settings) { s.exp = opts }
+}
+
+// WithPaperScale selects the paper's full-scale experiment settings
+// (several CPU-hours per policy).
+func WithPaperScale() Option {
+	return func(s *settings) { s.exp = PaperExperimentOptions() }
+}
+
+// WithMemory sets the demand-history length m (paper: 5).
+func WithMemory(m int) Option {
+	return func(s *settings) {
+		s.cfg.Memory = m
+		s.exp.Memory = m
+	}
+}
+
+// WithSeed sets the random seed for initialisation and traffic generation.
+func WithSeed(seed int64) Option {
+	return func(s *settings) {
+		s.cfg.Seed = seed
+		s.exp.Seed = seed
+	}
+}
+
+// WithTotalSteps sets the PPO training budget in environment steps.
+func WithTotalSteps(n int) Option {
+	return func(s *settings) {
+		s.cfg.TotalSteps = n
+		s.exp.TrainSteps = n
+	}
+}
+
+// WithGNNSize sets the graph-network latent width and message-passing
+// steps of the GNN policies.
+func WithGNNSize(hidden, msgSteps int) Option {
+	return func(s *settings) {
+		s.cfg.GNN.Hidden = hidden
+		s.cfg.GNN.Steps = msgSteps
+		s.exp.GNNHidden = hidden
+		s.exp.GNNSteps = msgSteps
+	}
+}
+
+// WithMLPHidden sets the hidden layer sizes of the MLP baseline policy.
+// Agent-construction only; RunExperiment rejects it.
+func WithMLPHidden(sizes ...int) Option {
+	return func(s *settings) {
+		s.cfg.MLPHidden = sizes
+		s.cfgOnly = append(s.cfgOnly, "WithMLPHidden")
+	}
+}
+
+// WithPPO replaces the PPO hyperparameters of the agent under
+// construction. Agent-construction only; RunExperiment rejects it.
+func WithPPO(cfg PPOConfig) Option {
+	return func(s *settings) {
+		s.cfg.PPO = cfg
+		s.cfgOnly = append(s.cfgOnly, "WithPPO")
+	}
+}
+
+// WithGamma sets the softmin spread γ used by the non-iterative policies.
+// Agent-construction only; RunExperiment rejects it.
+func WithGamma(gamma float64) Option {
+	return func(s *settings) {
+		s.cfg.Gamma = gamma
+		s.cfgOnly = append(s.cfgOnly, "WithGamma")
+	}
+}
+
+// WithCapacityAware toggles the capacity-aware warm start of the
+// action-to-weight mapping (see TrainConfig.CapacityAware).
+// Agent-construction only; RunExperiment rejects it.
+func WithCapacityAware(on bool) Option {
+	return func(s *settings) {
+		s.cfg.CapacityAware = on
+		s.cfgOnly = append(s.cfgOnly, "WithCapacityAware")
+	}
+}
+
+// WithSequences sets the number of training and held-out test demand
+// sequences an experiment generates (paper: 7 and 3).
+func WithSequences(train, test int) Option {
+	return func(s *settings) {
+		s.exp.TrainSeqs = train
+		s.exp.TestSeqs = test
+	}
+}
+
+// WithSequenceShape sets the length and cycle period of the cyclical
+// demand sequences (paper: 60 and 10).
+func WithSequenceShape(seqLen, cycle int) Option {
+	return func(s *settings) {
+		s.exp.SeqLen = seqLen
+		s.exp.Cycle = cycle
+	}
+}
+
+// WithTopology selects the embedded topology an experiment runs on, for
+// experiments that are not tied to a specific graph (e.g. "baselines").
+func WithTopology(name string) Option {
+	return func(s *settings) { s.exp.Topology = name }
+}
+
+// WithProgress installs a progress callback invoked during prewarming,
+// training, and evaluation.
+func WithProgress(fn ProgressFunc) Option {
+	return func(s *settings) { s.progress = fn }
+}
+
+// WithWorkers bounds the concurrency of operations that fan out over a
+// worker pool (Prewarm). Zero or negative selects GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(s *settings) { s.workers = n }
+}

@@ -1,23 +1,31 @@
 package gddr
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 )
 
 // Prewarm solves the LP optimum for every distinct demand matrix of the
-// scenario concurrently with at most workers goroutines (0 = GOMAXPROCS)
-// and stores the results in the cache. Training and evaluation then never
-// block on an LP solve. It returns the number of optima computed (cache
-// hits excluded) and the first error encountered, if any.
-func Prewarm(s *Scenario, cache *OptimalCache, workers int) (int, error) {
+// scenario concurrently and stores the results in the cache, so training
+// and evaluation never block on an LP solve. Worker count is set with
+// WithWorkers (default GOMAXPROCS) and WithProgress reports each completed
+// solve. Cancelling ctx stops the workers before their next solve; the
+// optima already computed stay cached. It returns the number of optima
+// computed (cache hits excluded) and the first error encountered, if any.
+func Prewarm(ctx context.Context, s *Scenario, cache *OptimalCache, opts ...Option) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := s.Validate(); err != nil {
 		return 0, err
 	}
 	if cache == nil {
 		return 0, fmt.Errorf("gddr: prewarm needs a cache to fill")
 	}
+	set := newSettings(GNNPolicy).apply(opts)
+	workers := set.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -45,6 +53,8 @@ func Prewarm(s *Scenario, cache *OptimalCache, workers int) (int, error) {
 	before := cache.Len()
 	jobCh := make(chan job)
 	errCh := make(chan error, 1)
+	var completed int
+	var progressMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -52,15 +62,24 @@ func Prewarm(s *Scenario, cache *OptimalCache, workers int) (int, error) {
 			defer wg.Done()
 			failed := false
 			for j := range jobCh {
-				if failed {
+				if failed || ctx.Err() != nil {
 					continue // keep draining so the producer never blocks
 				}
-				if _, err := cache.Get(j.g, j.dm); err != nil {
+				if _, err := cache.GetContext(ctx, j.g, j.dm); err != nil {
 					select {
 					case errCh <- fmt.Errorf("gddr: prewarm: %w", err):
 					default: // keep only the first error
 					}
 					failed = true
+					continue
+				}
+				if set.progress != nil {
+					// The counter increment stays inside the mutex so Step
+					// values reach the callback in increasing order.
+					progressMu.Lock()
+					completed++
+					set.progress(Progress{Stage: "prewarm", Step: completed, Total: len(jobs)})
+					progressMu.Unlock()
 				}
 			}
 		}()
@@ -74,6 +93,9 @@ func Prewarm(s *Scenario, cache *OptimalCache, workers int) (int, error) {
 	case err := <-errCh:
 		return cache.Len() - before, err
 	default:
-		return cache.Len() - before, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return cache.Len() - before, err
+	}
+	return cache.Len() - before, nil
 }

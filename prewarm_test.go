@@ -1,13 +1,15 @@
 package gddr
 
 import (
+	"context"
 	"testing"
 )
 
 func TestPrewarmFillsCache(t *testing.T) {
+	ctx := context.Background()
 	s := tinyScenario(t, 31) // 8 DMs, cycle 2 → 2 distinct matrices
 	cache := NewOptimalCache()
-	n, err := Prewarm(s, cache, 4)
+	n, err := Prewarm(ctx, s, cache, WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,7 +20,7 @@ func TestPrewarmFillsCache(t *testing.T) {
 		t.Fatalf("cache has %d entries, want 2", cache.Len())
 	}
 	// Second call is a no-op.
-	n2, err := Prewarm(s, cache, 4)
+	n2, err := Prewarm(ctx, s, cache, WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,10 +30,11 @@ func TestPrewarmFillsCache(t *testing.T) {
 }
 
 func TestPrewarmValidation(t *testing.T) {
-	if _, err := Prewarm(&Scenario{}, NewOptimalCache(), 1); err == nil {
+	ctx := context.Background()
+	if _, err := Prewarm(ctx, &Scenario{}, NewOptimalCache(), WithWorkers(1)); err == nil {
 		t.Fatal("empty scenario accepted")
 	}
-	if _, err := Prewarm(tinyScenario(t, 32), nil, 1); err == nil {
+	if _, err := Prewarm(ctx, tinyScenario(t, 32), nil, WithWorkers(1)); err == nil {
 		t.Fatal("nil cache accepted")
 	}
 }
@@ -39,7 +42,7 @@ func TestPrewarmValidation(t *testing.T) {
 func TestPrewarmDefaultWorkers(t *testing.T) {
 	s := tinyScenario(t, 33)
 	cache := NewOptimalCache()
-	if _, err := Prewarm(s, cache, 0); err != nil {
+	if _, err := Prewarm(context.Background(), s, cache); err != nil {
 		t.Fatal(err)
 	}
 	if cache.Len() == 0 {
@@ -47,10 +50,42 @@ func TestPrewarmDefaultWorkers(t *testing.T) {
 	}
 }
 
+func TestPrewarmCancellation(t *testing.T) {
+	s := tinyScenario(t, 35)
+	cache := NewOptimalCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Prewarm(ctx, s, cache, WithWorkers(2)); err == nil {
+		t.Fatal("cancelled prewarm reported success")
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("cancelled prewarm still computed %d optima", cache.Len())
+	}
+}
+
+func TestPrewarmReportsProgress(t *testing.T) {
+	s := tinyScenario(t, 36)
+	cache := NewOptimalCache()
+	var reports int
+	_, err := Prewarm(context.Background(), s, cache, WithWorkers(2),
+		WithProgress(func(p Progress) {
+			if p.Stage != "prewarm" {
+				t.Errorf("unexpected stage %q", p.Stage)
+			}
+			reports++
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports != cache.Len() {
+		t.Fatalf("got %d progress reports for %d solves", reports, cache.Len())
+	}
+}
+
 func TestPrewarmMatchesSequentialValues(t *testing.T) {
 	s := tinyScenario(t, 34)
 	concurrent := NewOptimalCache()
-	if _, err := Prewarm(s, concurrent, 8); err != nil {
+	if _, err := Prewarm(context.Background(), s, concurrent, WithWorkers(8)); err != nil {
 		t.Fatal(err)
 	}
 	sequential := NewOptimalCache()

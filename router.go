@@ -1,0 +1,430 @@
+package gddr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gddr/internal/env"
+	"gddr/internal/policy"
+	"gddr/internal/rl"
+	"gddr/internal/routing"
+	"gddr/internal/traffic"
+)
+
+// ErrRouterClosed is returned by Route after Close.
+var ErrRouterClosed = errors.New("gddr: router is closed")
+
+// Decision is the routing decision for one demand matrix: the learned edge
+// weights, the softmin spread, the fully-specified splitting ratios they
+// induce, and the link loads and utilisation of applying that routing to
+// the requested demand. All fields are owned by the caller.
+type Decision struct {
+	// Weights holds one strictly positive weight per edge (graph edge
+	// order), as emitted by the policy's action head.
+	Weights []float64 `json:"weights"`
+	// Gamma is the softmin spread used to derive the splitting ratios; the
+	// iterative policy learns it per decision, the others use the
+	// configured value.
+	Gamma float64 `json:"gamma"`
+	// Splits maps each destination node with demand to its per-edge
+	// splitting ratios: Splits[sink][e] is the fraction of traffic
+	// transiting edge e's source that is destined for sink and forwarded
+	// over e (zero on edges dropped from the destination DAG).
+	Splits map[int][]float64 `json:"splits"`
+	// Loads is the per-edge traffic carried under this routing.
+	Loads []float64 `json:"loads"`
+	// Utilization is the per-edge load/capacity ratio.
+	Utilization []float64 `json:"utilization"`
+	// MaxUtilization is the maximum link utilisation, the paper's objective.
+	MaxUtilization float64 `json:"max_utilization"`
+}
+
+// RouterStats counts serving activity since the router started.
+type RouterStats struct {
+	// Requests is the number of demand matrices routed.
+	Requests int64 `json:"requests"`
+	// Batches is the number of request batches served; Requests/Batches is
+	// the mean batch size.
+	Batches int64 `json:"batches"`
+	// ForwardPasses is the number of policy forward passes run. Concurrent
+	// callers batched together share one pass (the iterative policy runs
+	// |E| passes per batch).
+	ForwardPasses int64 `json:"forward_passes"`
+}
+
+// RouterOption configures NewRouter.
+type RouterOption func(*routerConfig)
+
+type routerConfig struct {
+	workers  int
+	maxBatch int
+	history  []*DemandMatrix
+}
+
+// WithRouterWorkers sets the number of serving goroutines (default
+// GOMAXPROCS). One worker maximises request batching; more workers
+// maximise forward-pass parallelism.
+func WithRouterWorkers(n int) RouterOption {
+	return func(c *routerConfig) { c.workers = n }
+}
+
+// WithMaxBatch bounds how many concurrent requests share one policy
+// forward pass (default 16).
+func WithMaxBatch(n int) RouterOption {
+	return func(c *routerConfig) { c.maxBatch = n }
+}
+
+// WithWarmHistory seeds the router's demand history (oldest first) so the
+// first decisions observe real traffic instead of a cold-start pad — e.g.
+// the tail of the training scenario.
+func WithWarmHistory(dms ...*DemandMatrix) RouterOption {
+	return func(c *routerConfig) { c.history = dms }
+}
+
+// Router wraps a trained Agent as a thread-safe inference engine for one
+// topology: the "GNN as deployable router" of the paper's motivation. It
+// keeps a sliding window of the most recent demand matrices (the policy's
+// observation history) and answers Route calls with fully-specified
+// routing decisions. Concurrent callers are batched so that requests
+// arriving while the policy is busy share a single forward pass.
+//
+// The agent must not be trained while the router is serving; training
+// mutates the policy parameters the forward passes read.
+type Router struct {
+	agent    *Agent
+	g        *Graph
+	ecfg     env.Config
+	base     []float64 // per-edge base weights of the action mapping
+	maxBatch int
+
+	mu      sync.Mutex
+	history []*DemandMatrix // most recent matrices, oldest first, len <= Memory
+
+	reqCh     chan *routeRequest
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	requests      atomic.Int64
+	batches       atomic.Int64
+	forwardPasses atomic.Int64
+}
+
+type routeRequest struct {
+	ctx  context.Context
+	dm   *DemandMatrix
+	resp chan routeResponse
+}
+
+type routeResponse struct {
+	d   *Decision
+	err error
+}
+
+// NewRouter builds a serving engine for agent on topology g. The agent may
+// be freshly loaded (Save/Load round-trip) or just trained; a probe
+// forward pass validates that the policy fits the topology, so an MLP
+// agent bound to a different graph is rejected here rather than at the
+// first Route call.
+func NewRouter(agent *Agent, g *Graph, opts ...RouterOption) (*Router, error) {
+	if agent == nil {
+		return nil, fmt.Errorf("gddr: router needs an agent")
+	}
+	if g == nil {
+		return nil, fmt.Errorf("gddr: router needs a topology")
+	}
+	if !g.StronglyConnected() {
+		return nil, fmt.Errorf("gddr: router topology must be strongly connected")
+	}
+	cfg := routerConfig{workers: runtime.GOMAXPROCS(0), maxBatch: 16}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.maxBatch < 1 {
+		cfg.maxBatch = 1
+	}
+	ecfg := agent.envConfig()
+	base := g.UnitWeights()
+	if ecfg.CapacityAware {
+		base = g.InverseCapacityWeights()
+	}
+	r := &Router{
+		agent:    agent,
+		g:        g,
+		ecfg:     ecfg,
+		base:     base,
+		maxBatch: cfg.maxBatch,
+		reqCh:    make(chan *routeRequest), // unbuffered: senders block, enabling batching
+		quit:     make(chan struct{}),
+	}
+	for _, dm := range cfg.history {
+		if dm == nil || dm.N != g.NumNodes() {
+			return nil, fmt.Errorf("gddr: warm-history matrix does not match the %d-node topology", g.NumNodes())
+		}
+		r.push(dm)
+	}
+	// Probe: one decision on an empty demand matrix catches policies whose
+	// shape is bound to a different topology before serving starts.
+	if _, _, err := r.decide(r.snapshotHistory(traffic.NewDemandMatrix(g.NumNodes()))); err != nil {
+		return nil, fmt.Errorf("gddr: agent incompatible with topology: %w", err)
+	}
+	r.forwardPasses.Store(0) // the probe does not count as serving activity
+	r.wg.Add(cfg.workers)
+	for w := 0; w < cfg.workers; w++ {
+		go r.worker()
+	}
+	return r, nil
+}
+
+// Route computes the routing decision for dm. The request observes the
+// demand history accumulated by previous calls (the paper's m-step demand
+// memory); dm itself joins the history for subsequent decisions. Route is
+// safe for concurrent use: requests that arrive while the policy is busy
+// are batched onto one shared forward pass. Cancelling ctx abandons the
+// request.
+func (r *Router) Route(ctx context.Context, dm *DemandMatrix) (*Decision, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if dm == nil {
+		return nil, fmt.Errorf("gddr: route needs a demand matrix")
+	}
+	if dm.N != r.g.NumNodes() {
+		return nil, fmt.Errorf("gddr: demand matrix size %d != %d topology nodes", dm.N, r.g.NumNodes())
+	}
+	req := &routeRequest{ctx: ctx, dm: dm, resp: make(chan routeResponse, 1)}
+	select {
+	case r.reqCh <- req:
+	case <-r.quit:
+		return nil, ErrRouterClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case resp := <-req.resp:
+		return resp.d, resp.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Stats returns serving counters since the router started.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		Requests:      r.requests.Load(),
+		Batches:       r.batches.Load(),
+		ForwardPasses: r.forwardPasses.Load(),
+	}
+}
+
+// Close stops the serving workers and waits for them to exit. Route calls
+// not yet accepted by a worker return ErrRouterClosed; a request already
+// being served completes normally. Close is idempotent.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() { close(r.quit) })
+	r.wg.Wait()
+}
+
+func (r *Router) worker() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.quit:
+			return
+		case req := <-r.reqCh:
+			r.serve(r.gather(req))
+		}
+	}
+}
+
+// gather drains requests already blocked on the channel, up to the batch
+// bound, so they share the forward pass of the request that woke us. The
+// yield gives concurrent callers that are runnable but not yet parked on
+// the channel a chance to enqueue — without it, a CPU-bound serving loop
+// on few cores degenerates to singleton batches because waiting senders
+// never get scheduled between polls.
+func (r *Router) gather(first *routeRequest) []*routeRequest {
+	batch := []*routeRequest{first}
+	runtime.Gosched()
+	for len(batch) < r.maxBatch {
+		select {
+		case req := <-r.reqCh:
+			batch = append(batch, req)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// push appends dm to the sliding demand history.
+func (r *Router) push(dm *DemandMatrix) {
+	m := r.ecfg.Memory
+	r.history = append(r.history, dm)
+	if len(r.history) > m {
+		r.history = r.history[len(r.history)-m:]
+	}
+}
+
+// snapshotHistory returns the m most recent matrices, padding a cold-start
+// history with fallback, without mutating router state.
+func (r *Router) snapshotHistory(fallback *DemandMatrix) []*DemandMatrix {
+	m := r.ecfg.Memory
+	hist := make([]*DemandMatrix, 0, m)
+	for pad := len(r.history); pad < m; pad++ {
+		hist = append(hist, fallback)
+	}
+	return append(hist, r.history...)
+}
+
+// serve answers one batch: one shared observation and forward pass, then a
+// per-request routing evaluation.
+func (r *Router) serve(batch []*routeRequest) {
+	// Drop requests whose caller already gave up.
+	live := batch[:0]
+	for _, req := range batch {
+		if err := req.ctx.Err(); err != nil {
+			req.resp <- routeResponse{err: err}
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return
+	}
+	r.batches.Add(1)
+	r.requests.Add(int64(len(live)))
+
+	// All requests of the batch observe the pre-batch history (matching the
+	// training-time contract that a decision for time t sees demands up to
+	// t-1), then join it for subsequent batches.
+	r.mu.Lock()
+	hist := r.snapshotHistory(live[0].dm)
+	for _, req := range live {
+		r.push(req.dm)
+	}
+	r.mu.Unlock()
+
+	weights, gamma, err := r.decide(hist)
+	if err != nil {
+		for _, req := range live {
+			req.resp <- routeResponse{err: err}
+		}
+		return
+	}
+
+	// The splitting ratios depend only on (weights, gamma, sink), so they
+	// are shared across the batch; each request pays only for propagating
+	// its own demand through them.
+	ratios := make(map[int]*routing.Ratios)
+	for _, req := range live {
+		d, err := r.evaluate(req.dm, weights, gamma, ratios)
+		req.resp <- routeResponse{d: d, err: err}
+	}
+}
+
+// decide runs the policy on the demand history and returns the edge
+// weights and softmin spread of the resulting routing strategy.
+func (r *Router) decide(hist []*DemandMatrix) ([]float64, float64, error) {
+	obs, err := env.Observe(r.g, hist)
+	if err != nil {
+		return nil, 0, err
+	}
+	ne := r.g.NumEdges()
+	if r.agent.Kind == policy.GNNIterativeKind {
+		// The iterative policy sets one edge per forward pass and emits γ
+		// with its final action (paper §VII-B).
+		pending := make([]float64, ne)
+		set := make([]bool, ne)
+		gamma := r.ecfg.Gamma
+		for ei := 0; ei < ne; ei++ {
+			obs.SetIterativeState(pending, set, ei)
+			action, err := rl.MeanAction(r.agent.policy, obs)
+			r.forwardPasses.Add(1)
+			if err != nil {
+				return nil, 0, err
+			}
+			if len(action) != 2 {
+				return nil, 0, fmt.Errorf("gddr: iterative policy emitted %d action values, want 2", len(action))
+			}
+			// Clamp to [-1,1] exactly as the training environment does
+			// before storing pending values, so the per-edge observations
+			// match the training distribution.
+			pending[ei] = math.Max(-1, math.Min(1, action[0]))
+			set[ei] = true
+			if ei == ne-1 {
+				gamma = env.GammaFromAction(action[1])
+			}
+		}
+		weights := make([]float64, ne)
+		for ei, a := range pending {
+			weights[ei] = env.WeightFromAction(r.base[ei], r.ecfg.WeightScale, a)
+		}
+		return weights, gamma, nil
+	}
+	action, err := rl.MeanAction(r.agent.policy, obs)
+	r.forwardPasses.Add(1)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(action) != ne {
+		return nil, 0, fmt.Errorf("gddr: policy emitted %d action values for %d edges", len(action), ne)
+	}
+	weights := make([]float64, ne)
+	for ei, a := range action {
+		weights[ei] = env.WeightFromAction(r.base[ei], r.ecfg.WeightScale, a)
+	}
+	return weights, r.ecfg.Gamma, nil
+}
+
+// evaluate derives the full Decision for dm under the batch's weights,
+// reusing per-sink splitting ratios across the batch via the ratios map.
+func (r *Router) evaluate(dm *DemandMatrix, weights []float64, gamma float64, ratios map[int]*routing.Ratios) (*Decision, error) {
+	ne := r.g.NumEdges()
+	loads := make([]float64, ne)
+	splits := make(map[int][]float64)
+	for sink := 0; sink < r.g.NumNodes(); sink++ {
+		if dm.InSum(sink) == 0 {
+			continue
+		}
+		rt, ok := ratios[sink]
+		if !ok {
+			var err error
+			rt, err = routing.SplittingRatios(r.g, sink, weights, gamma)
+			if err != nil {
+				return nil, fmt.Errorf("gddr: route sink %d: %w", sink, err)
+			}
+			ratios[sink] = rt
+		}
+		if err := rt.Loads(r.g, dm, loads); err != nil {
+			return nil, fmt.Errorf("gddr: route sink %d: %w", sink, err)
+		}
+		splits[sink] = append([]float64(nil), rt.Ratio...)
+	}
+	util := make([]float64, ne)
+	maxU := 0.0
+	for ei := range util {
+		util[ei] = loads[ei] / r.g.Edge(ei).Capacity
+		if util[ei] > maxU {
+			maxU = util[ei]
+		}
+	}
+	return &Decision{
+		Weights:        append([]float64(nil), weights...),
+		Gamma:          gamma,
+		Splits:         splits,
+		Loads:          loads,
+		Utilization:    util,
+		MaxUtilization: maxU,
+	}, nil
+}

@@ -1,0 +1,284 @@
+package gddr
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gddr/internal/routing"
+	"gddr/internal/traffic"
+)
+
+// testRouterAgent returns a small untrained GNN agent (untrained agents
+// route meaningfully thanks to the capacity-aware warm start).
+func testRouterAgent(t *testing.T) *Agent {
+	t.Helper()
+	agent, err := NewAgent(GNNPolicy, nil, WithMemory(2), WithGNNSize(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agent
+}
+
+func testDemand(g *Graph, seed int64) *DemandMatrix {
+	rng := rand.New(rand.NewSource(seed))
+	return traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+}
+
+func TestRouterRouteDecision(t *testing.T) {
+	g := Abilene()
+	router, err := NewRouter(testRouterAgent(t), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	dm := testDemand(g, 1)
+	d, err := router.Route(context.Background(), dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne := g.NumEdges()
+	if len(d.Weights) != ne || len(d.Loads) != ne || len(d.Utilization) != ne {
+		t.Fatalf("decision sized %d/%d/%d for %d edges", len(d.Weights), len(d.Loads), len(d.Utilization), ne)
+	}
+	for ei, w := range d.Weights {
+		if w <= 0 {
+			t.Fatalf("edge %d has non-positive weight %g", ei, w)
+		}
+	}
+	if d.Gamma <= 0 {
+		t.Fatalf("non-positive gamma %g", d.Gamma)
+	}
+	if d.MaxUtilization <= 0 {
+		t.Fatalf("max utilisation %g for non-empty demand", d.MaxUtilization)
+	}
+	// The decision must agree with the routing substrate evaluated on the
+	// same weights.
+	res, err := routing.EvaluateWeights(g, dm, d.Weights, d.Gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MaxUtilization-d.MaxUtilization) > 1e-9 {
+		t.Fatalf("decision MLU %g != substrate MLU %g", d.MaxUtilization, res.MaxUtilization)
+	}
+	// Splitting ratios: per destination, the kept out-edges of every
+	// non-sink vertex sum to 1 (or 0 when the vertex is dropped).
+	for sink, ratio := range d.Splits {
+		for v := 0; v < g.NumNodes(); v++ {
+			if v == sink {
+				continue
+			}
+			sum := 0.0
+			for _, ei := range g.OutEdges(v) {
+				if ratio[ei] < 0 || ratio[ei] > 1+1e-9 {
+					t.Fatalf("sink %d edge %d ratio %g outside [0,1]", sink, ei, ratio[ei])
+				}
+				sum += ratio[ei]
+			}
+			if math.Abs(sum-1) > 1e-9 && sum > 1e-12 {
+				t.Fatalf("sink %d vertex %d ratios sum to %g", sink, v, sum)
+			}
+		}
+	}
+}
+
+func TestRouterConcurrentRoute(t *testing.T) {
+	g := Abilene()
+	router, err := NewRouter(testRouterAgent(t), g, WithRouterWorkers(4), WithMaxBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	const callers = 16
+	const perCaller = 5
+	var wg sync.WaitGroup
+	errCh := make(chan error, callers*perCaller)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perCaller; i++ {
+				dm := testDemand(g, int64(c*100+i))
+				d, err := router.Route(context.Background(), dm)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if d.MaxUtilization <= 0 {
+					errCh <- errors.New("zero max utilisation")
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	stats := router.Stats()
+	if stats.Requests != callers*perCaller {
+		t.Fatalf("served %d requests, want %d", stats.Requests, callers*perCaller)
+	}
+	if stats.Batches > stats.Requests {
+		t.Fatalf("more batches (%d) than requests (%d)", stats.Batches, stats.Requests)
+	}
+	// Full-action policies run exactly one forward pass per batch, so
+	// batched concurrent callers share passes.
+	if stats.ForwardPasses != stats.Batches {
+		t.Fatalf("%d forward passes for %d batches", stats.ForwardPasses, stats.Batches)
+	}
+}
+
+func TestRouterIterativeAgent(t *testing.T) {
+	g := NSFNet()
+	agent, err := NewAgent(GNNIterativePolicy, nil, WithMemory(2), WithGNNSize(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewRouter(agent, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	d, err := router.Route(context.Background(), testDemand(g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Gamma <= 0 || d.MaxUtilization <= 0 {
+		t.Fatalf("degenerate iterative decision: gamma %g, MLU %g", d.Gamma, d.MaxUtilization)
+	}
+}
+
+func TestRouterRejectsMismatchedAgent(t *testing.T) {
+	// An MLP agent is shape-bound to its training topology; the router
+	// probe must reject it on a different graph at construction.
+	abilene := Abilene()
+	rng := rand.New(rand.NewSource(4))
+	seqs, err := traffic.Sequences(1, abilene.NumNodes(), 6, 2, traffic.DefaultBimodal(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewAgent(MLPPolicy, NewScenario(abilene, seqs), WithMemory(2), WithMLPHidden(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRouter(agent, NSFNet()); err == nil {
+		t.Fatal("router accepted an MLP agent bound to a different topology")
+	}
+	router, err := NewRouter(agent, abilene)
+	if err != nil {
+		t.Fatalf("router rejected the MLP agent on its own topology: %v", err)
+	}
+	router.Close()
+}
+
+func TestRouterRejectsWrongDemandSize(t *testing.T) {
+	g := Abilene()
+	router, err := NewRouter(testRouterAgent(t), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	if _, err := router.Route(context.Background(), traffic.NewDemandMatrix(3)); err == nil {
+		t.Fatal("mismatched demand matrix accepted")
+	}
+	if _, err := router.Route(context.Background(), nil); err == nil {
+		t.Fatal("nil demand matrix accepted")
+	}
+}
+
+func TestRouterCancelledContext(t *testing.T) {
+	g := Abilene()
+	router, err := NewRouter(testRouterAgent(t), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := router.Route(ctx, testDemand(g, 5)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestRouterClose(t *testing.T) {
+	g := Abilene()
+	router, err := NewRouter(testRouterAgent(t), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := router.Route(context.Background(), testDemand(g, 6)); err != nil {
+		t.Fatal(err)
+	}
+	router.Close()
+	router.Close() // idempotent
+	if _, err := router.Route(context.Background(), testDemand(g, 7)); !errors.Is(err, ErrRouterClosed) {
+		t.Fatalf("got %v, want ErrRouterClosed", err)
+	}
+}
+
+func TestRouterSaveLoadRoundTrip(t *testing.T) {
+	g := Abilene()
+	trained := testRouterAgent(t)
+	var model bytes.Buffer
+	if err := trained.Save(&model); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewAgent(GNNPolicy, nil, WithMemory(2), WithGNNSize(8, 1), WithSeed(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Load(&model); err != nil {
+		t.Fatal(err)
+	}
+
+	dm := testDemand(g, 8)
+	decide := func(a *Agent) *Decision {
+		t.Helper()
+		router, err := NewRouter(a, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer router.Close()
+		d, err := router.Route(context.Background(), dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d1 := decide(trained)
+	d2 := decide(loaded)
+	if d1.MaxUtilization != d2.MaxUtilization {
+		t.Fatalf("loaded agent routes differently: MLU %g vs %g", d1.MaxUtilization, d2.MaxUtilization)
+	}
+	for ei := range d1.Weights {
+		if d1.Weights[ei] != d2.Weights[ei] {
+			t.Fatalf("edge %d weight differs after load: %g vs %g", ei, d1.Weights[ei], d2.Weights[ei])
+		}
+	}
+}
+
+func TestRouterWarmHistory(t *testing.T) {
+	g := Abilene()
+	agent := testRouterAgent(t)
+	hist := []*DemandMatrix{testDemand(g, 9), testDemand(g, 10)}
+	router, err := NewRouter(agent, g, WithWarmHistory(hist...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	if _, err := router.Route(context.Background(), testDemand(g, 11)); err != nil {
+		t.Fatal(err)
+	}
+	// A mis-sized warm history is rejected up front.
+	if _, err := NewRouter(agent, g, WithWarmHistory(traffic.NewDemandMatrix(3))); err == nil {
+		t.Fatal("mismatched warm history accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package gddr
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -56,16 +57,27 @@ func DefaultTrainConfig(kind PolicyKind) TrainConfig {
 
 // Agent is a trained routing agent.
 type Agent struct {
-	Kind    PolicyKind
-	Config  TrainConfig
-	policy  policy.Policy
-	trainer *rl.Trainer
+	Kind     PolicyKind
+	Config   TrainConfig
+	policy   policy.Policy
+	trainer  *rl.Trainer
+	progress ProgressFunc
 }
 
-// NewAgent constructs an untrained agent (policy weights initialised from
-// the config seed). scenario is needed only by the MLP policy to size its
-// fixed input and output layers.
-func NewAgent(cfg TrainConfig, scenario *Scenario) (*Agent, error) {
+// NewAgent constructs an untrained agent of the given architecture, with
+// options layered over DefaultTrainConfig(kind) — e.g.
+//
+//	agent, err := gddr.NewAgent(gddr.GNNPolicy, scenario,
+//	        gddr.WithMemory(3), gddr.WithTotalSteps(5000),
+//	        gddr.WithProgress(report))
+//
+// Use WithConfig to start from an explicit TrainConfig instead. The
+// scenario is needed only by the MLP policy to size its fixed input and
+// output layers; GNN agents accept a nil scenario.
+func NewAgent(kind PolicyKind, scenario *Scenario, opts ...Option) (*Agent, error) {
+	s := newSettings(kind).apply(opts)
+	cfg := s.cfg
+	cfg.Policy = kind // the kind argument wins over WithConfig
 	if cfg.Memory < 1 {
 		return nil, fmt.Errorf("gddr: memory must be >= 1, got %d", cfg.Memory)
 	}
@@ -97,7 +109,13 @@ func NewAgent(cfg TrainConfig, scenario *Scenario) (*Agent, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Agent{Kind: cfg.Policy, Config: cfg, policy: pol, trainer: trainer}, nil
+	return &Agent{
+		Kind:     cfg.Policy,
+		Config:   cfg,
+		policy:   pol,
+		trainer:  trainer,
+		progress: s.progress,
+	}, nil
 }
 
 func countItems(s *Scenario) int {
@@ -126,10 +144,15 @@ func (a *Agent) envConfig() env.Config {
 	}
 }
 
-// Train runs PPO on the scenario for cfg.TotalSteps environment steps and
-// returns the per-episode learning curve. The LP cache may be shared across
-// calls; pass nil for a private one.
-func (a *Agent) Train(scenario *Scenario, cache *OptimalCache) ([]EpisodeStat, error) {
+// Train runs PPO on the scenario for Config.TotalSteps environment steps
+// and returns the per-episode learning curve. Cancellation of ctx is
+// honoured at every PPO rollout boundary and before every LP solve; the
+// agent keeps the parameters of the last completed update. The LP cache
+// may be shared across calls; pass nil for a private one.
+func (a *Agent) Train(ctx context.Context, scenario *Scenario, cache *OptimalCache) ([]EpisodeStat, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := scenario.Validate(); err != nil {
 		return nil, err
 	}
@@ -143,14 +166,25 @@ func (a *Agent) Train(scenario *Scenario, cache *OptimalCache) ([]EpisodeStat, e
 	if err != nil {
 		return nil, err
 	}
+	for _, e := range envs {
+		e.SetContext(ctx)
+	}
 	rng := rand.New(rand.NewSource(a.Config.Seed + 1))
 	menv, err := env.NewMulti(envs, rng)
 	if err != nil {
 		return nil, err
 	}
 	var stats []EpisodeStat
-	err = a.trainer.Train(menv, a.Config.TotalSteps, func(st rl.EpisodeStat) {
+	err = a.trainer.Train(ctx, menv, a.Config.TotalSteps, func(st rl.EpisodeStat) {
 		stats = append(stats, st)
+		if a.progress != nil {
+			a.progress(Progress{
+				Stage:   "train",
+				Step:    st.Timestep,
+				Total:   a.Config.TotalSteps,
+				Episode: &st,
+			})
+		}
 	})
 	if err != nil {
 		return nil, fmt.Errorf("gddr: training %v policy: %w", a.Kind, err)
@@ -160,8 +194,12 @@ func (a *Agent) Train(scenario *Scenario, cache *OptimalCache) ([]EpisodeStat, e
 
 // Evaluate runs the agent deterministically over every sequence of the
 // scenario once and returns the mean per-timestep U_agent/U_opt ratio
-// (lower is better; 1.0 matches the LP optimum).
-func (a *Agent) Evaluate(scenario *Scenario, cache *OptimalCache) (float64, error) {
+// (lower is better; 1.0 matches the LP optimum). Cancellation of ctx is
+// honoured between sequences and before every LP solve.
+func (a *Agent) Evaluate(ctx context.Context, scenario *Scenario, cache *OptimalCache) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := scenario.Validate(); err != nil {
 		return 0, err
 	}
@@ -173,12 +211,16 @@ func (a *Agent) Evaluate(scenario *Scenario, cache *OptimalCache) (float64, erro
 		return 0, err
 	}
 	var sum float64
-	for _, e := range envs {
-		ratio, err := rl.Evaluate(a.policy, e, 1)
+	for i, e := range envs {
+		e.SetContext(ctx)
+		ratio, err := rl.Evaluate(ctx, a.policy, e, 1)
 		if err != nil {
 			return 0, err
 		}
 		sum += ratio
+		if a.progress != nil {
+			a.progress(Progress{Stage: "evaluate", Step: i + 1, Total: len(envs)})
+		}
 	}
 	return sum / float64(len(envs)), nil
 }

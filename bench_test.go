@@ -12,6 +12,7 @@ import (
 	"os"
 	"strconv"
 	"testing"
+	"time"
 
 	"gddr/internal/ad"
 	"gddr/internal/env"
@@ -135,6 +136,101 @@ func BenchmarkRouterRouteConcurrent(b *testing.B) {
 	stats := router.Stats()
 	if stats.Batches > 0 {
 		b.ReportMetric(float64(stats.Requests)/float64(stats.Batches), "reqs/batch")
+	}
+}
+
+// BenchmarkEngineApplyRoute is the serving-while-mutating gate: 8-way
+// concurrent Route throughput with topology events flapping a link every
+// few milliseconds (hundreds of events per second — far beyond any real
+// operational rate), against the event-free baseline. Each event rebuilds,
+// probe-validates, and drains a serving snapshot, so the route-and-events
+// ns/op must stay within ~2x of the route-only ns/op.
+func BenchmarkEngineApplyRoute(b *testing.B) {
+	for _, churn := range []bool{false, true} {
+		name := "route-only"
+		if churn {
+			name = "route-and-events"
+		}
+		b.Run(name, func(b *testing.B) {
+			agent, err := NewAgent(GNNPolicy, nil, WithMemory(3), WithGNNSize(16, 2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := topo.Abilene()
+			engine, err := NewEngine(agent, g, WithRouterWorkers(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer engine.Close()
+			rng := rand.New(rand.NewSource(21))
+			dms := make([]*DemandMatrix, 16)
+			for i := range dms {
+				dms[i] = traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+			}
+			ctx := context.Background()
+
+			stop := make(chan struct{})
+			flapped := make(chan int64, 1)
+			if churn {
+				// Flap one removable link for the whole benchmark.
+				u, v, capacity := -1, -1, 0.0
+				for _, e := range g.Edges() {
+					if e.From > e.To {
+						continue
+					}
+					if c, err := graph.RemoveLink(g, e.From, e.To); err == nil && c != nil {
+						u, v, capacity = e.From, e.To, e.Capacity
+						break
+					}
+				}
+				if u < 0 {
+					b.Fatal("no removable link on the benchmark topology")
+				}
+				go func() {
+					var events int64
+					defer func() { flapped <- events }()
+					ticker := time.NewTicker(2 * time.Millisecond)
+					defer ticker.Stop()
+					for {
+						select {
+						case <-stop:
+							return
+						case <-ticker.C:
+						}
+						if err := engine.Apply(ctx, LinkDown{From: u, To: v}); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := engine.Apply(ctx, LinkUp{From: u, To: v, Capacity: capacity}); err != nil {
+							b.Error(err)
+							return
+						}
+						events += 2
+					}
+				}()
+			}
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := engine.Route(ctx, dms[i%len(dms)]); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			if churn {
+				b.ReportMetric(float64(<-flapped), "events")
+			}
+			stats := engine.Stats()
+			if stats.Batches > 0 {
+				b.ReportMetric(float64(stats.Requests)/float64(stats.Batches), "reqs/batch")
+			}
+		})
 	}
 }
 

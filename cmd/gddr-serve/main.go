@@ -1,0 +1,279 @@
+// Command gddr-serve runs the Engine as a long-running HTTP/JSON routing
+// service: the network-operations gateway over the GDDR serving API. It
+// loads (or cold-starts) an agent on an embedded topology and exposes
+//
+//	POST /route           {"demands": [[...], ...]}    -> routing decision
+//	POST /topology/event  {"type":"link_down", ...}    -> apply a topology event
+//	POST /model/swap      <checkpoint JSON>            -> hot-swap the model
+//	GET  /stats                                        -> cumulative serving stats
+//	GET  /healthz                                      -> liveness + topology version
+//
+// Example session:
+//
+//	gddr-serve -addr :8080 -topology abilene -model model.json &
+//	curl -s localhost:8080/route -d '{"demands": [[0,100,...], ...]}'
+//	curl -s localhost:8080/topology/event -d '{"type":"link_down","from":2,"to":9}'
+//	curl -s localhost:8080/model/swap --data-binary @retrained.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"gddr"
+	"gddr/internal/policy"
+	"gddr/internal/topo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gddr-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		topoName   = flag.String("topology", "abilene", "embedded topology to serve")
+		modelPath  = flag.String("model", "", "saved model JSON (empty: capacity-aware cold start)")
+		policyName = flag.String("policy", "gnn", "architecture the model was trained with")
+		memory     = flag.Int("memory", 3, "demand history length (must match training)")
+		hidden     = flag.Int("gnn-hidden", 16, "GNN latent width (must match training)")
+		msgSteps   = flag.Int("gnn-steps", 2, "GNN message-passing steps (must match training)")
+		workers    = flag.Int("workers", 0, "serving goroutines (0: GOMAXPROCS)")
+		maxBatch   = flag.Int("max-batch", 16, "max requests sharing one forward pass")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	kind, err := policy.ParseKind(*policyName)
+	if err != nil {
+		return err
+	}
+	g, err := topo.Named(*topoName)
+	if err != nil {
+		return err
+	}
+	// The MLP constructor sizes itself from a scenario's topology; GNN
+	// agents ignore the scenario.
+	scen := &gddr.Scenario{Items: []gddr.ScenarioItem{{Graph: g}}}
+	agent, err := gddr.NewAgent(kind, scen,
+		gddr.WithMemory(*memory),
+		gddr.WithGNNSize(*hidden, *msgSteps))
+	if err != nil {
+		return err
+	}
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		err = agent.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", *modelPath, err)
+		}
+	}
+
+	var opts []gddr.RouterOption
+	if *workers > 0 {
+		opts = append(opts, gddr.WithRouterWorkers(*workers))
+	}
+	opts = append(opts, gddr.WithMaxBatch(*maxBatch))
+	engine, err := gddr.NewEngine(agent, g, opts...)
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /route", handleRoute(engine))
+	mux.HandleFunc("POST /topology/event", handleEvent(engine))
+	mux.HandleFunc("POST /model/swap", handleSwap(engine))
+	mux.HandleFunc("GET /stats", handleStats(engine))
+	mux.HandleFunc("GET /healthz", handleHealthz(engine))
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("gddr-serve: serving %s (%d nodes, %d edges) on %s", *topoName, g.NumNodes(), g.NumEdges(), *addr)
+		if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("gddr-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return server.Shutdown(shutdownCtx)
+}
+
+// writeJSON renders one response; encode failures after the header is
+// written can only be logged.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("gddr-serve: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusFor maps serving errors to HTTP statuses: a closed engine is the
+// service going away, everything else surfaced by the API is a bad or
+// conflicting request.
+func statusFor(err error, fallback int) int {
+	if errors.Is(err, gddr.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return fallback
+}
+
+type routeRequest struct {
+	// Demands is the N×N demand matrix, row-major: Demands[s][t] is the
+	// traffic from node s to node t.
+	Demands [][]float64 `json:"demands"`
+}
+
+// maxBody bounds every request body so an oversized payload cannot grow
+// the gateway's heap without bound.
+const maxBody = 16 << 20
+
+func handleRoute(engine *gddr.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req routeRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid route request: %w", err))
+			return
+		}
+		dm, err := demandMatrix(req.Demands)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		start := time.Now()
+		d, err := engine.Route(r.Context(), dm)
+		if err != nil {
+			writeError(w, statusFor(err, http.StatusBadRequest), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"decision":         d,
+			"topology_version": engine.Version(),
+			"elapsed_us":       time.Since(start).Microseconds(),
+		})
+	}
+}
+
+func demandMatrix(rows [][]float64) (*gddr.DemandMatrix, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("route request needs a demands matrix")
+	}
+	dm := &gddr.DemandMatrix{N: n, Data: make([]float64, 0, n*n)}
+	for s, row := range rows {
+		if len(row) != n {
+			return nil, fmt.Errorf("demands row %d has %d entries, want %d", s, len(row), n)
+		}
+		dm.Data = append(dm.Data, row...)
+	}
+	if err := dm.Validate(); err != nil {
+		return nil, err
+	}
+	return dm, nil
+}
+
+func handleEvent(engine *gddr.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := readBody(w, r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		event, err := gddr.UnmarshalEvent(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := engine.Apply(r.Context(), event); err != nil {
+			// A structurally valid event the current topology cannot absorb
+			// (unknown link, disconnecting removal) is a conflict, not a
+			// malformed request.
+			writeError(w, statusFor(err, http.StatusConflict), err)
+			return
+		}
+		g := engine.Graph()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"applied":          event.Kind(),
+			"topology_version": engine.Version(),
+			"nodes":            g.NumNodes(),
+			"edges":            g.NumEdges(),
+		})
+	}
+}
+
+func handleSwap(engine *gddr.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := engine.SwapCheckpoint(r.Context(), http.MaxBytesReader(w, r.Body, maxBody)); err != nil {
+			writeError(w, statusFor(err, http.StatusBadRequest), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"swapped":          true,
+			"topology_version": engine.Version(),
+		})
+	}
+}
+
+func handleStats(engine *gddr.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, engine.Stats())
+	}
+}
+
+func handleHealthz(engine *gddr.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if engine.Version() == 0 {
+			writeError(w, http.StatusServiceUnavailable, gddr.ErrClosed)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":           "ok",
+			"topology_version": engine.Version(),
+		})
+	}
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	buf, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		return nil, fmt.Errorf("reading request body: %w", err)
+	}
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("empty request body")
+	}
+	return buf, nil
+}

@@ -1,0 +1,341 @@
+package gddr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine is the live network-operations serving surface: a Router whose
+// topology and model can change at runtime without dropping traffic. It is
+// the layer that makes the paper's central claim — GNN policies generalise
+// across topology changes — exercisable at serve time: Apply mutates the
+// topology through typed events and the same trained policy immediately
+// routes on the mutated graph, while SwapAgent hot-reloads the model.
+//
+// Internally the engine keeps an immutable serving snapshot (a Router bound
+// to one frozen graph) behind an atomic pointer. Route reads the snapshot
+// lock-free; Apply and the swap operations build a fully-validated
+// replacement snapshot — mutated graph, consistently renumbered demand
+// history, probe-checked policy — then publish it and drain the old one.
+// In-flight Route calls complete on the snapshot that accepted them; calls
+// that lose the race to a retiring snapshot transparently retry on the new
+// one, so callers never observe a swap as an error. A failed event or swap
+// leaves the current snapshot serving untouched.
+type Engine struct {
+	cfg routerConfig // workers/maxBatch reused for every rebuild
+
+	mu     sync.Mutex // serialises Apply/SwapAgent/SwapCheckpoint/Close
+	closed bool
+
+	state atomic.Pointer[engineState]
+
+	eventsApplied atomic.Int64
+	agentSwaps    atomic.Int64
+
+	// Counters of retired snapshots, folded in as routers are replaced so
+	// Stats stays cumulative across topology and model swaps.
+	retired RouterStats
+}
+
+// engineState is one immutable serving snapshot. next is closed when the
+// snapshot is replaced (or the engine closes), waking Route callers that
+// hit the drain window of a swap.
+type engineState struct {
+	router  *Router
+	agent   *Agent
+	version int64
+	next    chan struct{}
+}
+
+// EngineStats aggregates serving activity across every topology and model
+// the engine has served.
+type EngineStats struct {
+	RouterStats
+	// EventsApplied counts topology events successfully applied.
+	EventsApplied int64 `json:"events_applied"`
+	// AgentSwaps counts successful hot model swaps.
+	AgentSwaps int64 `json:"agent_swaps"`
+	// TopologyVersion increments on every successful Apply or swap; version
+	// 1 is the topology the engine was built with.
+	TopologyVersion int64 `json:"topology_version"`
+	// Nodes and Edges describe the current topology.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+}
+
+// NewEngine builds a dynamic serving engine for agent on topology g. The
+// router options (workers, batch bound, warm history) configure the initial
+// snapshot; workers and batch bound are reused for every snapshot a
+// topology event or model swap builds. The same probe validation as
+// NewRouter applies, and re-applies whenever it can fail: on every model
+// swap, and on topology events under a shape-bound policy (MLP), where an
+// event the policy's fixed dimensions cannot absorb is rejected with the
+// old topology still serving. Graph-size-agnostic GNN agents skip the
+// re-probe on topology events, keeping event application cheap.
+func NewEngine(agent *Agent, g *Graph, opts ...RouterOption) (*Engine, error) {
+	cfg := resolveRouterConfig(opts)
+	r, err := newRouter(agent, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.history = nil // warm history applies to the first snapshot only
+	e := &Engine{cfg: cfg}
+	e.state.Store(&engineState{router: r, agent: agent, version: 1, next: make(chan struct{})})
+	return e, nil
+}
+
+// Route computes the routing decision for dm on the current topology. It is
+// safe for concurrent use and never fails because of a concurrent Apply or
+// swap: a request that races with a snapshot retirement waits out the
+// drain (at most one in-flight batch) and retries on the replacement.
+// After Close it returns ErrClosed; a demand matrix sized for a stale
+// topology returns a size-mismatch error.
+func (e *Engine) Route(ctx context.Context, dm *DemandMatrix) (*Decision, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		st := e.state.Load()
+		if st == nil {
+			return nil, ErrClosed
+		}
+		d, err := st.router.Route(ctx, dm)
+		if errors.Is(err, ErrClosed) {
+			select {
+			case <-st.next: // snapshot replaced (or engine closed); retry
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return d, err
+	}
+}
+
+// Apply atomically applies a sequence of topology events: the routing state
+// is rebuilt on the mutated graph, the demand history is renumbered
+// consistently (dropped rows for removed nodes, zero rows for added ones),
+// cached splitting ratios die with the old snapshot, and the policy is
+// probe-validated on the new topology before it serves. Events are
+// all-or-nothing: the first invalid event (unknown link, disconnecting
+// removal, ...) rejects the whole call and the current topology keeps
+// serving. Apply returns only after in-flight requests on the old topology
+// have drained, so once it returns every subsequent decision is computed on
+// the mutated graph.
+func (e *Engine) Apply(ctx context.Context, events ...Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("gddr: apply needs at least one event")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	st := e.state.Load()
+	// GNN-family policies are graph-size agnostic and were probe-validated
+	// when this agent first started serving, so topology rebuilds skip the
+	// probe forward pass; shape-bound policies (MLP) re-probe and reject
+	// events their fixed dimensions cannot absorb.
+	skipProbe := st.agent.Kind == GNNPolicy || st.agent.Kind == GNNIterativePolicy
+	transform := func(g *Graph, hist []*DemandMatrix) (*Graph, []*DemandMatrix, error) {
+		return applyEvents(g, hist, events)
+	}
+	if err := e.replaceLocked(st, st.agent, transform, skipProbe); err != nil {
+		return err
+	}
+	e.eventsApplied.Add(int64(len(events)))
+	return nil
+}
+
+// identityTransform is the model-swap transition: same graph, same history.
+func identityTransform(g *Graph, hist []*DemandMatrix) (*Graph, []*DemandMatrix, error) {
+	return g, hist, nil
+}
+
+// SwapAgent hot-swaps the serving model with zero downtime: the new agent
+// is probe-validated on the current topology and inherits the demand
+// history, requests in flight on the old policy drain to completion, and
+// every subsequent decision uses the new policy. The old agent is rejected
+// (and keeps serving) if the new one cannot route the current topology.
+func (e *Engine) SwapAgent(ctx context.Context, agent *Agent) error {
+	if agent == nil {
+		return fmt.Errorf("gddr: swap needs an agent")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	st := e.state.Load()
+	if err := e.replaceLocked(st, agent, identityTransform, false); err != nil {
+		return err
+	}
+	e.agentSwaps.Add(1)
+	return nil
+}
+
+// SwapCheckpoint hot-reloads model parameters from a checkpoint written by
+// Agent.Save: it builds a fresh agent with the serving agent's architecture
+// and configuration, loads the checkpoint into it, and swaps it in like
+// SwapAgent. The checkpoint must match the serving architecture; a
+// mismatch is rejected with the old model still serving.
+func (e *Engine) SwapCheckpoint(ctx context.Context, r io.Reader) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	st := e.state.Load()
+	// The MLP constructor sizes itself from a scenario's topology; hand it
+	// the topology currently being served.
+	scen := &Scenario{Items: []ScenarioItem{{Graph: st.router.Graph()}}}
+	agent, err := NewAgent(st.agent.Kind, scen, WithConfig(st.agent.Config))
+	if err != nil {
+		return fmt.Errorf("gddr: rebuilding serving architecture: %w", err)
+	}
+	if err := agent.Load(r); err != nil {
+		return fmt.Errorf("gddr: loading checkpoint: %w", err)
+	}
+	if err := e.replaceLocked(st, agent, identityTransform, false); err != nil {
+		return err
+	}
+	e.agentSwaps.Add(1)
+	return nil
+}
+
+// replaceLocked swaps the serving snapshot to (agent, transform(old)) with
+// validation before disruption and no lost observations:
+//
+//  1. The transition is validated and the replacement built and
+//     probe-checked against a provisional history, all while the old
+//     snapshot keeps serving — a rejected event or incompatible agent
+//     returns here with serving untouched.
+//  2. The old snapshot is drained, so its demand history is final; Route
+//     callers arriving in this window wait on old.next instead of failing.
+//  3. The final history is re-transformed and carried into the replacement,
+//     which is then published. No demand matrix routed on the old snapshot
+//     is lost, and every post-return decision is computed on the new state.
+//
+// skipProbe elides the probe forward pass for rebuilds around an
+// already-validated graph-size-agnostic agent. Callers hold e.mu.
+func (e *Engine) replaceLocked(old *engineState, agent *Agent, transform func(*Graph, []*DemandMatrix) (*Graph, []*DemandMatrix, error), skipProbe bool) error {
+	g := old.router.Graph()
+	g2, hist, err := transform(g, old.router.historySnapshot())
+	if err != nil {
+		return err
+	}
+	cfg := e.cfg
+	cfg.history = hist
+	cfg.skipProbe = skipProbe
+	r, err := newRouter(agent, g2, cfg)
+	if err != nil {
+		return err
+	}
+	old.router.Close()
+	// Re-transform the now-final history (in-flight batches may have pushed
+	// matrices after the provisional snapshot). A transform that just
+	// succeeded on the same graph cannot fail on a longer history; if it
+	// somehow does, the provisional history stands.
+	if _, final, err := transform(g, old.router.historySnapshot()); err == nil {
+		r.setHistory(final)
+	}
+	e.state.Store(&engineState{router: r, agent: agent, version: old.version + 1, next: make(chan struct{})})
+	close(old.next)
+	e.foldStatsLocked(old.router)
+	return nil
+}
+
+// foldStatsLocked folds a retired router's counters into the cumulative
+// stats. Callers hold e.mu; the router must already be closed.
+func (e *Engine) foldStatsLocked(r *Router) {
+	s := r.Stats()
+	e.retired.Requests += s.Requests
+	e.retired.Batches += s.Batches
+	e.retired.ForwardPasses += s.ForwardPasses
+}
+
+// Graph returns a copy of the topology currently being served (nil after
+// Close). The copy is the caller's to modify; changing it does not affect
+// the engine — topology changes go through Apply.
+func (e *Engine) Graph() *Graph {
+	st := e.state.Load()
+	if st == nil {
+		return nil
+	}
+	return st.router.Graph().Clone()
+}
+
+// Version returns the current topology version: 1 at construction,
+// incremented by every successful Apply, SwapAgent, or SwapCheckpoint.
+// Zero after Close.
+func (e *Engine) Version() int64 {
+	st := e.state.Load()
+	if st == nil {
+		return 0
+	}
+	return st.version
+}
+
+// Stats returns cumulative serving counters across every topology and
+// model the engine has served.
+func (e *Engine) Stats() EngineStats {
+	stats := EngineStats{
+		EventsApplied: e.eventsApplied.Load(),
+		AgentSwaps:    e.agentSwaps.Load(),
+	}
+	e.mu.Lock()
+	stats.RouterStats = e.retired
+	st := e.state.Load()
+	e.mu.Unlock()
+	if st != nil {
+		s := st.router.Stats()
+		stats.Requests += s.Requests
+		stats.Batches += s.Batches
+		stats.ForwardPasses += s.ForwardPasses
+		stats.TopologyVersion = st.version
+		g := st.router.Graph()
+		stats.Nodes = g.NumNodes()
+		stats.Edges = g.NumEdges()
+	}
+	return stats
+}
+
+// Close stops serving: in-flight requests drain, then every subsequent
+// Route, Apply, or swap returns ErrClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	st := e.state.Load()
+	e.state.Store(nil)
+	if st != nil {
+		st.router.Close()
+		close(st.next) // wake waiters; they observe the nil state
+		e.foldStatsLocked(st.router)
+	}
+}

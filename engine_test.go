@@ -1,0 +1,440 @@
+package gddr
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gddr/internal/routing"
+	"gddr/internal/traffic"
+)
+
+func testEngine(t *testing.T, opts ...RouterOption) *Engine {
+	t.Helper()
+	engine, err := NewEngine(testRouterAgent(t), Abilene(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(engine.Close)
+	return engine
+}
+
+// removableLink finds a link pair of g whose removal keeps the graph
+// strongly connected.
+func removableLink(t *testing.T, g *Graph) (int, int, float64) {
+	t.Helper()
+	for _, e := range g.Edges() {
+		if e.From > e.To {
+			continue
+		}
+		c := g.Clone()
+		for _, pair := range [][2]int{{e.From, e.To}, {e.To, e.From}} {
+			if ei, err := c.EdgeBetween(pair[0], pair[1]); err == nil {
+				if err := c.RemoveEdge(ei); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if c.StronglyConnected() {
+			return e.From, e.To, e.Capacity
+		}
+	}
+	t.Fatal("no removable link")
+	return 0, 0, 0
+}
+
+// TestEngineApplyLinkDownReroutes is the end-to-end acceptance test:
+// Apply(LinkDown) followed by Route must return a valid decision on the
+// mutated graph — no weight for the dead edge, MLU computed on the
+// remaining capacity.
+func TestEngineApplyLinkDownReroutes(t *testing.T) {
+	engine := testEngine(t)
+	ctx := context.Background()
+	g := engine.Graph()
+	dm := testDemand(g, 1)
+
+	before, err := engine.Route(ctx, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Weights) != g.NumEdges() {
+		t.Fatalf("pre-event decision sized %d for %d edges", len(before.Weights), g.NumEdges())
+	}
+
+	u, v, _ := removableLink(t, g)
+	if err := engine.Apply(ctx, LinkDown{From: u, To: v}); err != nil {
+		t.Fatal(err)
+	}
+	mutated := engine.Graph()
+	if mutated.NumEdges() != g.NumEdges()-2 {
+		t.Fatalf("mutated graph has %d edges, want %d", mutated.NumEdges(), g.NumEdges()-2)
+	}
+	if _, err := mutated.EdgeBetween(u, v); err == nil {
+		t.Fatal("dead edge survived the event")
+	}
+
+	after, err := engine.Route(ctx, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decision is sized for the mutated graph: the dead edge has no
+	// weight, no split ratio, no load slot.
+	if len(after.Weights) != mutated.NumEdges() {
+		t.Fatalf("post-event decision sized %d for %d edges", len(after.Weights), mutated.NumEdges())
+	}
+	for sink, ratio := range after.Splits {
+		if len(ratio) != mutated.NumEdges() {
+			t.Fatalf("sink %d ratios sized %d for %d edges", sink, len(ratio), mutated.NumEdges())
+		}
+	}
+	// MLU is computed on the remaining capacity: re-evaluating the same
+	// weights on the mutated graph must agree exactly.
+	res, err := routing.EvaluateWeights(mutated, dm, after.Weights, after.Gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxUtilization != after.MaxUtilization {
+		t.Fatalf("decision MLU %g != substrate MLU %g on mutated graph", after.MaxUtilization, res.MaxUtilization)
+	}
+	if after.MaxUtilization <= 0 {
+		t.Fatal("degenerate post-event decision")
+	}
+	if got := engine.Version(); got != 2 {
+		t.Fatalf("topology version %d want 2", got)
+	}
+}
+
+// TestEngineApplyConcurrentRoute hammers Route from many goroutines while
+// link-down/link-up events churn the topology. Under -race this is the
+// satellite guarantee: an event during in-flight batches never serves
+// ratios for a deleted edge — every decision is internally consistent with
+// one topology version, and after the final Apply returns, new decisions
+// are sized for the final graph.
+func TestEngineApplyConcurrentRoute(t *testing.T) {
+	engine := testEngine(t, WithRouterWorkers(2), WithMaxBatch(4))
+	ctx := context.Background()
+	base := engine.Graph()
+	u, v, capacity := removableLink(t, base)
+
+	// Every decision must be sized for one of the two graphs that ever
+	// exist (link up / link down), and its splits must agree with that
+	// size — a mixed decision would mean ratios for a deleted edge.
+	validSizes := map[int]bool{base.NumEdges(): true, base.NumEdges() - 2: true}
+
+	dm := testDemand(base, 3)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	stop := make(chan struct{})
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d, err := engine.Route(ctx, dm)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !validSizes[len(d.Weights)] {
+					errCh <- fmt.Errorf("decision sized %d matches no topology version", len(d.Weights))
+					return
+				}
+				for _, ratio := range d.Splits {
+					if len(ratio) != len(d.Weights) {
+						errCh <- fmt.Errorf("splits sized %d vs weights %d: mixed topology", len(ratio), len(d.Weights))
+						return
+					}
+				}
+				if d.MaxUtilization <= 0 {
+					errCh <- errors.New("degenerate decision during churn")
+					return
+				}
+			}
+		}(c)
+	}
+
+	const flaps = 6
+	for i := 0; i < flaps; i++ {
+		if err := engine.Apply(ctx, LinkDown{From: u, To: v}); err != nil {
+			t.Fatal(err)
+		}
+		if err := engine.Apply(ctx, LinkUp{From: u, To: v, Capacity: capacity}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// After the last Apply returned, fresh decisions are on the final graph.
+	d, err := engine.Route(ctx, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Weights) != base.NumEdges() {
+		t.Fatalf("final decision sized %d want %d", len(d.Weights), base.NumEdges())
+	}
+	stats := engine.Stats()
+	if stats.EventsApplied != 2*flaps {
+		t.Fatalf("events applied %d want %d", stats.EventsApplied, 2*flaps)
+	}
+	if stats.TopologyVersion != 2*flaps+1 {
+		t.Fatalf("topology version %d want %d", stats.TopologyVersion, 2*flaps+1)
+	}
+	if stats.Requests == 0 || stats.ForwardPasses == 0 {
+		t.Fatal("stats lost across snapshot retirements")
+	}
+}
+
+func TestEngineRejectsInvalidEvents(t *testing.T) {
+	engine := testEngine(t)
+	ctx := context.Background()
+	g := engine.Graph()
+
+	cases := []Event{
+		LinkDown{From: 0, To: 0},                     // self link
+		LinkDown{From: 0, To: g.NumNodes() + 5},      // out of range
+		LinkUp{From: 0, To: 1, Capacity: -1},         // existing link, bad capacity
+		CapacityChange{From: 0, To: 0, Capacity: 10}, // self link
+		NodeAdd{AttachTo: nil, Capacity: 10},         // no peers
+		NodeRemove{Node: g.NumNodes() + 1},           // out of range
+	}
+	for _, ev := range cases {
+		if err := engine.Apply(ctx, ev); err == nil {
+			t.Fatalf("event %s %+v accepted", ev.Kind(), ev)
+		}
+	}
+	if err := engine.Apply(ctx); err == nil {
+		t.Fatal("empty event list accepted")
+	}
+	// Rejections leave the engine serving the original topology.
+	if engine.Version() != 1 {
+		t.Fatalf("version %d after rejected events, want 1", engine.Version())
+	}
+	if _, err := engine.Route(ctx, testDemand(g, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if engine.Stats().EventsApplied != 0 {
+		t.Fatal("rejected events counted as applied")
+	}
+}
+
+// TestEngineMLPRejectsTopologyEvents: a shape-bound MLP policy cannot
+// absorb a changed edge set; the re-probe must reject the event and keep
+// the old topology serving.
+func TestEngineMLPRejectsTopologyEvents(t *testing.T) {
+	g := Abilene()
+	rng := rand.New(rand.NewSource(60))
+	seqs, err := traffic.Sequences(1, g.NumNodes(), 6, 2, traffic.DefaultBimodal(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewAgent(MLPPolicy, NewScenario(g, seqs), WithMemory(2), WithMLPHidden(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(agent, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	ctx := context.Background()
+	u, v, _ := removableLink(t, g)
+	if err := engine.Apply(ctx, LinkDown{From: u, To: v}); err == nil {
+		t.Fatal("MLP absorbed a topology event its shape cannot fit")
+	}
+	if engine.Version() != 1 {
+		t.Fatalf("version %d after rejected event, want 1", engine.Version())
+	}
+	if _, err := engine.Route(ctx, testDemand(g, 61)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineNodeEventsRenumberHistory(t *testing.T) {
+	engine := testEngine(t)
+	ctx := context.Background()
+	g := engine.Graph()
+	n := g.NumNodes()
+
+	// Build up real history on the original topology.
+	for i := 0; i < 3; i++ {
+		if _, err := engine.Route(ctx, testDemand(g, int64(10+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Add a node: the engine now only accepts (n+1)-sized demands.
+	if err := engine.Apply(ctx, NodeAdd{Name: "pop", AttachTo: []int{0, 1}, Capacity: 9920}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Route(ctx, testDemand(g, 20)); err == nil {
+		t.Fatal("stale-sized demand accepted after node add")
+	}
+	grown := engine.Graph()
+	if grown.NumNodes() != n+1 {
+		t.Fatalf("nodes %d want %d", grown.NumNodes(), n+1)
+	}
+	d, err := engine.Route(ctx, testDemand(grown, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Weights) != grown.NumEdges() {
+		t.Fatalf("decision sized %d want %d", len(d.Weights), grown.NumEdges())
+	}
+
+	// Remove the node again: history shrinks back, old-size demands work.
+	if err := engine.Apply(ctx, NodeRemove{Node: n}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Route(ctx, testDemand(g, 22)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineSwapAgentZeroDowntime(t *testing.T) {
+	engine := testEngine(t, WithRouterWorkers(2))
+	ctx := context.Background()
+	g := engine.Graph()
+
+	// Route continuously while swapping agents: no call may fail.
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	stop := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := engine.Route(ctx, testDemand(g, int64(c*100+i))); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	for i := 0; i < 3; i++ {
+		replacement, err := NewAgent(GNNPolicy, nil, WithMemory(2), WithGNNSize(8, 1), WithSeed(int64(50+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := engine.SwapAgent(ctx, replacement); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := engine.Stats().AgentSwaps; got != 3 {
+		t.Fatalf("agent swaps %d want 3", got)
+	}
+}
+
+func TestEngineSwapCheckpoint(t *testing.T) {
+	engine := testEngine(t)
+	ctx := context.Background()
+	g := engine.Graph()
+	dm := testDemand(g, 30)
+
+	// Checkpoint a differently-seeded agent of the same architecture; after
+	// the swap the engine must route exactly like that agent.
+	donor, err := NewAgent(GNNPolicy, nil, WithMemory(2), WithGNNSize(8, 1), WithSeed(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := donor.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	donorRouter, err := NewRouter(donor, Abilene())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := donorRouter.Route(ctx, dm)
+	donorRouter.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := engine.SwapCheckpoint(ctx, &ckpt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := engine.Route(ctx, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxUtilization != want.MaxUtilization {
+		t.Fatalf("post-swap MLU %g != donor MLU %g", got.MaxUtilization, want.MaxUtilization)
+	}
+
+	// Garbage checkpoints are rejected with the old model still serving.
+	if err := engine.SwapCheckpoint(ctx, bytes.NewBufferString("not a checkpoint")); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+	if _, err := engine.Route(ctx, dm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineClose(t *testing.T) {
+	engine, err := NewEngine(testRouterAgent(t), Abilene())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Abilene()
+	if _, err := engine.Route(context.Background(), testDemand(g, 40)); err != nil {
+		t.Fatal(err)
+	}
+	engine.Close()
+	engine.Close() // idempotent
+	if _, err := engine.Route(context.Background(), testDemand(g, 41)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("route after close: got %v, want ErrClosed", err)
+	}
+	if err := engine.Apply(context.Background(), LinkDown{From: 0, To: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("apply after close: got %v, want ErrClosed", err)
+	}
+	if err := engine.SwapAgent(context.Background(), testRouterAgent(t)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("swap after close: got %v, want ErrClosed", err)
+	}
+	if engine.Graph() != nil || engine.Version() != 0 {
+		t.Fatal("closed engine still reports a topology")
+	}
+}
+
+func TestEngineWarmHistoryAppliesToFirstSnapshotOnly(t *testing.T) {
+	g := Abilene()
+	agent := testRouterAgent(t)
+	warm := []*DemandMatrix{testDemand(g, 50), testDemand(g, 51)}
+	engine, err := NewEngine(agent, g, WithWarmHistory(warm...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	if _, err := engine.Route(context.Background(), testDemand(g, 52)); err != nil {
+		t.Fatal(err)
+	}
+	// A mis-sized warm history is rejected up front, like NewRouter.
+	if _, err := NewEngine(agent, g, WithWarmHistory(traffic.NewDemandMatrix(3))); err == nil {
+		t.Fatal("mismatched warm history accepted")
+	}
+}

@@ -1,0 +1,200 @@
+package gddr
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gddr/internal/graph"
+)
+
+// Event is one topology change applied atomically by Engine.Apply: the
+// runtime counterpart of the paper's generalisation mutations (§VIII-D),
+// expressed as the operations a network operator actually performs — links
+// failing and recovering, capacities being re-provisioned, nodes joining
+// and leaving. Links are bidirectional pairs, matching the symmetric
+// topologies used throughout.
+//
+// The interface is sealed: the event set is closed so the wire format
+// (MarshalEvent/UnmarshalEvent) stays exhaustive.
+type Event interface {
+	// Kind returns the wire-format type tag ("link_down", "link_up",
+	// "capacity_change", "node_add", "node_remove").
+	Kind() string
+	// apply returns the mutated topology and the consistently renumbered
+	// demand history; the inputs are never modified.
+	apply(g *Graph, hist []*DemandMatrix) (*Graph, []*DemandMatrix, error)
+}
+
+// LinkDown removes the link between From and To (both directions). It is
+// rejected if the link does not exist or if losing it would disconnect the
+// network — a disconnected graph cannot route, so the engine refuses the
+// event and keeps serving the old topology.
+type LinkDown struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Kind implements Event.
+func (LinkDown) Kind() string { return "link_down" }
+
+func (e LinkDown) apply(g *Graph, hist []*DemandMatrix) (*Graph, []*DemandMatrix, error) {
+	m, err := graph.RemoveLink(g, e.From, e.To)
+	return m, hist, err
+}
+
+// LinkUp adds a bidirectional link of the given capacity between From and
+// To — a failed link recovering, or a new link being provisioned.
+type LinkUp struct {
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Capacity float64 `json:"capacity"`
+}
+
+// Kind implements Event.
+func (LinkUp) Kind() string { return "link_up" }
+
+func (e LinkUp) apply(g *Graph, hist []*DemandMatrix) (*Graph, []*DemandMatrix, error) {
+	m, err := graph.AddLink(g, e.From, e.To, e.Capacity)
+	return m, hist, err
+}
+
+// CapacityChange sets the capacity of the link between From and To (every
+// direction that exists) — an upgrade, a brown-out, or a partial failure.
+type CapacityChange struct {
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Capacity float64 `json:"capacity"`
+}
+
+// Kind implements Event.
+func (CapacityChange) Kind() string { return "capacity_change" }
+
+func (e CapacityChange) apply(g *Graph, hist []*DemandMatrix) (*Graph, []*DemandMatrix, error) {
+	m, err := graph.SetLinkCapacity(g, e.From, e.To, e.Capacity)
+	return m, hist, err
+}
+
+// NodeAdd attaches a new node (assigned the highest id, so existing ids are
+// unchanged) to each node in AttachTo with bidirectional links of the given
+// capacity. The demand history grows a zero row and column for it: a node
+// that just joined has no observed demand yet.
+type NodeAdd struct {
+	Name     string  `json:"name,omitempty"`
+	AttachTo []int   `json:"attach_to"`
+	Capacity float64 `json:"capacity"`
+}
+
+// Kind implements Event.
+func (NodeAdd) Kind() string { return "node_add" }
+
+func (e NodeAdd) apply(g *Graph, hist []*DemandMatrix) (*Graph, []*DemandMatrix, error) {
+	m, _, err := graph.AttachNode(g, e.Name, e.AttachTo, e.Capacity)
+	if err != nil {
+		return nil, nil, err
+	}
+	grown := make([]*DemandMatrix, len(hist))
+	for i, dm := range hist {
+		grown[i] = dm.WithNode()
+	}
+	return m, grown, nil
+}
+
+// NodeRemove deletes Node and its incident links, renumbering node ids
+// above it down by one. The demand history is renumbered the same way
+// (traffic to and from the node is dropped), so observations stay
+// index-aligned with the mutated graph. Rejected if the removal would
+// disconnect the network or shrink it below 3 nodes.
+type NodeRemove struct {
+	Node int `json:"node"`
+}
+
+// Kind implements Event.
+func (NodeRemove) Kind() string { return "node_remove" }
+
+func (e NodeRemove) apply(g *Graph, hist []*DemandMatrix) (*Graph, []*DemandMatrix, error) {
+	m, err := graph.DeleteNode(g, e.Node)
+	if err != nil {
+		return nil, nil, err
+	}
+	shrunk := make([]*DemandMatrix, len(hist))
+	for i, dm := range hist {
+		shrunk[i], err = dm.WithoutNode(e.Node)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return m, shrunk, nil
+}
+
+// eventEnvelope is the JSON wire format: a type tag plus the union of every
+// event's fields. It is what `POST /topology/event` on gddr-serve accepts.
+type eventEnvelope struct {
+	Type     string  `json:"type"`
+	From     int     `json:"from,omitempty"`
+	To       int     `json:"to,omitempty"`
+	Capacity float64 `json:"capacity,omitempty"`
+	Name     string  `json:"name,omitempty"`
+	AttachTo []int   `json:"attach_to,omitempty"`
+	Node     int     `json:"node,omitempty"`
+}
+
+// MarshalEvent renders an event in the tagged JSON wire format, e.g.
+// {"type":"link_down","from":2,"to":9}.
+func MarshalEvent(e Event) ([]byte, error) {
+	env := eventEnvelope{Type: e.Kind()}
+	switch ev := e.(type) {
+	case LinkDown:
+		env.From, env.To = ev.From, ev.To
+	case LinkUp:
+		env.From, env.To, env.Capacity = ev.From, ev.To, ev.Capacity
+	case CapacityChange:
+		env.From, env.To, env.Capacity = ev.From, ev.To, ev.Capacity
+	case NodeAdd:
+		env.Name, env.AttachTo, env.Capacity = ev.Name, ev.AttachTo, ev.Capacity
+	case NodeRemove:
+		env.Node = ev.Node
+	default:
+		return nil, fmt.Errorf("gddr: cannot marshal event kind %q", e.Kind())
+	}
+	return json.Marshal(env)
+}
+
+// UnmarshalEvent parses the tagged JSON wire format produced by
+// MarshalEvent. Unknown type tags are an error listing the known kinds.
+func UnmarshalEvent(data []byte) (Event, error) {
+	var env eventEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("gddr: invalid event JSON: %w", err)
+	}
+	switch env.Type {
+	case LinkDown{}.Kind():
+		return LinkDown{From: env.From, To: env.To}, nil
+	case LinkUp{}.Kind():
+		return LinkUp{From: env.From, To: env.To, Capacity: env.Capacity}, nil
+	case CapacityChange{}.Kind():
+		return CapacityChange{From: env.From, To: env.To, Capacity: env.Capacity}, nil
+	case NodeAdd{}.Kind():
+		return NodeAdd{Name: env.Name, AttachTo: env.AttachTo, Capacity: env.Capacity}, nil
+	case NodeRemove{}.Kind():
+		return NodeRemove{Node: env.Node}, nil
+	default:
+		return nil, fmt.Errorf("gddr: unknown event type %q (known: link_down, link_up, capacity_change, node_add, node_remove)", env.Type)
+	}
+}
+
+// applyEvents threads (graph, history) through a sequence of events,
+// failing on the first invalid one without partial application (the caller
+// only swaps in the final result).
+func applyEvents(g *Graph, hist []*DemandMatrix, events []Event) (*Graph, []*DemandMatrix, error) {
+	for i, e := range events {
+		if e == nil {
+			return nil, nil, fmt.Errorf("gddr: event %d is nil", i)
+		}
+		var err error
+		g, hist, err = e.apply(g, hist)
+		if err != nil {
+			return nil, nil, fmt.Errorf("gddr: event %d (%s): %w", i, e.Kind(), err)
+		}
+	}
+	return g, hist, nil
+}

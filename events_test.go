@@ -1,0 +1,85 @@
+package gddr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		LinkDown{From: 2, To: 9},
+		LinkUp{From: 0, To: 4, Capacity: 9920},
+		CapacityChange{From: 1, To: 3, Capacity: 2480},
+		NodeAdd{Name: "pop", AttachTo: []int{0, 5}, Capacity: 9920},
+		NodeRemove{Node: 7},
+	}
+	for _, e := range events {
+		data, err := MarshalEvent(e)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Kind(), err)
+		}
+		if !strings.Contains(string(data), `"type":"`+e.Kind()+`"`) {
+			t.Fatalf("%s: wire format missing type tag: %s", e.Kind(), data)
+		}
+		back, err := UnmarshalEvent(data)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Kind(), err)
+		}
+		again, err := MarshalEvent(back)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Kind(), err)
+		}
+		if string(again) != string(data) {
+			t.Fatalf("%s: round trip changed wire format: %s vs %s", e.Kind(), data, again)
+		}
+	}
+}
+
+func TestUnmarshalEventRejectsUnknownType(t *testing.T) {
+	if _, err := UnmarshalEvent([]byte(`{"type":"flux_capacitor"}`)); err == nil {
+		t.Fatal("unknown event type accepted")
+	}
+	if _, err := UnmarshalEvent([]byte(`not json`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestApplyEventsThreadsHistory(t *testing.T) {
+	g := Abilene()
+	hist := []*DemandMatrix{testDemand(g, 1), testDemand(g, 2)}
+	n := g.NumNodes()
+
+	// NodeAdd grows every history matrix; NodeRemove shrinks them back and
+	// renumbers. Chain both to check threading through a sequence.
+	g2, hist2, err := applyEvents(g, hist, []Event{
+		NodeAdd{Name: "pop", AttachTo: []int{0, 1}, Capacity: 9920},
+		NodeRemove{Node: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != n {
+		t.Fatalf("nodes %d want %d", g2.NumNodes(), n)
+	}
+	for i, dm := range hist2 {
+		if dm.N != n {
+			t.Fatalf("history %d sized %d want %d", i, dm.N, n)
+		}
+		// Old node 1 became node 0 after removing node 0.
+		if got, want := dm.At(0, 1), hist[i].At(1, 2); got != want {
+			t.Fatalf("history %d not renumbered: (0,1)=%g want old (1,2)=%g", i, got, want)
+		}
+	}
+	// Originals untouched.
+	if hist[0].N != n || g.NumNodes() != n {
+		t.Fatal("inputs modified")
+	}
+
+	// First invalid event rejects the whole sequence.
+	if _, _, err := applyEvents(g, hist, []Event{LinkDown{From: 0, To: 0}}); err == nil {
+		t.Fatal("invalid event accepted")
+	}
+	if _, _, err := applyEvents(g, hist, []Event{nil}); err == nil {
+		t.Fatal("nil event accepted")
+	}
+}

@@ -9,10 +9,9 @@ import (
 	"log"
 	"math/rand"
 
+	"gddr"
 	"gddr/internal/lp"
 	"gddr/internal/routing"
-	"gddr/internal/topo"
-	"gddr/internal/traffic"
 )
 
 func main() {
@@ -22,12 +21,12 @@ func main() {
 }
 
 func run() error {
-	g := topo.NSFNet()
+	g := gddr.NSFNet()
 	rng := rand.New(rand.NewSource(5))
-	params := traffic.DefaultDiurnal()
+	params := gddr.DefaultDiurnalParams()
 	params.Period = 8 // compressed day for a quick demo
 	params.BaseTotal = 60000
-	seq, err := traffic.DiurnalSequence(g.NumNodes(), params.Period, params, rng)
+	seq, err := gddr.Diurnal(params).Sequence(g.NumNodes(), params.Period, rng)
 	if err != nil {
 		return err
 	}

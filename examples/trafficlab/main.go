@@ -10,10 +10,10 @@ import (
 	"log"
 	"math/rand"
 
+	"gddr"
 	"gddr/internal/lp"
 	"gddr/internal/routing"
 	"gddr/internal/topo"
-	"gddr/internal/traffic"
 )
 
 func main() {
@@ -26,19 +26,39 @@ func run() error {
 	rng := rand.New(rand.NewSource(17))
 	fmt.Printf("%-10s %-10s %10s %10s %10s %12s\n",
 		"topology", "traffic", "U_opt", "sp/opt", "ecmp/opt", "softmin1/opt")
+	// The workloads come from the public generator surface; Sparsified
+	// composes over any inner generator.
+	generators := []struct {
+		kind string
+		gen  gddr.Generator
+	}{
+		{"bimodal", gddr.Bimodal(gddr.DefaultBimodalParams())},
+		{"gravity", nil}, // sized per topology below
+		{"sparse", gddr.Sparsified(gddr.Bimodal(gddr.DefaultBimodalParams()), 0.3)},
+	}
 	for _, name := range []string{"abilene", "nsfnet", "b4"} {
 		g, err := topo.Named(name)
 		if err != nil {
 			return err
 		}
 		n := g.NumNodes()
-		workloads := []struct {
+		workloads := make([]struct {
 			kind string
-			dm   *traffic.DemandMatrix
-		}{
-			{"bimodal", traffic.Bimodal(n, traffic.DefaultBimodal(), rng)},
-			{"gravity", traffic.Gravity(n, 400*float64(n*n), rng)},
-			{"sparse", traffic.Sparsify(traffic.Bimodal(n, traffic.DefaultBimodal(), rng), 0.3, rng)},
+			dm   *gddr.DemandMatrix
+		}, 0, len(generators))
+		for _, spec := range generators {
+			gen := spec.gen
+			if gen == nil {
+				gen = gddr.Gravity(400 * float64(n*n))
+			}
+			seq, err := gen.Sequence(n, 1, rng)
+			if err != nil {
+				return err
+			}
+			workloads = append(workloads, struct {
+				kind string
+				dm   *gddr.DemandMatrix
+			}{spec.kind, seq[0]})
 		}
 		for _, w := range workloads {
 			opt, _, err := lp.OptimalMaxUtilization(g, w.dm)

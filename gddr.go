@@ -127,16 +127,18 @@ func (s *Scenario) envs(cfg env.Config, cache *env.OptimalCache) ([]*env.Env, er
 
 // AbileneScenario reproduces the paper's main workload: cyclical bimodal
 // sequences on the Abilene graph (60 DMs, cycle length 10), split into
-// train and test scenario pairs (the paper uses 7 train + 3 test).
+// train and test scenario pairs (the paper uses 7 train + 3 test). It is a
+// convenience over the generator surface: Cyclical(Bimodal(params), cycle)
+// drawn from one seeded rng.
 func AbileneScenario(trainSeqs, testSeqs, seqLen, cycle int, seed int64) (train, test *Scenario, err error) {
 	g := Abilene()
 	rng := rand.New(rand.NewSource(seed))
-	params := traffic.DefaultBimodal()
-	trainS, err := traffic.Sequences(trainSeqs, g.NumNodes(), seqLen, cycle, params, rng)
+	gen := Cyclical(Bimodal(traffic.DefaultBimodal()), cycle)
+	trainS, err := GenerateSequences(gen, trainSeqs, g.NumNodes(), seqLen, rng)
 	if err != nil {
 		return nil, nil, err
 	}
-	testS, err := traffic.Sequences(testSeqs, g.NumNodes(), seqLen, cycle, params, rng)
+	testS, err := GenerateSequences(gen, testSeqs, g.NumNodes(), seqLen, rng)
 	if err != nil {
 		return nil, nil, err
 	}

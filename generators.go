@@ -1,0 +1,179 @@
+package gddr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gddr/internal/traffic"
+)
+
+// Generator produces demand-matrix sequences: the public traffic-generation
+// surface, promoted from internal/traffic so every demand model of the
+// paper's evaluation (and this reproduction's extensions) is constructible
+// by callers and composable — e.g. Sparsified(Cyclical(Bimodal(p), 10),
+// 0.3) is a sparse cyclical bimodal workload. Generators are stateless:
+// all variation comes from the rng, so a sequence is reproducible from the
+// seed.
+type Generator interface {
+	// Sequence draws length demand matrices for an n-node topology, in
+	// timestep order, consuming randomness from rng.
+	Sequence(n, length int, rng *rand.Rand) ([]*DemandMatrix, error)
+}
+
+// DiurnalParams configures the Diurnal generator (re-exported from
+// internal/traffic).
+type DiurnalParams = traffic.DiurnalParams
+
+// DefaultBimodalParams returns the paper's example bimodal parameters.
+func DefaultBimodalParams() BimodalParams { return traffic.DefaultBimodal() }
+
+// DefaultDiurnalParams returns a 24-step day with a 3x peak.
+func DefaultDiurnalParams() DiurnalParams { return traffic.DefaultDiurnal() }
+
+// GeneratorFunc adapts a function to the Generator interface.
+type GeneratorFunc func(n, length int, rng *rand.Rand) ([]*DemandMatrix, error)
+
+// Sequence implements Generator.
+func (f GeneratorFunc) Sequence(n, length int, rng *rand.Rand) ([]*DemandMatrix, error) {
+	return f(n, length, rng)
+}
+
+// Bimodal generates independent bimodal demand matrices each timestep —
+// the paper's elephant-flow model (§VIII-B) without temporal structure.
+func Bimodal(p BimodalParams) Generator {
+	return GeneratorFunc(func(n, length int, rng *rand.Rand) ([]*DemandMatrix, error) {
+		if err := checkSequenceDims(n, length); err != nil {
+			return nil, err
+		}
+		seq := make([]*DemandMatrix, length)
+		for i := range seq {
+			seq[i] = traffic.Bimodal(n, p, rng)
+		}
+		return seq, nil
+	})
+}
+
+// Gravity generates independent gravity-model demand matrices with the
+// given total demand each timestep.
+func Gravity(total float64) Generator {
+	return GeneratorFunc(func(n, length int, rng *rand.Rand) ([]*DemandMatrix, error) {
+		if err := checkSequenceDims(n, length); err != nil {
+			return nil, err
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("gddr: gravity total must be positive, got %g", total)
+		}
+		seq := make([]*DemandMatrix, length)
+		for i := range seq {
+			seq[i] = traffic.Gravity(n, total, rng)
+		}
+		return seq, nil
+	})
+}
+
+// Diurnal generates a day-cycle workload: one fixed gravity structure whose
+// total demand follows a sinusoid with one peak per period (this
+// reproduction's §IX-A extension).
+func Diurnal(p DiurnalParams) Generator {
+	return GeneratorFunc(func(n, length int, rng *rand.Rand) ([]*DemandMatrix, error) {
+		return traffic.DiurnalSequence(n, length, p, rng)
+	})
+}
+
+// Sparsified zeroes each off-diagonal entry of the inner generator's
+// matrices independently with probability 1-keepProb, modelling sparse
+// traffic.
+func Sparsified(inner Generator, keepProb float64) Generator {
+	return GeneratorFunc(func(n, length int, rng *rand.Rand) ([]*DemandMatrix, error) {
+		if keepProb < 0 || keepProb > 1 {
+			return nil, fmt.Errorf("gddr: keep probability %g outside [0,1]", keepProb)
+		}
+		seq, err := inner.Sequence(n, length, rng)
+		if err != nil {
+			return nil, err
+		}
+		for i, dm := range seq {
+			seq[i] = traffic.Sparsify(dm, keepProb, rng)
+		}
+		return seq, nil
+	})
+}
+
+// Cyclical draws cycle base matrices from the inner generator and repeats
+// them to the requested length (x_i = D_{i mod cycle}) — the temporal
+// regularity the paper's data-driven premise relies on (§III).
+// Cyclical(Bimodal(p), cycle) is exactly the paper's main workload.
+func Cyclical(inner Generator, cycle int) Generator {
+	return GeneratorFunc(func(n, length int, rng *rand.Rand) ([]*DemandMatrix, error) {
+		if cycle <= 0 {
+			return nil, fmt.Errorf("gddr: cycle must be positive, got %d", cycle)
+		}
+		if err := checkSequenceDims(n, length); err != nil {
+			return nil, err
+		}
+		base, err := inner.Sequence(n, cycle, rng)
+		if err != nil {
+			return nil, err
+		}
+		seq := make([]*DemandMatrix, length)
+		for i := range seq {
+			seq[i] = base[i%cycle]
+		}
+		return seq, nil
+	})
+}
+
+// GenerateSequences draws count independent sequences from gen (the shape
+// the paper's 7-train/3-test split uses).
+func GenerateSequences(gen Generator, count, n, length int, rng *rand.Rand) ([][]*DemandMatrix, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("gddr: nil generator")
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("gddr: sequence count must be >= 1, got %d", count)
+	}
+	out := make([][]*DemandMatrix, count)
+	for i := range out {
+		seq, err := gen.Sequence(n, length, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = seq
+	}
+	return out, nil
+}
+
+// NewGeneratedScenario builds a single-topology scenario by drawing seqs
+// sequences of length seqLen from gen, seeded deterministically.
+func NewGeneratedScenario(g *Graph, gen Generator, seqs, seqLen int, seed int64) (*Scenario, error) {
+	s := &Scenario{}
+	if err := s.AddGenerated(g, gen, seqs, seqLen, seed); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// AddGenerated appends a topology with seqs generated sequences of length
+// seqLen, seeded deterministically per call.
+func (s *Scenario) AddGenerated(g *Graph, gen Generator, seqs, seqLen int, seed int64) error {
+	if g == nil {
+		return fmt.Errorf("gddr: generated scenario needs a graph")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sequences, err := GenerateSequences(gen, seqs, g.NumNodes(), seqLen, rng)
+	if err != nil {
+		return err
+	}
+	s.Add(g, sequences)
+	return nil
+}
+
+func checkSequenceDims(n, length int) error {
+	if n < 2 {
+		return fmt.Errorf("gddr: generator needs >= 2 nodes, got %d", n)
+	}
+	if length < 1 {
+		return fmt.Errorf("gddr: sequence length must be >= 1, got %d", length)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package gddr
+
+import (
+	"math/rand"
+	"testing"
+
+	"gddr/internal/traffic"
+)
+
+func validateSequence(t *testing.T, seq []*DemandMatrix, n, length int) {
+	t.Helper()
+	if len(seq) != length {
+		t.Fatalf("sequence length %d want %d", len(seq), length)
+	}
+	for i, dm := range seq {
+		if dm.N != n {
+			t.Fatalf("matrix %d sized %d want %d", i, dm.N, n)
+		}
+		if err := dm.Validate(); err != nil {
+			t.Fatalf("matrix %d: %v", i, err)
+		}
+	}
+}
+
+func TestGeneratorsProduceValidSequences(t *testing.T) {
+	gens := map[string]Generator{
+		"bimodal":    Bimodal(DefaultBimodalParams()),
+		"gravity":    Gravity(4000),
+		"diurnal":    Diurnal(DefaultDiurnalParams()),
+		"sparsified": Sparsified(Bimodal(DefaultBimodalParams()), 0.3),
+		"cyclical":   Cyclical(Gravity(4000), 4),
+		"composed":   Sparsified(Cyclical(Bimodal(DefaultBimodalParams()), 3), 0.5),
+	}
+	for name, gen := range gens {
+		rng := rand.New(rand.NewSource(1))
+		seq, err := gen.Sequence(7, 12, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		validateSequence(t, seq, 7, 12)
+	}
+}
+
+func TestCyclicalTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seq, err := Cyclical(Bimodal(DefaultBimodalParams()), 3).Sequence(5, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != seq[i%3] {
+			t.Fatalf("timestep %d does not repeat base matrix %d", i, i%3)
+		}
+	}
+}
+
+func TestSparsifiedZeroes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dense, err := Bimodal(DefaultBimodalParams()).Sequence(8, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng = rand.New(rand.NewSource(3))
+	sparse, err := Sparsified(Bimodal(DefaultBimodalParams()), 0.2).Sequence(8, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse[0].Total() >= dense[0].Total() {
+		t.Fatalf("sparsified total %g not below dense %g", sparse[0].Total(), dense[0].Total())
+	}
+}
+
+func TestDiurnalGeneratorPeriodicity(t *testing.T) {
+	p := DefaultDiurnalParams()
+	p.Period = 4
+	p.BaseTotal = 1000
+	rng := rand.New(rand.NewSource(4))
+	seq, err := Diurnal(p).Sequence(6, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if got, want := seq[i+4].Total(), seq[i].Total(); got != want {
+			t.Fatalf("timestep %d total %g != timestep %d total %g", i+4, got, i, want)
+		}
+	}
+}
+
+func TestGeneratorRejectsBadDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct {
+		name string
+		gen  Generator
+		n, l int
+	}{
+		{"tiny graph", Bimodal(DefaultBimodalParams()), 1, 5},
+		{"zero length", Gravity(100), 5, 0},
+		{"bad cycle", Cyclical(Gravity(100), 0), 5, 5},
+		{"bad keep prob", Sparsified(Gravity(100), 1.5), 5, 5},
+		{"bad total", Gravity(-1), 5, 5},
+	}
+	for _, c := range cases {
+		if _, err := c.gen.Sequence(c.n, c.l, rng); err == nil {
+			t.Fatalf("%s accepted", c.name)
+		}
+	}
+	if _, err := GenerateSequences(nil, 1, 5, 5, rng); err == nil {
+		t.Fatal("nil generator accepted")
+	}
+	if _, err := GenerateSequences(Gravity(100), 0, 5, 5, rng); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+// TestAbileneScenarioMatchesInternalWorkload pins the generator surface to
+// the internal workload it was promoted from: same seed, same matrices.
+func TestAbileneScenarioMatchesInternalWorkload(t *testing.T) {
+	g := Abilene()
+	rng := rand.New(rand.NewSource(9))
+	want, err := traffic.Sequences(2, g.NumNodes(), 12, 4, traffic.DefaultBimodal(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng = rand.New(rand.NewSource(9))
+	got, err := GenerateSequences(Cyclical(Bimodal(DefaultBimodalParams()), 4), 2, g.NumNodes(), 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range want {
+		for i := range want[s] {
+			for j, v := range want[s][i].Data {
+				if got[s][i].Data[j] != v {
+					t.Fatalf("sequence %d matrix %d entry %d: %g != %g", s, i, j, got[s][i].Data[j], v)
+				}
+			}
+		}
+	}
+}
+
+func TestNewGeneratedScenario(t *testing.T) {
+	g := NSFNet()
+	s, err := NewGeneratedScenario(g, Diurnal(DefaultDiurnalParams()), 2, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Items) != 1 || len(s.Items[0].Sequences) != 2 {
+		t.Fatalf("unexpected scenario shape: %d items", len(s.Items))
+	}
+	// Multi-topology composition via AddGenerated.
+	if err := s.AddGenerated(Abilene(), Gravity(4000), 1, 8, 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGeneratedScenario(nil, Gravity(1), 1, 5, 1); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}

@@ -105,6 +105,23 @@ func Observe(g *graph.Graph, hist []*traffic.DemandMatrix) (*Observation, error)
 	}, nil
 }
 
+// HistoryWindow returns the memory most recent matrices of hist (oldest
+// first), padding a cold-start history by repeating fallback. It is the
+// single definition of the serving-time history contract — the Router fast
+// path and the Engine's topology rebuilds both window histories through it,
+// matching the training-time rule that a decision for time t observes the m
+// demands up to t-1.
+func HistoryWindow(hist []*traffic.DemandMatrix, memory int, fallback *traffic.DemandMatrix) []*traffic.DemandMatrix {
+	if len(hist) > memory {
+		hist = hist[len(hist)-memory:]
+	}
+	out := make([]*traffic.DemandMatrix, 0, memory)
+	for pad := len(hist); pad < memory; pad++ {
+		out = append(out, fallback)
+	}
+	return append(out, hist...)
+}
+
 // SetIterativeState overwrites the iterative-mode edge features in place:
 // column 1 holds the pending action value per edge, column 2 marks edges
 // whose weight has been set this round, column 3 marks the edge the next

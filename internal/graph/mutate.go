@@ -38,22 +38,62 @@ func (k MutationKind) String() string {
 	}
 }
 
+// Trace records the node-id consequences of a mutation so that callers can
+// renumber node-indexed data consistently. RemoveNode deletes a node id and
+// shifts every id above it down by one, which silently misaligns any demand
+// matrix (or other node-indexed structure) built for the original graph;
+// the trace exposes which id vanished (or appeared) so the caller can apply
+// the matching renumbering — e.g. traffic.DemandMatrix.WithoutNode.
+type Trace struct {
+	Kind MutationKind
+	// RemovedNode is the deleted node id for RemoveNodeMutation (-1
+	// otherwise). Ids above it shifted down by one.
+	RemovedNode int
+	// AddedNode is the new node id for AddNodeMutation (-1 otherwise); it is
+	// always the highest id, so existing ids are unchanged.
+	AddedNode int
+}
+
 // Mutate returns a copy of g with one random connectivity-preserving
 // modification of the given kind applied. Edge mutations treat links as
 // bidirectional pairs, matching the symmetric topologies used in the paper.
+//
+// RemoveNodeMutation renumbers node ids above the removed node down by one;
+// demand matrices generated for g do NOT index the mutated graph correctly.
+// Use MutateTraced to learn which node was removed and renumber, or generate
+// fresh demand matrices for the mutated graph (as the figure-8 experiment
+// does).
 func Mutate(g *Graph, kind MutationKind, rng *rand.Rand) (*Graph, error) {
+	m, _, err := MutateTraced(g, kind, rng)
+	return m, err
+}
+
+// MutateTraced is Mutate, additionally reporting the node-renumbering
+// consequences of the mutation.
+func MutateTraced(g *Graph, kind MutationKind, rng *rand.Rand) (*Graph, Trace, error) {
+	trace := Trace{Kind: kind, RemovedNode: -1, AddedNode: -1}
+	var m *Graph
+	var err error
 	switch kind {
 	case AddEdgeMutation:
-		return mutateAddEdge(g, rng)
+		m, err = mutateAddEdge(g, rng)
 	case RemoveEdgeMutation:
-		return mutateRemoveEdge(g, rng)
+		m, err = mutateRemoveEdge(g, rng)
 	case AddNodeMutation:
-		return mutateAddNode(g, rng)
+		m, err = mutateAddNode(g, rng)
+		if err == nil {
+			trace.AddedNode = m.NumNodes() - 1
+		}
 	case RemoveNodeMutation:
-		return mutateRemoveNode(g, rng)
+		var removed int
+		m, removed, err = mutateRemoveNode(g, rng)
+		if err == nil {
+			trace.RemovedNode = removed
+		}
 	default:
-		return nil, fmt.Errorf("graph: unknown mutation kind %d", int(kind))
+		return nil, trace, fmt.Errorf("graph: unknown mutation kind %d", int(kind))
 	}
+	return m, trace, err
 }
 
 // RandomMutation applies count random mutations (1 or 2 in the paper),
@@ -188,27 +228,27 @@ func mutateAddNode(g *Graph, rng *rand.Rand) (*Graph, error) {
 	return c, nil
 }
 
-func mutateRemoveNode(g *Graph, rng *rand.Rand) (*Graph, error) {
+func mutateRemoveNode(g *Graph, rng *rand.Rand) (*Graph, int, error) {
 	if g.NumNodes() <= 3 {
-		return nil, ErrNoMutation
+		return nil, -1, ErrNoMutation
 	}
 	var candidates []int
 	for v := 0; v < g.NumNodes(); v++ {
 		c := g.Clone()
 		if err := c.RemoveNode(v); err != nil {
-			return nil, err
+			return nil, -1, err
 		}
 		if c.NumNodes() >= 3 && c.StronglyConnected() {
 			candidates = append(candidates, v)
 		}
 	}
 	if len(candidates) == 0 {
-		return nil, ErrNoMutation
+		return nil, -1, ErrNoMutation
 	}
 	v := candidates[rng.Intn(len(candidates))]
 	c := g.Clone()
 	if err := c.RemoveNode(v); err != nil {
-		return nil, err
+		return nil, -1, err
 	}
-	return c, nil
+	return c, v, nil
 }

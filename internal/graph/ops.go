@@ -1,0 +1,128 @@
+package graph
+
+import "fmt"
+
+// This file holds the deterministic, connectivity-preserving topology
+// operations behind the public events API (gddr.LinkDown, gddr.LinkUp, ...).
+// Unlike the random Mutate variants above, these target a specific link or
+// node: the "operator pushed a change" counterpart to the paper's random
+// generalisation mutations. All operations return a mutated clone; the
+// input graph is never modified, so serving snapshots stay immutable.
+
+// RemoveLink returns a copy of g without the link between u and v (both
+// directions, matching the symmetric topologies used throughout). It fails
+// if no edge exists in either direction or if the removal would disconnect
+// the graph — routing needs strong connectivity, so a disconnecting failure
+// must be rejected rather than half-applied.
+func RemoveLink(g *Graph, u, v int) (*Graph, error) {
+	if err := checkNodes(g, u, v); err != nil {
+		return nil, err
+	}
+	c := g.Clone()
+	removed := 0
+	for _, pair := range [][2]int{{u, v}, {v, u}} {
+		if ei, err := c.EdgeBetween(pair[0], pair[1]); err == nil {
+			if err := c.RemoveEdge(ei); err != nil {
+				return nil, err
+			}
+			removed++
+		}
+	}
+	if removed == 0 {
+		return nil, fmt.Errorf("graph: no link between %d and %d: %w", u, v, ErrNoEdge)
+	}
+	if !c.StronglyConnected() {
+		return nil, fmt.Errorf("graph: removing link (%d,%d) disconnects the graph", u, v)
+	}
+	return c, nil
+}
+
+// AddLink returns a copy of g with a bidirectional link of the given
+// capacity between u and v. It fails if either direction already exists.
+func AddLink(g *Graph, u, v int, capacity float64) (*Graph, error) {
+	if err := checkNodes(g, u, v); err != nil {
+		return nil, err
+	}
+	c := g.Clone()
+	if err := c.AddBidirectional(u, v, capacity); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SetLinkCapacity returns a copy of g with the capacity of the link between
+// u and v set to capacity in every direction that exists. It fails if no
+// direction exists or the capacity is not positive.
+func SetLinkCapacity(g *Graph, u, v int, capacity float64) (*Graph, error) {
+	if err := checkNodes(g, u, v); err != nil {
+		return nil, err
+	}
+	c := g.Clone()
+	set := 0
+	for _, pair := range [][2]int{{u, v}, {v, u}} {
+		if ei, err := c.EdgeBetween(pair[0], pair[1]); err == nil {
+			if err := c.SetCapacity(ei, capacity); err != nil {
+				return nil, err
+			}
+			set++
+		}
+	}
+	if set == 0 {
+		return nil, fmt.Errorf("graph: no link between %d and %d: %w", u, v, ErrNoEdge)
+	}
+	return c, nil
+}
+
+// AttachNode returns a copy of g with a new node (the highest id, so
+// existing ids are unchanged) bidirectionally linked to each peer with the
+// given capacity. At least one peer is required to keep the graph strongly
+// connected; duplicate peers are rejected by the duplicate-edge check.
+func AttachNode(g *Graph, name string, peers []int, capacity float64) (*Graph, int, error) {
+	if len(peers) == 0 {
+		return nil, -1, fmt.Errorf("graph: attaching a node needs at least one peer")
+	}
+	for _, p := range peers {
+		if p < 0 || p >= g.NumNodes() {
+			return nil, -1, fmt.Errorf("graph: peer %d out of range [0,%d)", p, g.NumNodes())
+		}
+	}
+	c := g.Clone()
+	id := c.AddNode(name)
+	for _, p := range peers {
+		if err := c.AddBidirectional(id, p, capacity); err != nil {
+			return nil, -1, err
+		}
+	}
+	return c, id, nil
+}
+
+// DeleteNode returns a copy of g without node v and its incident edges,
+// renumbering ids above v down by one (the caller must renumber any
+// node-indexed data the same way — see Trace). It fails if the remaining
+// graph would be smaller than 3 nodes or not strongly connected.
+func DeleteNode(g *Graph, v int) (*Graph, error) {
+	if v < 0 || v >= g.NumNodes() {
+		return nil, fmt.Errorf("graph: node %d out of range [0,%d)", v, g.NumNodes())
+	}
+	if g.NumNodes() <= 3 {
+		return nil, fmt.Errorf("graph: cannot remove node %d from a %d-node graph", v, g.NumNodes())
+	}
+	c := g.Clone()
+	if err := c.RemoveNode(v); err != nil {
+		return nil, err
+	}
+	if !c.StronglyConnected() {
+		return nil, fmt.Errorf("graph: removing node %d disconnects the graph", v)
+	}
+	return c, nil
+}
+
+func checkNodes(g *Graph, u, v int) error {
+	if u < 0 || u >= g.NumNodes() || v < 0 || v >= g.NumNodes() {
+		return fmt.Errorf("graph: link endpoints (%d,%d) out of range [0,%d)", u, v, g.NumNodes())
+	}
+	if u == v {
+		return fmt.Errorf("graph: link endpoints must differ, got %d twice", u)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestRemoveLink(t *testing.T) {
+	g := mustRing(t, 6)
+	if err := g.AddBidirectional(0, 3, 10); err != nil {
+		t.Fatal(err)
+	}
+	m, err := RemoveLink(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumEdges() != g.NumEdges()-2 {
+		t.Fatalf("edges %d want %d", m.NumEdges(), g.NumEdges()-2)
+	}
+	if _, err := m.EdgeBetween(0, 3); !errors.Is(err, ErrNoEdge) {
+		t.Fatal("edge 0->3 survived removal")
+	}
+	if _, err := m.EdgeBetween(3, 0); !errors.Is(err, ErrNoEdge) {
+		t.Fatal("edge 3->0 survived removal")
+	}
+	if g.NumEdges() != 14 {
+		t.Fatal("original graph modified")
+	}
+	// Every star link is a bridge: removal must be refused.
+	star, err := Star(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RemoveLink(star, 0, 1); err == nil {
+		t.Fatal("disconnecting removal accepted")
+	}
+	if _, err := RemoveLink(g, 0, 2); !errors.Is(err, ErrNoEdge) {
+		t.Fatalf("absent link: got %v, want ErrNoEdge", err)
+	}
+	if _, err := RemoveLink(g, 0, 0); err == nil {
+		t.Fatal("self-link accepted")
+	}
+	if _, err := RemoveLink(g, 0, 99); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+}
+
+func TestAddLink(t *testing.T) {
+	g := mustRing(t, 5)
+	m, err := AddLink(g, 0, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei, err := m.EdgeBetween(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Edge(ei).Capacity != 7 {
+		t.Fatalf("capacity %g want 7", m.Edge(ei).Capacity)
+	}
+	if _, err := m.EdgeBetween(2, 0); err != nil {
+		t.Fatal("reverse direction missing")
+	}
+	if _, err := AddLink(g, 0, 1, 7); err == nil {
+		t.Fatal("duplicate link accepted")
+	}
+	if _, err := AddLink(g, 0, 2, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestSetLinkCapacity(t *testing.T) {
+	g := mustRing(t, 4)
+	m, err := SetLinkCapacity(g, 1, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{1, 2}, {2, 1}} {
+		ei, err := m.EdgeBetween(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Edge(ei).Capacity != 42 {
+			t.Fatalf("capacity %g want 42", m.Edge(ei).Capacity)
+		}
+	}
+	// Original untouched.
+	ei, _ := g.EdgeBetween(1, 2)
+	if g.Edge(ei).Capacity == 42 {
+		t.Fatal("original graph modified")
+	}
+	if _, err := SetLinkCapacity(g, 0, 2, 5); !errors.Is(err, ErrNoEdge) {
+		t.Fatalf("absent link: got %v, want ErrNoEdge", err)
+	}
+	if _, err := SetLinkCapacity(g, 1, 2, -1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestAttachNode(t *testing.T) {
+	g := mustRing(t, 4)
+	m, id, err := AttachNode(g, "pop", []int{0, 2}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 4 {
+		t.Fatalf("new node id %d want 4", id)
+	}
+	if m.Name(id) != "pop" {
+		t.Fatalf("name %q want pop", m.Name(id))
+	}
+	if !m.StronglyConnected() {
+		t.Fatal("attach broke connectivity")
+	}
+	if len(m.OutEdges(id)) != 2 {
+		t.Fatalf("degree %d want 2", len(m.OutEdges(id)))
+	}
+	if _, _, err := AttachNode(g, "x", nil, 9); err == nil {
+		t.Fatal("peerless attach accepted")
+	}
+	if _, _, err := AttachNode(g, "x", []int{0, 0}, 9); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+	if _, _, err := AttachNode(g, "x", []int{9}, 9); err == nil {
+		t.Fatal("out-of-range peer accepted")
+	}
+}
+
+func TestDeleteNode(t *testing.T) {
+	// Bidirectional ring: removing any node leaves a bidirectional path,
+	// still strongly connected.
+	g := mustRing(t, 5)
+	m, err := DeleteNode(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 4 {
+		t.Fatalf("nodes %d want 4", m.NumNodes())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.StronglyConnected() {
+		t.Fatal("delete broke connectivity")
+	}
+	if _, err := DeleteNode(g, 9); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	small := mustRing(t, 3)
+	if _, err := DeleteNode(small, 0); err == nil {
+		t.Fatal("shrinking below 3 nodes accepted")
+	}
+	// A hub whose removal disconnects the graph is refused.
+	star, err := Star(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeleteNode(star, 0); err == nil {
+		t.Fatal("disconnecting delete accepted")
+	}
+}
+
+// TestMutateTracedRemoveNodeRenumbering is the regression test for the
+// node-removal renumbering hazard: Mutate used to hide which node id was
+// deleted, so demand matrices built for the original graph could not be
+// renumbered and silently misindexed the mutated graph.
+func TestMutateTracedRemoveNodeRenumbering(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := mustRing(t, 6)
+	if err := g.AddBidirectional(0, 3, 10); err != nil {
+		t.Fatal(err)
+	}
+	m, trace, err := MutateTraced(g, RemoveNodeMutation, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Kind != RemoveNodeMutation {
+		t.Fatalf("trace kind %v", trace.Kind)
+	}
+	v := trace.RemovedNode
+	if v < 0 || v >= g.NumNodes() {
+		t.Fatalf("removed node %d out of range", v)
+	}
+	if m.NumNodes() != g.NumNodes()-1 {
+		t.Fatalf("nodes %d want %d", m.NumNodes(), g.NumNodes()-1)
+	}
+	// Names above the removed id shifted down by one — the renumbering any
+	// node-indexed data must mirror.
+	for w := 0; w < m.NumNodes(); w++ {
+		old := w
+		if w >= v {
+			old = w + 1
+		}
+		if m.Name(w) != g.Name(old) {
+			t.Fatalf("node %d named %q, want %q (old id %d)", w, m.Name(w), g.Name(old), old)
+		}
+	}
+
+	// Non-node mutations report no renumbering.
+	_, trace, err = MutateTraced(g, AddEdgeMutation, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.RemovedNode != -1 || trace.AddedNode != -1 {
+		t.Fatalf("edge mutation reported node renumbering: %+v", trace)
+	}
+	madd, trace, err := MutateTraced(g, AddNodeMutation, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.AddedNode != madd.NumNodes()-1 {
+		t.Fatalf("added node %d want %d", trace.AddedNode, madd.NumNodes()-1)
+	}
+}

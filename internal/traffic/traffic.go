@@ -71,6 +71,53 @@ func (d *DemandMatrix) InSum(v int) float64 {
 	return s
 }
 
+// WithoutNode returns an (N-1)×(N-1) copy with node v's row and column
+// deleted, renumbering nodes above v down by one — the demand-side mirror
+// of graph.RemoveNode, so histories stay index-aligned after a node-removal
+// topology event. Traffic to and from the removed node is dropped.
+func (d *DemandMatrix) WithoutNode(v int) (*DemandMatrix, error) {
+	if v < 0 || v >= d.N {
+		return nil, fmt.Errorf("traffic: node %d out of range [0,%d)", v, d.N)
+	}
+	if d.N < 2 {
+		return nil, fmt.Errorf("traffic: cannot shrink a %d-node demand matrix", d.N)
+	}
+	out := NewDemandMatrix(d.N - 1)
+	for s := 0; s < d.N; s++ {
+		if s == v {
+			continue
+		}
+		ns := s
+		if s > v {
+			ns--
+		}
+		for t := 0; t < d.N; t++ {
+			if t == v {
+				continue
+			}
+			nt := t
+			if t > v {
+				nt--
+			}
+			out.Set(ns, nt, d.At(s, t))
+		}
+	}
+	return out, nil
+}
+
+// WithNode returns an (N+1)×(N+1) copy with a zero-demand node appended as
+// the highest id — the demand-side mirror of graph.AddNode: a node that
+// just joined the network has no observed demand history yet.
+func (d *DemandMatrix) WithNode() *DemandMatrix {
+	out := NewDemandMatrix(d.N + 1)
+	for s := 0; s < d.N; s++ {
+		for t := 0; t < d.N; t++ {
+			out.Set(s, t, d.At(s, t))
+		}
+	}
+	return out
+}
+
 // MaxEntry returns the largest single demand.
 func (d *DemandMatrix) MaxEntry() float64 {
 	var m float64

@@ -214,3 +214,65 @@ func TestDiurnalValidation(t *testing.T) {
 		t.Fatal("zero length accepted")
 	}
 }
+
+func TestWithoutNodeRenumbers(t *testing.T) {
+	d := NewDemandMatrix(4)
+	for s := 0; s < 4; s++ {
+		for u := 0; u < 4; u++ {
+			if s != u {
+				d.Set(s, u, float64(10*s+u))
+			}
+		}
+	}
+	out, err := d.WithoutNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 3 {
+		t.Fatalf("N=%d want 3", out.N)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Old ids {0,2,3} map to new ids {0,1,2}.
+	old := []int{0, 2, 3}
+	for ns, s := range old {
+		for nt, u := range old {
+			if s == u {
+				continue
+			}
+			if got, want := out.At(ns, nt), d.At(s, u); got != want {
+				t.Fatalf("entry (%d,%d)=%g want %g (old (%d,%d))", ns, nt, got, want, s, u)
+			}
+		}
+	}
+	if _, err := d.WithoutNode(4); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	one := NewDemandMatrix(1)
+	if _, err := one.WithoutNode(0); err == nil {
+		t.Fatal("shrinking a 1-node matrix accepted")
+	}
+}
+
+func TestWithNodeGrowsWithZeroDemand(t *testing.T) {
+	d := NewDemandMatrix(3)
+	d.Set(0, 2, 5)
+	d.Set(2, 1, 7)
+	out := d.WithNode()
+	if out.N != 4 {
+		t.Fatalf("N=%d want 4", out.N)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 2) != 5 || out.At(2, 1) != 7 {
+		t.Fatal("existing demands not preserved")
+	}
+	if out.OutSum(3) != 0 || out.InSum(3) != 0 {
+		t.Fatal("new node has non-zero demand")
+	}
+	if d.N != 3 {
+		t.Fatal("original matrix modified")
+	}
+}

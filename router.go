@@ -16,8 +16,14 @@ import (
 	"gddr/internal/traffic"
 )
 
-// ErrRouterClosed is returned by Route after Close.
-var ErrRouterClosed = errors.New("gddr: router is closed")
+// ErrClosed is the sentinel returned by Route (and every Engine operation)
+// after Close: serving has stopped and no request will be accepted. Test
+// with errors.Is.
+var ErrClosed = errors.New("gddr: serving engine is closed")
+
+// ErrRouterClosed is the former name of ErrClosed, kept as an alias so
+// existing errors.Is checks keep working.
+var ErrRouterClosed = ErrClosed
 
 // Decision is the routing decision for one demand matrix: the learned edge
 // weights, the softmin spread, the fully-specified splitting ratios they
@@ -64,6 +70,13 @@ type routerConfig struct {
 	workers  int
 	maxBatch int
 	history  []*DemandMatrix
+	// skipProbe elides the construction-time probe forward pass. Only the
+	// Engine sets it, when rebuilding a snapshot around a graph-size-
+	// agnostic (GNN-family) agent that an earlier snapshot already
+	// validated: the probe exists to catch shape-bound policies, and
+	// skipping it keeps high-rate topology events off the forward-pass
+	// budget.
+	skipProbe bool
 }
 
 // WithRouterWorkers sets the number of serving goroutines (default
@@ -87,11 +100,18 @@ func WithWarmHistory(dms ...*DemandMatrix) RouterOption {
 }
 
 // Router wraps a trained Agent as a thread-safe inference engine for one
-// topology: the "GNN as deployable router" of the paper's motivation. It
-// keeps a sliding window of the most recent demand matrices (the policy's
+// frozen topology: the "GNN as deployable router" of the paper's
+// motivation, and the single-graph fast path underneath Engine. It keeps a
+// sliding window of the most recent demand matrices (the policy's
 // observation history) and answers Route calls with fully-specified
 // routing decisions. Concurrent callers are batched so that requests
 // arriving while the policy is busy share a single forward pass.
+//
+// A Router never changes its graph: topology events are expressed by
+// building a fresh Router on the mutated graph and retiring the old one,
+// which is exactly what Engine.Apply does. Use an Engine when the topology
+// or the model must change at runtime; use a bare Router when neither does
+// and the indirection is unwanted.
 //
 // The agent must not be trained while the router is serving; training
 // mutates the policy parameters the forward passes read.
@@ -132,15 +152,13 @@ type routeResponse struct {
 // agent bound to a different graph is rejected here rather than at the
 // first Route call.
 func NewRouter(agent *Agent, g *Graph, opts ...RouterOption) (*Router, error) {
-	if agent == nil {
-		return nil, fmt.Errorf("gddr: router needs an agent")
-	}
-	if g == nil {
-		return nil, fmt.Errorf("gddr: router needs a topology")
-	}
-	if !g.StronglyConnected() {
-		return nil, fmt.Errorf("gddr: router topology must be strongly connected")
-	}
+	return newRouter(agent, g, resolveRouterConfig(opts))
+}
+
+// resolveRouterConfig folds options over the defaults. Engine resolves the
+// options once at construction and reuses the config for every topology or
+// model rebuild, overriding only the carried history.
+func resolveRouterConfig(opts []RouterOption) routerConfig {
 	cfg := routerConfig{workers: runtime.GOMAXPROCS(0), maxBatch: 16}
 	for _, opt := range opts {
 		if opt != nil {
@@ -152,6 +170,20 @@ func NewRouter(agent *Agent, g *Graph, opts ...RouterOption) (*Router, error) {
 	}
 	if cfg.maxBatch < 1 {
 		cfg.maxBatch = 1
+	}
+	return cfg
+}
+
+// newRouter builds a router from a resolved config.
+func newRouter(agent *Agent, g *Graph, cfg routerConfig) (*Router, error) {
+	if agent == nil {
+		return nil, fmt.Errorf("gddr: router needs an agent")
+	}
+	if g == nil {
+		return nil, fmt.Errorf("gddr: router needs a topology")
+	}
+	if !g.StronglyConnected() {
+		return nil, fmt.Errorf("gddr: router topology must be strongly connected")
 	}
 	ecfg := agent.envConfig()
 	base := g.UnitWeights()
@@ -175,10 +207,12 @@ func NewRouter(agent *Agent, g *Graph, opts ...RouterOption) (*Router, error) {
 	}
 	// Probe: one decision on an empty demand matrix catches policies whose
 	// shape is bound to a different topology before serving starts.
-	if _, _, err := r.decide(r.snapshotHistory(traffic.NewDemandMatrix(g.NumNodes()))); err != nil {
-		return nil, fmt.Errorf("gddr: agent incompatible with topology: %w", err)
+	if !cfg.skipProbe {
+		if _, _, err := r.decide(r.snapshotHistory(traffic.NewDemandMatrix(g.NumNodes()))); err != nil {
+			return nil, fmt.Errorf("gddr: agent incompatible with topology: %w", err)
+		}
+		r.forwardPasses.Store(0) // the probe does not count as serving activity
 	}
-	r.forwardPasses.Store(0) // the probe does not count as serving activity
 	r.wg.Add(cfg.workers)
 	for w := 0; w < cfg.workers; w++ {
 		go r.worker()
@@ -206,7 +240,7 @@ func (r *Router) Route(ctx context.Context, dm *DemandMatrix) (*Decision, error)
 	select {
 	case r.reqCh <- req:
 	case <-r.quit:
-		return nil, ErrRouterClosed
+		return nil, ErrClosed
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -227,12 +261,38 @@ func (r *Router) Stats() RouterStats {
 	}
 }
 
+// Graph returns the frozen topology the router serves. The graph is shared,
+// not copied; it must not be modified.
+func (r *Router) Graph() *Graph { return r.g }
+
 // Close stops the serving workers and waits for them to exit. Route calls
-// not yet accepted by a worker return ErrRouterClosed; a request already
-// being served completes normally. Close is idempotent.
+// not yet accepted by a worker return ErrClosed; a request already being
+// served completes normally, so closing drains in-flight work. Close is
+// idempotent and safe to call concurrently with Route.
 func (r *Router) Close() {
 	r.closeOnce.Do(func() { close(r.quit) })
 	r.wg.Wait()
+}
+
+// historySnapshot copies the current demand history (oldest first), so the
+// Engine can carry observations across a topology or model swap.
+func (r *Router) historySnapshot() []*DemandMatrix {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*DemandMatrix(nil), r.history...)
+}
+
+// setHistory replaces the demand history (oldest first), trimming to the
+// memory window. The Engine uses it to carry the drained predecessor's
+// final history into a replacement snapshot before publishing it; the
+// matrices must already be sized for the router's topology.
+func (r *Router) setHistory(hist []*DemandMatrix) {
+	if m := r.ecfg.Memory; len(hist) > m {
+		hist = hist[len(hist)-m:]
+	}
+	r.mu.Lock()
+	r.history = append(r.history[:0], hist...)
+	r.mu.Unlock()
 }
 
 func (r *Router) worker() {
@@ -279,12 +339,7 @@ func (r *Router) push(dm *DemandMatrix) {
 // snapshotHistory returns the m most recent matrices, padding a cold-start
 // history with fallback, without mutating router state.
 func (r *Router) snapshotHistory(fallback *DemandMatrix) []*DemandMatrix {
-	m := r.ecfg.Memory
-	hist := make([]*DemandMatrix, 0, m)
-	for pad := len(r.history); pad < m; pad++ {
-		hist = append(hist, fallback)
-	}
-	return append(hist, r.history...)
+	return env.HistoryWindow(r.history, r.ecfg.Memory, fallback)
 }
 
 // serve answers one batch: one shared observation and forward pass, then a

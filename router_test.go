@@ -219,8 +219,68 @@ func TestRouterClose(t *testing.T) {
 	}
 	router.Close()
 	router.Close() // idempotent
+	if _, err := router.Route(context.Background(), testDemand(g, 7)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	// The former sentinel name must keep matching.
 	if _, err := router.Route(context.Background(), testDemand(g, 7)); !errors.Is(err, ErrRouterClosed) {
-		t.Fatalf("got %v, want ErrRouterClosed", err)
+		t.Fatalf("got %v, want ErrRouterClosed alias to match", err)
+	}
+}
+
+// TestRouterCloseUnderLoad closes the router while concurrent callers are
+// mid-flight and while other goroutines call Close concurrently: every
+// Route call must return either a valid decision or ErrClosed — never hang
+// or panic — and every Close must return. Run under -race.
+func TestRouterCloseUnderLoad(t *testing.T) {
+	g := Abilene()
+	router, err := NewRouter(testRouterAgent(t), g, WithRouterWorkers(2), WithMaxBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, callers*16)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				d, err := router.Route(context.Background(), testDemand(g, int64(c*1000+i)))
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						errCh <- err
+					}
+					return
+				}
+				if d.MaxUtilization <= 0 {
+					errCh <- errors.New("degenerate decision under load")
+					return
+				}
+			}
+		}(c)
+	}
+	// Let some traffic through, then close from several goroutines at once.
+	if _, err := router.Route(context.Background(), testDemand(g, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var closers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			router.Close()
+		}()
+	}
+	closers.Wait()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if _, err := router.Route(context.Background(), testDemand(g, 2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("route after close: got %v, want ErrClosed", err)
 	}
 }
 

@@ -113,6 +113,60 @@ func BenchmarkRouterRoute(b *testing.B) {
 	}
 }
 
+// BenchmarkRouterRouteSteady is the serving fast-path gate: single-caller
+// throughput under steady demand (the same matrix batch after batch, the
+// regime the paper's cyclical workloads settle into), with the fast-path
+// caches on versus off. Once the history window stabilises, the cached
+// path answers without an observation build, forward pass, or softmin
+// routing translation; CI requires it to be at least 2x faster than the
+// uncached baseline at Abilene scale, while TestRouterCacheGoldenDecisions
+// proves the decisions are bit-identical.
+func BenchmarkRouterRouteSteady(b *testing.B) {
+	for _, cached := range []bool{true, false} {
+		name := "cache=on"
+		if !cached {
+			name = "cache=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			agent, err := NewAgent(GNNPolicy, nil, WithMemory(3), WithGNNSize(16, 2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := topo.Abilene()
+			cfg := resolveRouterConfig([]RouterOption{WithRouterWorkers(1)})
+			cfg.noCache = !cached
+			router, err := newRouter(agent, g, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer router.Close()
+			rng := rand.New(rand.NewSource(22))
+			dm := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+			ctx := context.Background()
+			// Fill the history window so the steady state is reached before
+			// timing starts.
+			for i := 0; i < 4; i++ {
+				if _, err := router.Route(ctx, dm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := router.Route(ctx, dm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if cached {
+				stats := router.Stats()
+				if stats.PolicyCacheHits == 0 || stats.StrategyHits == 0 {
+					b.Fatalf("steady benchmark never hit the caches: %+v", stats)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRouterRouteConcurrent measures 8-way concurrent serving
 // throughput with a deliberately small worker pool, so simultaneous
 // requests queue up and get batched onto shared forward passes.

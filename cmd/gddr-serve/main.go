@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -27,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"gddr"
@@ -107,7 +109,7 @@ func run() error {
 
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           jsonErrors(mux),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
@@ -142,14 +144,98 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// statusFor maps serving errors to HTTP statuses: a closed engine is the
-// service going away, everything else surfaced by the API is a bad or
-// conflicting request.
+// statusClientClosedRequest is the de-facto (nginx) status for a request
+// abandoned by its caller: the engine did nothing wrong, the client went
+// away before the decision was ready.
+const statusClientClosedRequest = 499
+
+// statusFor maps serving errors to HTTP statuses, consistently across every
+// handler: a closed engine is the service going away (503), a cancelled
+// request context is the client having hung up (499), a deadline is a
+// timeout (504), an oversized body is 413, and everything else surfaced by
+// the API keeps the handler's fallback (a bad or conflicting request).
 func statusFor(err error, fallback int) int {
-	if errors.Is(err, gddr.ErrClosed) {
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.Is(err, gddr.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.As(err, &tooLarge):
+		return http.StatusRequestEntityTooLarge
 	}
 	return fallback
+}
+
+// jsonErrors wraps a handler so that every 4xx/5xx response carries a
+// structured {"error": ...} JSON body: the ServeMux itself (unknown path,
+// method mismatch) and http.Error-style helpers emit text/plain, which
+// would leave the gateway's error contract dependent on which layer
+// rejected the request. Responses that already chose a content type (our
+// writeError) pass through untouched.
+func jsonErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		jw := &jsonErrorWriter{ResponseWriter: w}
+		next.ServeHTTP(jw, r)
+		jw.flush()
+	})
+}
+
+// jsonErrorWriter intercepts error responses written without an explicit
+// content type, buffers their plain-text message, and re-emits it as JSON
+// when the handler finishes (Unwrap keeps http.ResponseController and
+// MaxBytesReader working through the wrapper).
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	intercept   bool
+	status      int
+	buf         bytes.Buffer
+}
+
+func (w *jsonErrorWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (w *jsonErrorWriter) WriteHeader(status int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	ct := w.Header().Get("Content-Type")
+	if status >= 400 && !strings.HasPrefix(ct, "application/json") {
+		w.intercept = true
+		w.status = status
+		return // header goes out with the JSON body in flush
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *jsonErrorWriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.intercept {
+		return w.buf.Write(b)
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// flush emits the buffered error as the JSON contract body.
+func (w *jsonErrorWriter) flush() {
+	if !w.intercept {
+		return
+	}
+	msg := strings.TrimSpace(w.buf.String())
+	if msg == "" {
+		msg = http.StatusText(w.status)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Del("Content-Length") // sized for the text body, if set
+	w.ResponseWriter.WriteHeader(w.status)
+	if err := json.NewEncoder(w.ResponseWriter).Encode(map[string]string{"error": msg}); err != nil {
+		log.Printf("gddr-serve: encoding error response: %v", err)
+	}
 }
 
 type routeRequest struct {
@@ -166,7 +252,7 @@ func handleRoute(engine *gddr.Engine) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req routeRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid route request: %w", err))
+			writeError(w, statusFor(err, http.StatusBadRequest), fmt.Errorf("invalid route request: %w", err))
 			return
 		}
 		dm, err := demandMatrix(req.Demands)
@@ -210,7 +296,7 @@ func handleEvent(engine *gddr.Engine) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		body, err := readBody(w, r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, statusFor(err, http.StatusBadRequest), err)
 			return
 		}
 		event, err := gddr.UnmarshalEvent(body)

@@ -93,7 +93,8 @@ func NewEngine(agent *Agent, g *Graph, opts ...RouterOption) (*Engine, error) {
 // swap: a request that races with a snapshot retirement waits out the
 // drain (at most one in-flight batch) and retries on the replacement.
 // After Close it returns ErrClosed; a demand matrix sized for a stale
-// topology returns a size-mismatch error.
+// topology returns a size-mismatch error. As with Router.Route, dm joins
+// the demand history and must not be modified after the call.
 func (e *Engine) Route(ctx context.Context, dm *DemandMatrix) (*Decision, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -119,8 +120,10 @@ func (e *Engine) Route(ctx context.Context, dm *DemandMatrix) (*Decision, error)
 // Apply atomically applies a sequence of topology events: the routing state
 // is rebuilt on the mutated graph, the demand history is renumbered
 // consistently (dropped rows for removed nodes, zero rows for added ones),
-// cached splitting ratios die with the old snapshot, and the policy is
-// probe-validated on the new topology before it serves. Events are
+// the serving fast-path caches (policy output and routing strategy) die
+// with the old snapshot so a cached strategy can never route on a stale
+// graph, and the policy is probe-validated on the new topology before it
+// serves. Events are
 // all-or-nothing: the first invalid event (unknown link, disconnecting
 // removal, ...) rejects the whole call and the current topology keeps
 // serving. Apply returns only after in-flight requests on the old topology
@@ -274,6 +277,9 @@ func (e *Engine) foldStatsLocked(r *Router) {
 	e.retired.Requests += s.Requests
 	e.retired.Batches += s.Batches
 	e.retired.ForwardPasses += s.ForwardPasses
+	e.retired.PolicyCacheHits += s.PolicyCacheHits
+	e.retired.StrategyHits += s.StrategyHits
+	e.retired.StrategyMisses += s.StrategyMisses
 }
 
 // Graph returns a copy of the topology currently being served (nil after
@@ -314,6 +320,9 @@ func (e *Engine) Stats() EngineStats {
 		stats.Requests += s.Requests
 		stats.Batches += s.Batches
 		stats.ForwardPasses += s.ForwardPasses
+		stats.PolicyCacheHits += s.PolicyCacheHits
+		stats.StrategyHits += s.StrategyHits
+		stats.StrategyMisses += s.StrategyMisses
 		stats.TopologyVersion = st.version
 		g := st.router.Graph()
 		stats.Nodes = g.NumNodes()

@@ -438,3 +438,228 @@ func TestEngineWarmHistoryAppliesToFirstSnapshotOnly(t *testing.T) {
 		t.Fatal("mismatched warm history accepted")
 	}
 }
+
+// TestEngineApplyInvalidatesServingCaches: after a topology event, a cached
+// routing strategy must never serve the old graph. The engine is driven to
+// a cache-hot steady state, a capacity change is applied, and the next
+// decision must be computed entirely on the mutated graph — its utilisation
+// must re-derive exactly from its own weights on the new capacities.
+func TestEngineApplyInvalidatesServingCaches(t *testing.T) {
+	engine := testEngine(t, WithRouterWorkers(1))
+	ctx := context.Background()
+	g := engine.Graph()
+	dm := testDemand(g, 70)
+
+	var before *Decision
+	for i := 0; i < 4; i++ {
+		d, err := engine.Route(ctx, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before = d
+	}
+	if hits := engine.Stats().StrategyHits; hits == 0 {
+		t.Fatal("steady demand never hit the strategy cache; the invalidation test is vacuous")
+	}
+
+	// Halve the capacity of the most loaded link.
+	maxEdge := 0
+	for ei := range before.Utilization {
+		if before.Utilization[ei] > before.Utilization[maxEdge] {
+			maxEdge = ei
+		}
+	}
+	edge := g.Edge(maxEdge)
+	if err := engine.Apply(ctx, CapacityChange{From: edge.From, To: edge.To, Capacity: edge.Capacity / 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	mutated := engine.Graph()
+	after, err := engine.Route(ctx, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := routing.EvaluateWeights(mutated, dm, after.Weights, after.Gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxUtilization != after.MaxUtilization {
+		t.Fatalf("post-event MLU %g != substrate MLU %g on mutated graph: stale cached strategy served", after.MaxUtilization, res.MaxUtilization)
+	}
+	for ei := range res.Utilization {
+		if res.Utilization[ei] != after.Utilization[ei] {
+			t.Fatalf("post-event utilisation[%d] %g != substrate %g", ei, after.Utilization[ei], res.Utilization[ei])
+		}
+	}
+	// The halved link must actually be priced at its new capacity.
+	ei, err := mutated.EdgeBetween(edge.From, edge.To)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := after.Loads[ei] / (edge.Capacity / 2); after.Utilization[ei] != want {
+		t.Fatalf("halved link utilisation %g, want %g: old capacity still cached", after.Utilization[ei], want)
+	}
+}
+
+// TestEngineApplyConcurrentRouteConsistent interleaves Route with capacity
+// flaps under -race: every decision must be internally consistent with one
+// of the two graphs that ever served (a decision mixing cached ratios from
+// one topology with capacities of the other matches neither), and after the
+// final Apply returns, decisions must re-derive exactly on the final graph.
+func TestEngineApplyConcurrentRouteConsistent(t *testing.T) {
+	engine := testEngine(t, WithRouterWorkers(2), WithMaxBatch(4))
+	ctx := context.Background()
+	gOld := engine.Graph()
+	dm := testDemand(gOld, 71)
+	edge := gOld.Edge(0)
+	halved := CapacityChange{From: edge.From, To: edge.To, Capacity: edge.Capacity / 2}
+	restored := CapacityChange{From: edge.From, To: edge.To, Capacity: edge.Capacity}
+	gNew, _, err := halved.apply(gOld.Clone(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	consistent := func(g *Graph, d *Decision) bool {
+		res, err := routing.EvaluateWeights(g, dm, d.Weights, d.Gamma)
+		if err != nil {
+			return false
+		}
+		for ei := range res.Utilization {
+			if res.Utilization[ei] != d.Utilization[ei] {
+				return false
+			}
+		}
+		return res.MaxUtilization == d.MaxUtilization
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	stop := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d, err := engine.Route(ctx, dm)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !consistent(gOld, d) && !consistent(gNew, d) {
+					errCh <- errors.New("decision consistent with neither topology version: mixed cache state")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := engine.Apply(ctx, halved); err != nil {
+			t.Fatal(err)
+		}
+		if err := engine.Apply(ctx, restored); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	final, err := engine.Route(ctx, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consistent(engine.Graph(), final) {
+		t.Fatal("post-churn decision does not re-derive on the final graph")
+	}
+}
+
+// TestEngineSwapInvalidatesServingCaches: a hot checkpoint swap must drop
+// the cached policy output and strategy — under steady demand, the first
+// decision after SwapCheckpoint must carry the donor model's weights, not
+// the cached predecessor's. Concurrent routing runs throughout (-race).
+func TestEngineSwapInvalidatesServingCaches(t *testing.T) {
+	engine := testEngine(t, WithRouterWorkers(2))
+	ctx := context.Background()
+	g := engine.Graph()
+	dm := testDemand(g, 72)
+
+	// Reach the cache-hot steady state: window = [dm, dm] (memory 2).
+	for i := 0; i < 4; i++ {
+		if _, err := engine.Route(ctx, dm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if engine.Stats().PolicyCacheHits == 0 {
+		t.Fatal("steady demand never hit the policy cache; the swap test is vacuous")
+	}
+
+	// The donor's expected steady-state weights, from a fresh router warmed
+	// to the same [dm, dm] window.
+	donor, err := NewAgent(GNNPolicy, nil, WithMemory(2), WithGNNSize(8, 1), WithSeed(88))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := donor.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	donorRouter, err := NewRouter(donor, Abilene(), WithWarmHistory(dm, dm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := donorRouter.Route(ctx, dm)
+	donorRouter.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Route concurrently while the swap happens; no call may fail.
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	stop := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := engine.Route(ctx, dm); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	if err := engine.SwapCheckpoint(ctx, &ckpt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := engine.Route(ctx, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for ei := range want.Weights {
+		if got.Weights[ei] != want.Weights[ei] {
+			t.Fatalf("edge %d weight %g != donor %g: pre-swap policy output served from cache", ei, got.Weights[ei], want.Weights[ei])
+		}
+	}
+	if got.MaxUtilization != want.MaxUtilization {
+		t.Fatalf("post-swap MLU %g != donor %g", got.MaxUtilization, want.MaxUtilization)
+	}
+}

@@ -14,6 +14,13 @@ import (
 // 0.3) is a sparse cyclical bimodal workload. Generators are stateless:
 // all variation comes from the rng, so a sequence is reproducible from the
 // seed.
+//
+// Generators are NOT safe for concurrent use: every generator draws from
+// the one *rand.Rand the caller passes in (and *rand.Rand is not
+// synchronised for this use), so concurrent Sequence or GenerateSequences
+// calls sharing an rng race on it and destroy seed-reproducibility. Give
+// each goroutine its own seeded rng — that is also what keeps parallel
+// generation deterministic.
 type Generator interface {
 	// Sequence draws length demand matrices for an n-node topology, in
 	// timestep order, consuming randomness from rng.
@@ -124,7 +131,10 @@ func Cyclical(inner Generator, cycle int) Generator {
 }
 
 // GenerateSequences draws count independent sequences from gen (the shape
-// the paper's 7-train/3-test split uses).
+// the paper's 7-train/3-test split uses). Like Generator.Sequence it
+// consumes randomness from the single rng and is not safe for concurrent
+// use; callers that generate in parallel must use one seeded rng per
+// goroutine.
 func GenerateSequences(gen Generator, count, n, length int, rng *rand.Rand) ([][]*DemandMatrix, error) {
 	if gen == nil {
 		return nil, fmt.Errorf("gddr: nil generator")

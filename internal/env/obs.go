@@ -14,9 +14,34 @@ import (
 // recent demand matrices, oldest first. The iterative-mode edge-feature
 // columns are zero; use SetIterativeState to fill them.
 //
-// This is the serving entry point: gddr.Router feeds live demand histories
-// through it without constructing an episode environment.
+// Every call allocates a fresh Observation the caller owns indefinitely —
+// the training path stores observations across rollout steps. A serving
+// loop that discards each observation after the forward pass should hold an
+// Observer instead and reuse its buffers.
 func Observe(g *graph.Graph, hist []*traffic.DemandMatrix) (*Observation, error) {
+	return new(Observer).Observe(g, hist)
+}
+
+// Observer builds observations into reusable buffers: node/edge feature
+// matrices, the flattened history, and the in/out-sum scratch are allocated
+// once and overwritten by each Observe call, so a steady serving loop
+// observes without allocating.
+//
+// The returned Observation (and everything it references) is only valid
+// until the next Observe call on the same Observer; callers that retain
+// observations — PPO rollouts do — must use the package-level Observe. An
+// Observer is not safe for concurrent use; pool one per serving worker.
+type Observer struct {
+	g    *graph.Graph // buffers below are sized for this topology
+	m    int
+	obs  Observation
+	outs []float64
+	ins  []float64
+}
+
+// Observe fills the observer's buffers with the observation for hist on g
+// and returns it. See Observe (package-level) for the feature layout.
+func (o *Observer) Observe(g *graph.Graph, hist []*traffic.DemandMatrix) (*Observation, error) {
 	m := len(hist)
 	if m < 1 {
 		return nil, fmt.Errorf("env: observe needs at least one demand matrix")
@@ -32,13 +57,32 @@ func Observe(g *graph.Graph, hist []*traffic.DemandMatrix) (*Observation, error)
 		}
 	}
 
-	nodeFeat := mat.New(n, 2*m)
-	flat := make([]float64, 0, m*n*n)
+	if o.g != g || o.m != m {
+		// First use, or a different topology/memory: size fresh buffers.
+		o.g, o.m = g, m
+		o.obs = Observation{
+			G:        g,
+			NodeFeat: mat.New(n, 2*m),
+			EdgeFeat: mat.New(ne, 4),
+			Global:   mat.New(1, 1),
+			Flat:     make([]float64, 0, m*n*n),
+		}
+		o.obs.Senders = make([]int, ne)
+		o.obs.Receivers = make([]int, ne)
+		for ei := 0; ei < ne; ei++ {
+			edge := g.Edge(ei)
+			o.obs.Senders[ei] = edge.From
+			o.obs.Receivers[ei] = edge.To
+		}
+		o.outs = make([]float64, n)
+		o.ins = make([]float64, n)
+	}
+	nodeFeat := o.obs.NodeFeat
+	flat := o.obs.Flat[:0]
 	for h, dm := range hist {
 		// Per-node in/out sums, normalised by the largest node sum of this
 		// DM so features stay comparable across graph sizes (§V-B).
-		outs := make([]float64, n)
-		ins := make([]float64, n)
+		outs, ins := o.outs, o.ins
 		maxSum := 0.0
 		for v := 0; v < n; v++ {
 			outs[v] = dm.OutSum(v)
@@ -67,11 +111,16 @@ func Observe(g *graph.Graph, hist []*traffic.DemandMatrix) (*Observation, error)
 			flat = append(flat, v/maxEntry)
 		}
 	}
+	o.obs.Flat = flat
 
 	// Edge features: column 0 carries the normalised link capacity (the
 	// agent cannot avoid low-capacity links it cannot see); columns 1-3
-	// are the iterative-mode triple (value, set?, target?) of Eq. 6.
-	edgeFeat := mat.New(ne, 4)
+	// are the iterative-mode triple (value, set?, target?) of Eq. 6, zero
+	// until SetIterativeState fills them (cleared here on buffer reuse).
+	edgeFeat := o.obs.EdgeFeat
+	for i := range edgeFeat.Data {
+		edgeFeat.Data[i] = 0
+	}
 	maxCap := 0.0
 	for ei := 0; ei < ne; ei++ {
 		if c := g.Edge(ei).Capacity; c > maxCap {
@@ -82,27 +131,9 @@ func Observe(g *graph.Graph, hist []*traffic.DemandMatrix) (*Observation, error)
 		edgeFeat.Set(ei, 0, g.Edge(ei).Capacity/maxCap)
 	}
 
-	senders := make([]int, ne)
-	receivers := make([]int, ne)
-	for ei := 0; ei < ne; ei++ {
-		edge := g.Edge(ei)
-		senders[ei] = edge.From
-		receivers[ei] = edge.To
-	}
-
-	global := mat.New(1, 1)
-	global.Data[0] = 1 // constant bias channel
-
-	return &Observation{
-		G:          g,
-		NodeFeat:   nodeFeat,
-		EdgeFeat:   edgeFeat,
-		Global:     global,
-		Senders:    senders,
-		Receivers:  receivers,
-		Flat:       flat,
-		TargetEdge: -1,
-	}, nil
+	o.obs.Global.Data[0] = 1 // constant bias channel
+	o.obs.TargetEdge = -1
+	return &o.obs, nil
 }
 
 // HistoryWindow returns the memory most recent matrices of hist (oldest

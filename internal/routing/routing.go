@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"gddr/internal/graph"
 	"gddr/internal/traffic"
@@ -84,16 +85,16 @@ type Ratios struct {
 	Ratio []float64 // per edge index; zero on dropped edges
 	Keep  []bool
 	Dist  []float64
+	// order is the vertex propagation order (decreasing distance to the
+	// sink — a topological order of the downhill DAG), precomputed at
+	// construction so repeated Loads calls do not re-sort.
+	order []int
 }
 
-// SplittingRatios runs the paper's softmin routing algorithm (Figure 2) for
-// one destination: per vertex, the score of each kept out-edge is the edge
-// weight plus the neighbour's distance to the sink, and the splitting
-// ratios are the softmin of those scores.
-func SplittingRatios(g *graph.Graph, sink int, weights []float64, gamma float64) (*Ratios, error) {
-	if gamma <= 0 {
-		return nil, fmt.Errorf("routing: gamma must be positive, got %g", gamma)
-	}
+// ClampWeights validates weights (no NaN) and returns a copy with every
+// entry clamped up to MinWeight, the form every per-sink routine consumes.
+// Strategy clamps once per (weights, gamma) pair instead of once per sink.
+func ClampWeights(weights []float64) ([]float64, error) {
 	clamped := make([]float64, len(weights))
 	for i, w := range weights {
 		if math.IsNaN(w) {
@@ -104,6 +105,27 @@ func SplittingRatios(g *graph.Graph, sink int, weights []float64, gamma float64)
 		}
 		clamped[i] = w
 	}
+	return clamped, nil
+}
+
+// SplittingRatios runs the paper's softmin routing algorithm (Figure 2) for
+// one destination: per vertex, the score of each kept out-edge is the edge
+// weight plus the neighbour's distance to the sink, and the splitting
+// ratios are the softmin of those scores.
+func SplittingRatios(g *graph.Graph, sink int, weights []float64, gamma float64) (*Ratios, error) {
+	if gamma <= 0 {
+		return nil, fmt.Errorf("routing: gamma must be positive, got %g", gamma)
+	}
+	clamped, err := ClampWeights(weights)
+	if err != nil {
+		return nil, err
+	}
+	return splittingRatiosClamped(g, sink, clamped, gamma)
+}
+
+// splittingRatiosClamped is SplittingRatios after weight validation and
+// clamping, the shared path of the one-shot and Strategy-cached callers.
+func splittingRatiosClamped(g *graph.Graph, sink int, clamped []float64, gamma float64) (*Ratios, error) {
 	keep, dist, err := DestinationDAG(g, sink, clamped)
 	if err != nil {
 		return nil, err
@@ -129,16 +151,45 @@ func SplittingRatios(g *graph.Graph, sink int, weights []float64, gamma float64)
 			ratio[ei] = probs[i]
 		}
 	}
-	return &Ratios{Sink: sink, Ratio: ratio, Keep: keep, Dist: dist}, nil
+	return &Ratios{Sink: sink, Ratio: ratio, Keep: keep, Dist: dist, order: propagationOrder(dist)}, nil
+}
+
+// propagationOrder returns the vertices sorted by decreasing distance to the
+// sink — the topological order of the downhill DAG that load propagation
+// walks. Vertices at equal distance have no kept edge between them, so their
+// relative order does not affect the propagated loads.
+func propagationOrder(dist []float64) []int {
+	order := make([]int, len(dist))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return dist[order[i]] > dist[order[j]] })
+	return order
 }
 
 // Loads propagates all demand destined for r.Sink through the splitting
 // ratios and accumulates the per-edge load into loads (len NumEdges).
-// Propagation processes vertices in decreasing distance order, which is a
-// topological order of the downhill DAG.
+//
+// Loads ADDS into loads without zeroing it first — that is how the per-sink
+// results compose into one total-load vector. A caller reusing a loads
+// buffer across evaluations must therefore zero it between them, or the
+// previous evaluation's loads silently double-count (EvaluateWeights and
+// the Router serving path do exactly this reset).
 func (r *Ratios) Loads(g *graph.Graph, dm *traffic.DemandMatrix, loads []float64) error {
+	return r.AccumulateLoads(g, dm, loads, nil)
+}
+
+// AccumulateLoads is Loads with a caller-owned scratch buffer: inflow must
+// be nil (allocated per call) or a slice of len NumNodes whose contents are
+// overwritten. It exists so per-request serving code can propagate demand
+// with zero allocations. The accumulation contract of Loads applies: loads
+// is added into, not reset. Propagation processes vertices in decreasing
+// distance order, which is a topological order of the downhill DAG.
+func (r *Ratios) AccumulateLoads(g *graph.Graph, dm *traffic.DemandMatrix, loads, inflow []float64) error {
 	n := g.NumNodes()
-	inflow := make([]float64, n)
+	if inflow == nil {
+		inflow = make([]float64, n)
+	}
 	total := 0.0
 	for s := 0; s < n; s++ {
 		d := dm.At(s, r.Sink)
@@ -154,11 +205,11 @@ func (r *Ratios) Loads(g *graph.Graph, dm *traffic.DemandMatrix, loads []float64
 	if total == 0 {
 		return nil
 	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	order := r.order
+	if order == nil {
+		// Ratios assembled by hand (tests) lack the precomputed order.
+		order = propagationOrder(r.Dist)
 	}
-	sort.Slice(order, func(i, j int) bool { return r.Dist[order[i]] > r.Dist[order[j]] })
 	for _, v := range order {
 		if v == r.Sink || inflow[v] == 0 {
 			continue
@@ -177,6 +228,90 @@ func (r *Ratios) Loads(g *graph.Graph, dm *traffic.DemandMatrix, loads []float64
 		inflow[v] = 0
 	}
 	return nil
+}
+
+// Strategy is one fully-specified routing strategy: the per-sink splitting
+// ratios induced by a (weights, gamma) pair on one graph, built lazily per
+// sink and cached. It is the unit the serving fast path reuses across
+// request batches while the policy keeps emitting the same weights — the
+// softmin translation (§VI) runs once per sink per strategy instead of once
+// per sink per batch. A Strategy is immutable once a sink is built and safe
+// for concurrent use.
+type Strategy struct {
+	g       *graph.Graph
+	weights []float64 // caller-supplied weights (pre-clamp), the cache key
+	clamped []float64
+	gamma   float64
+
+	mu    sync.RWMutex
+	sinks []*Ratios // indexed by sink; nil until first requested
+}
+
+// NewStrategy validates (weights, gamma) for g and returns an empty
+// strategy; per-sink ratios are built on first use. weights is copied.
+func NewStrategy(g *graph.Graph, weights []float64, gamma float64) (*Strategy, error) {
+	if gamma <= 0 {
+		return nil, fmt.Errorf("routing: gamma must be positive, got %g", gamma)
+	}
+	if len(weights) != g.NumEdges() {
+		return nil, fmt.Errorf("routing: %d weights for %d edges", len(weights), g.NumEdges())
+	}
+	clamped, err := ClampWeights(weights)
+	if err != nil {
+		return nil, err
+	}
+	return &Strategy{
+		g:       g,
+		weights: append([]float64(nil), weights...),
+		clamped: clamped,
+		gamma:   gamma,
+		sinks:   make([]*Ratios, g.NumNodes()),
+	}, nil
+}
+
+// Gamma returns the softmin spread the strategy was built with.
+func (s *Strategy) Gamma() float64 { return s.gamma }
+
+// Weights returns the strategy's weights. The slice is shared: read-only.
+func (s *Strategy) Weights() []float64 { return s.weights }
+
+// Matches reports whether the strategy was built for exactly these weights
+// and gamma — the cache-hit test. Comparison is bitwise on the pre-clamp
+// weights, so a hit reproduces the miss path's output exactly.
+func (s *Strategy) Matches(weights []float64, gamma float64) bool {
+	if s.gamma != gamma || len(s.weights) != len(weights) {
+		return false
+	}
+	for i, w := range s.weights {
+		if w != weights[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ratios returns the splitting ratios towards sink, building and caching
+// them on first request. Safe for concurrent use; racing builders for the
+// same sink compute identical ratios and the first stored result wins.
+func (s *Strategy) Ratios(sink int) (*Ratios, error) {
+	s.mu.RLock()
+	rt := s.sinks[sink]
+	s.mu.RUnlock()
+	if rt != nil {
+		return rt, nil
+	}
+	rt, err := splittingRatiosClamped(s.g, sink, s.clamped, s.gamma)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if prev := s.sinks[sink]; prev != nil {
+		rt = prev
+	} else {
+		s.sinks[sink] = rt
+	}
+	s.mu.Unlock()
+	return rt, nil
 }
 
 // Result is the outcome of evaluating a routing strategy on a demand matrix.
@@ -201,24 +336,42 @@ func (r *Result) MeanUtilization() float64 {
 
 // EvaluateWeights runs the full softmin routing translation for every
 // destination with demand and returns the maximum link utilisation, the
-// paper's evaluation metric.
+// paper's evaluation metric. It builds a one-shot Strategy; serving code
+// that reuses weights across demand matrices should hold the Strategy
+// itself and call EvaluateStrategy.
 func EvaluateWeights(g *graph.Graph, dm *traffic.DemandMatrix, weights []float64, gamma float64) (*Result, error) {
-	if dm.N != g.NumNodes() {
-		return nil, fmt.Errorf("routing: demand matrix size %d != graph nodes %d", dm.N, g.NumNodes())
-	}
 	if len(weights) != g.NumEdges() {
 		return nil, fmt.Errorf("routing: %d weights for %d edges", len(weights), g.NumEdges())
 	}
+	strat, err := NewStrategy(g, weights, gamma)
+	if err != nil {
+		return nil, err
+	}
+	return EvaluateStrategy(strat, dm)
+}
+
+// EvaluateStrategy evaluates a (possibly cached) strategy on one demand
+// matrix: per-sink demand propagated through the splitting ratios, loads
+// accumulated in sink order.
+func EvaluateStrategy(strat *Strategy, dm *traffic.DemandMatrix) (*Result, error) {
+	g := strat.g
+	n := g.NumNodes()
+	if dm.N != n {
+		return nil, fmt.Errorf("routing: demand matrix size %d != graph nodes %d", dm.N, n)
+	}
+	insums := make([]float64, n)
+	dm.InSums(insums)
 	loads := make([]float64, g.NumEdges())
-	for sink := 0; sink < g.NumNodes(); sink++ {
-		if dm.InSum(sink) == 0 {
+	inflow := make([]float64, n)
+	for sink := 0; sink < n; sink++ {
+		if insums[sink] == 0 {
 			continue
 		}
-		ratios, err := SplittingRatios(g, sink, weights, gamma)
+		ratios, err := strat.Ratios(sink)
 		if err != nil {
 			return nil, fmt.Errorf("routing: sink %d: %w", sink, err)
 		}
-		if err := ratios.Loads(g, dm, loads); err != nil {
+		if err := ratios.AccumulateLoads(g, dm, loads, inflow); err != nil {
 			return nil, fmt.Errorf("routing: sink %d: %w", sink, err)
 		}
 	}

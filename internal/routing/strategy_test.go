@@ -1,0 +1,193 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gddr/internal/topo"
+	"gddr/internal/traffic"
+)
+
+func abileneFixture(t *testing.T, seed int64) (*Strategy, *traffic.DemandMatrix, []float64) {
+	t.Helper()
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(seed))
+	dm := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+	w := make([]float64, g.NumEdges())
+	for i := range w {
+		w[i] = 0.5 + rng.Float64()*2
+	}
+	strat, err := NewStrategy(g, w, DefaultGamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strat, dm, w
+}
+
+// TestStrategyMatchesOneShot: every per-sink ratio served from a Strategy
+// must be identical to a one-shot SplittingRatios call, and EvaluateStrategy
+// must reproduce EvaluateWeights bit for bit.
+func TestStrategyMatchesOneShot(t *testing.T) {
+	strat, dm, w := abileneFixture(t, 31)
+	g := topo.Abilene()
+	for sink := 0; sink < g.NumNodes(); sink++ {
+		want, err := SplittingRatios(g, sink, w, DefaultGamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := strat.Ratios(sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ei := range want.Ratio {
+			if got.Ratio[ei] != want.Ratio[ei] {
+				t.Fatalf("sink %d edge %d: strategy ratio %g != one-shot %g", sink, ei, got.Ratio[ei], want.Ratio[ei])
+			}
+		}
+		// Second fetch returns the cached object.
+		again, err := strat.Ratios(sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != got {
+			t.Fatalf("sink %d rebuilt on second fetch", sink)
+		}
+	}
+	res, err := EvaluateStrategy(strat, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EvaluateWeights(strat.g, dm, w, DefaultGamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxUtilization != want.MaxUtilization {
+		t.Fatalf("strategy MLU %g != one-shot %g", res.MaxUtilization, want.MaxUtilization)
+	}
+	for ei := range want.Loads {
+		if res.Loads[ei] != want.Loads[ei] {
+			t.Fatalf("edge %d load %g != %g", ei, res.Loads[ei], want.Loads[ei])
+		}
+	}
+}
+
+func TestStrategyMatchesKey(t *testing.T) {
+	strat, _, w := abileneFixture(t, 32)
+	if !strat.Matches(w, DefaultGamma) {
+		t.Fatal("strategy does not match its own key")
+	}
+	if strat.Matches(w, DefaultGamma*2) {
+		t.Fatal("strategy matched a different gamma")
+	}
+	w2 := append([]float64(nil), w...)
+	w2[3] += 1e-12
+	if strat.Matches(w2, DefaultGamma) {
+		t.Fatal("strategy matched perturbed weights (comparison must be bitwise)")
+	}
+	if strat.Matches(w2[:len(w2)-1], DefaultGamma) {
+		t.Fatal("strategy matched a shorter weight vector")
+	}
+}
+
+func TestStrategyValidation(t *testing.T) {
+	g := topo.Abilene()
+	w := g.UnitWeights()
+	if _, err := NewStrategy(g, w, 0); err == nil {
+		t.Fatal("non-positive gamma accepted")
+	}
+	if _, err := NewStrategy(g, w[:3], DefaultGamma); err == nil {
+		t.Fatal("short weight vector accepted")
+	}
+	bad := append([]float64(nil), w...)
+	bad[0] = math.NaN()
+	if _, err := NewStrategy(g, bad, DefaultGamma); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+}
+
+// TestStrategyConcurrentRatios hammers the lazy per-sink build from many
+// goroutines (run under -race): all callers must observe consistent,
+// correct ratios regardless of who built them.
+func TestStrategyConcurrentRatios(t *testing.T) {
+	strat, _, w := abileneFixture(t, 33)
+	g := topo.Abilene()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sink := 0; sink < g.NumNodes(); sink++ {
+				if _, err := strat.Ratios(sink); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for sink := 0; sink < g.NumNodes(); sink++ {
+		want, err := SplittingRatios(g, sink, w, DefaultGamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := strat.Ratios(sink)
+		for ei := range want.Ratio {
+			if got.Ratio[ei] != want.Ratio[ei] {
+				t.Fatalf("sink %d edge %d ratio diverged after concurrent build", sink, ei)
+			}
+		}
+	}
+}
+
+// TestLoadsAccumulationContract pins the documented Loads contract: loads
+// is accumulated into, not reset, so a buffer reused across evaluations
+// must be zeroed in between — and once it is, scratch-buffer reuse
+// (AccumulateLoads with a caller-owned inflow) is bit-identical to fresh
+// allocations.
+func TestLoadsAccumulationContract(t *testing.T) {
+	strat, dm, _ := abileneFixture(t, 34)
+	g := topo.Abilene()
+	rt, err := strat.Ratios(dm.N - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := make([]float64, g.NumEdges())
+	if err := rt.Loads(g, dm, fresh); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reuse without zeroing: every touched edge double-counts.
+	reused := make([]float64, g.NumEdges())
+	inflow := make([]float64, g.NumNodes())
+	for pass := 0; pass < 2; pass++ {
+		if err := rt.AccumulateLoads(g, dm, reused, inflow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ei, want := range fresh {
+		if reused[ei] != 2*want {
+			t.Fatalf("edge %d after two accumulations: %g, want exactly %g (contract: Loads adds)", ei, reused[ei], 2*want)
+		}
+	}
+
+	// Reuse with zeroing between evaluations: bit-identical to fresh.
+	for i := range reused {
+		reused[i] = 0
+	}
+	if err := rt.AccumulateLoads(g, dm, reused, inflow); err != nil {
+		t.Fatal(err)
+	}
+	for ei, want := range fresh {
+		if reused[ei] != want {
+			t.Fatalf("edge %d after zeroed reuse: %g != %g", ei, reused[ei], want)
+		}
+	}
+}

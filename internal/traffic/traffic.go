@@ -71,6 +71,38 @@ func (d *DemandMatrix) InSum(v int) float64 {
 	return s
 }
 
+// InSums fills dst (len N) with the total demand destined for every node:
+// dst[v] = InSum(v). One row-major pass over the matrix replaces N
+// column-stride scans, so per-request serving code can precompute all sink
+// in-sums at once. dst is overwritten, not accumulated into.
+func (d *DemandMatrix) InSums(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for s := 0; s < d.N; s++ {
+		row := d.Data[s*d.N : (s+1)*d.N]
+		for t, v := range row {
+			dst[t] += v
+		}
+	}
+}
+
+// Equal reports whether two demand matrices have the same size and entries.
+func (d *DemandMatrix) Equal(o *DemandMatrix) bool {
+	if d == o {
+		return true
+	}
+	if d == nil || o == nil || d.N != o.N || len(d.Data) != len(o.Data) {
+		return false
+	}
+	for i, v := range d.Data {
+		if v != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // WithoutNode returns an (N-1)×(N-1) copy with node v's row and column
 // deleted, renumbering nodes above v down by one — the demand-side mirror
 // of graph.RemoveNode, so histories stay index-aligned after a node-removal

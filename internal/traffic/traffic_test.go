@@ -276,3 +276,44 @@ func TestWithNodeGrowsWithZeroDemand(t *testing.T) {
 		t.Fatal("original matrix modified")
 	}
 }
+
+func TestInSumsMatchesInSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	d := Bimodal(9, DefaultBimodal(), rng)
+	sums := make([]float64, d.N)
+	d.InSums(sums)
+	for v := 0; v < d.N; v++ {
+		if sums[v] != d.InSum(v) {
+			t.Fatalf("node %d: InSums %g != InSum %g", v, sums[v], d.InSum(v))
+		}
+	}
+	// The buffer is overwritten, not accumulated into.
+	d.InSums(sums)
+	for v := 0; v < d.N; v++ {
+		if sums[v] != d.InSum(v) {
+			t.Fatalf("node %d double-counted on InSums reuse: %g", v, sums[v])
+		}
+	}
+}
+
+func TestDemandMatrixEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	a := Bimodal(5, DefaultBimodal(), rng)
+	if !a.Equal(a) {
+		t.Fatal("matrix not equal to itself")
+	}
+	b := a.Clone()
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("clone not equal")
+	}
+	b.Set(1, 2, b.At(1, 2)+1)
+	if a.Equal(b) {
+		t.Fatal("differing matrices equal")
+	}
+	if a.Equal(NewDemandMatrix(4)) {
+		t.Fatal("differently sized matrices equal")
+	}
+	if a.Equal(nil) {
+		t.Fatal("nil matrix equal")
+	}
+}

@@ -1,6 +1,100 @@
 package gddr
 
-// This file defines the v2 functional-option surface: a single Option type
+import (
+	"runtime"
+	"time"
+)
+
+// RouterOption configures NewRouter and NewEngine: the serving-side option
+// surface, distinct from the training/experiment Option type below.
+type RouterOption func(*routerConfig)
+
+type routerConfig struct {
+	workers     int
+	maxBatch    int
+	evalWorkers int
+	batchWindow time.Duration
+	history     []*DemandMatrix
+	// skipProbe elides the construction-time probe forward pass. Only the
+	// Engine sets it, when rebuilding a snapshot around a graph-size-
+	// agnostic (GNN-family) agent that an earlier snapshot already
+	// validated: the probe exists to catch shape-bound policies, and
+	// skipping it keeps high-rate topology events off the forward-pass
+	// budget.
+	skipProbe bool
+	// noCache disables the serving fast-path caches (policy-output and
+	// routing-strategy). Test/benchmark only: the uncached path is the
+	// baseline the cache speedup gate and the golden decision test compare
+	// against.
+	noCache bool
+}
+
+// WithRouterWorkers sets the number of serving goroutines (default
+// GOMAXPROCS). One worker maximises request batching; more workers
+// maximise forward-pass parallelism.
+func WithRouterWorkers(n int) RouterOption {
+	return func(c *routerConfig) { c.workers = n }
+}
+
+// WithMaxBatch bounds how many concurrent requests share one policy
+// forward pass (default 16).
+func WithMaxBatch(n int) RouterOption {
+	return func(c *routerConfig) { c.maxBatch = n }
+}
+
+// WithWarmHistory seeds the router's demand history (oldest first) so the
+// first decisions observe real traffic instead of a cold-start zero pad —
+// e.g. the tail of the training scenario.
+func WithWarmHistory(dms ...*DemandMatrix) RouterOption {
+	return func(c *routerConfig) { c.history = dms }
+}
+
+// WithEvalWorkers fans the per-request routing evaluation out over n
+// goroutines, one sink per task (default 1: sequential). The parallel
+// merge preserves the sequential accumulation order, so decisions are
+// bit-identical at any worker count. Worth enabling on large topologies,
+// where per-sink propagation dominates the request cost; at Abilene scale
+// the fan-out overhead outweighs the win.
+func WithEvalWorkers(n int) RouterOption {
+	return func(c *routerConfig) { c.evalWorkers = n }
+}
+
+// WithBatchWindow makes a serving worker that has picked up a request wait
+// up to d for more requests to share its forward pass (default 0: serve
+// immediately after draining already-queued requests). On busy cores the
+// zero-window fast path degenerates to singleton batches — waiting senders
+// never get scheduled between polls — so a microseconds-scale window buys
+// large batching gains at bounded latency cost.
+func WithBatchWindow(d time.Duration) RouterOption {
+	return func(c *routerConfig) { c.batchWindow = d }
+}
+
+// resolveRouterConfig folds options over the defaults. Engine resolves the
+// options once at construction and reuses the config for every topology or
+// model rebuild, overriding only the carried history.
+func resolveRouterConfig(opts []RouterOption) routerConfig {
+	cfg := routerConfig{workers: runtime.GOMAXPROCS(0), maxBatch: 16, evalWorkers: 1}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.maxBatch < 1 {
+		cfg.maxBatch = 1
+	}
+	if cfg.evalWorkers < 1 {
+		cfg.evalWorkers = 1
+	}
+	if cfg.batchWindow < 0 {
+		cfg.batchWindow = 0
+	}
+	return cfg
+}
+
+// This file also defines the v2 functional-option surface: a single Option type
 // layered over the existing TrainConfig and ExperimentOptions structs so
 // that callers compose agents and experiments instead of mutating config
 // fields. The same options are accepted by NewAgent, Prewarm, and

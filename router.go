@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gddr/internal/env"
 	"gddr/internal/policy"
@@ -59,44 +60,19 @@ type RouterStats struct {
 	Batches int64 `json:"batches"`
 	// ForwardPasses is the number of policy forward passes run. Concurrent
 	// callers batched together share one pass (the iterative policy runs
-	// |E| passes per batch).
+	// |E| passes per batch), and batches answered from the policy-output
+	// cache run none.
 	ForwardPasses int64 `json:"forward_passes"`
-}
-
-// RouterOption configures NewRouter.
-type RouterOption func(*routerConfig)
-
-type routerConfig struct {
-	workers  int
-	maxBatch int
-	history  []*DemandMatrix
-	// skipProbe elides the construction-time probe forward pass. Only the
-	// Engine sets it, when rebuilding a snapshot around a graph-size-
-	// agnostic (GNN-family) agent that an earlier snapshot already
-	// validated: the probe exists to catch shape-bound policies, and
-	// skipping it keeps high-rate topology events off the forward-pass
-	// budget.
-	skipProbe bool
-}
-
-// WithRouterWorkers sets the number of serving goroutines (default
-// GOMAXPROCS). One worker maximises request batching; more workers
-// maximise forward-pass parallelism.
-func WithRouterWorkers(n int) RouterOption {
-	return func(c *routerConfig) { c.workers = n }
-}
-
-// WithMaxBatch bounds how many concurrent requests share one policy
-// forward pass (default 16).
-func WithMaxBatch(n int) RouterOption {
-	return func(c *routerConfig) { c.maxBatch = n }
-}
-
-// WithWarmHistory seeds the router's demand history (oldest first) so the
-// first decisions observe real traffic instead of a cold-start pad — e.g.
-// the tail of the training scenario.
-func WithWarmHistory(dms ...*DemandMatrix) RouterOption {
-	return func(c *routerConfig) { c.history = dms }
+	// PolicyCacheHits counts batches that reused the previous policy output
+	// because the observed demand-history window was unchanged (steady
+	// demand), skipping the observation build and every forward pass.
+	PolicyCacheHits int64 `json:"policy_cache_hits"`
+	// StrategyHits counts batches that reused the cached routing strategy —
+	// the policy emitted the same (weights, gamma), so the per-sink softmin
+	// splitting ratios were served from cache instead of being rebuilt.
+	StrategyHits int64 `json:"strategy_hits"`
+	// StrategyMisses counts batches that built a fresh routing strategy.
+	StrategyMisses int64 `json:"strategy_misses"`
 }
 
 // Router wraps a trained Agent as a thread-safe inference engine for one
@@ -116,11 +92,15 @@ func WithWarmHistory(dms ...*DemandMatrix) RouterOption {
 // The agent must not be trained while the router is serving; training
 // mutates the policy parameters the forward passes read.
 type Router struct {
-	agent    *Agent
-	g        *Graph
-	ecfg     env.Config
-	base     []float64 // per-edge base weights of the action mapping
-	maxBatch int
+	agent       *Agent
+	g           *Graph
+	ecfg        env.Config
+	base        []float64 // per-edge base weights of the action mapping
+	maxBatch    int
+	evalWorkers int
+	batchWindow time.Duration
+	noCache     bool
+	zero        *DemandMatrix // cold-start history pad (all-zero demand)
 
 	mu      sync.Mutex
 	history []*DemandMatrix // most recent matrices, oldest first, len <= Memory
@@ -130,9 +110,57 @@ type Router struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
-	requests      atomic.Int64
-	batches       atomic.Int64
-	forwardPasses atomic.Int64
+	// The serving fast-path caches. Both are keyed on values the policy's
+	// deterministic MeanAction makes stable under steady demand: the
+	// policy-output cache maps the observed history window to (weights,
+	// gamma), skipping observation + forward passes when the window is
+	// unchanged; the strategy cache maps (weights, gamma) to the per-sink
+	// splitting ratios, skipping the softmin routing translation. Both die
+	// with the Router, so Engine.Apply/SwapAgent/SwapCheckpoint — which
+	// retire the Router wholesale — invalidate them by construction.
+	cacheMu  sync.Mutex
+	lastOut  *policyOutput
+	strategy *routing.Strategy
+
+	observers sync.Pool // *env.Observer, one in flight per serving worker
+	scratch   sync.Pool // *evalScratch, one in flight per evaluation
+
+	requests        atomic.Int64
+	batches         atomic.Int64
+	forwardPasses   atomic.Int64
+	policyCacheHits atomic.Int64
+	strategyHits    atomic.Int64
+	strategyMisses  atomic.Int64
+}
+
+// policyOutput is one policy-output cache entry: the deterministic
+// MeanAction result for one observed history window. window holds the
+// matrices by pointer; entries are value-compared on lookup so a gateway
+// decoding identical steady demand into fresh allocations still hits,
+// with a pointer fast path that is sound because Route takes ownership of
+// submitted matrices (they are immutable once in the history).
+type policyOutput struct {
+	window  []*DemandMatrix
+	weights []float64
+	gamma   float64
+}
+
+// evalScratch holds the per-request evaluation buffers: demand in-sums,
+// propagation inflow, the sinks-with-demand list, and (parallel evaluation
+// only) the per-sink load contributions.
+type evalScratch struct {
+	insums  []float64
+	inflow  []float64
+	sinks   []int
+	contrib []float64
+}
+
+// grow returns buf resized to n, reusing its backing array when possible.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 type routeRequest struct {
@@ -155,25 +183,6 @@ func NewRouter(agent *Agent, g *Graph, opts ...RouterOption) (*Router, error) {
 	return newRouter(agent, g, resolveRouterConfig(opts))
 }
 
-// resolveRouterConfig folds options over the defaults. Engine resolves the
-// options once at construction and reuses the config for every topology or
-// model rebuild, overriding only the carried history.
-func resolveRouterConfig(opts []RouterOption) routerConfig {
-	cfg := routerConfig{workers: runtime.GOMAXPROCS(0), maxBatch: 16}
-	for _, opt := range opts {
-		if opt != nil {
-			opt(&cfg)
-		}
-	}
-	if cfg.workers < 1 {
-		cfg.workers = 1
-	}
-	if cfg.maxBatch < 1 {
-		cfg.maxBatch = 1
-	}
-	return cfg
-}
-
 // newRouter builds a router from a resolved config.
 func newRouter(agent *Agent, g *Graph, cfg routerConfig) (*Router, error) {
 	if agent == nil {
@@ -191,14 +200,20 @@ func newRouter(agent *Agent, g *Graph, cfg routerConfig) (*Router, error) {
 		base = g.InverseCapacityWeights()
 	}
 	r := &Router{
-		agent:    agent,
-		g:        g,
-		ecfg:     ecfg,
-		base:     base,
-		maxBatch: cfg.maxBatch,
-		reqCh:    make(chan *routeRequest), // unbuffered: senders block, enabling batching
-		quit:     make(chan struct{}),
+		agent:       agent,
+		g:           g,
+		ecfg:        ecfg,
+		base:        base,
+		maxBatch:    cfg.maxBatch,
+		evalWorkers: cfg.evalWorkers,
+		batchWindow: cfg.batchWindow,
+		noCache:     cfg.noCache,
+		zero:        traffic.NewDemandMatrix(g.NumNodes()),
+		reqCh:       make(chan *routeRequest), // unbuffered: senders block, enabling batching
+		quit:        make(chan struct{}),
 	}
+	r.observers.New = func() any { return new(env.Observer) }
+	r.scratch.New = func() any { return new(evalScratch) }
 	for _, dm := range cfg.history {
 		if dm == nil || dm.N != g.NumNodes() {
 			return nil, fmt.Errorf("gddr: warm-history matrix does not match the %d-node topology", g.NumNodes())
@@ -206,9 +221,12 @@ func newRouter(agent *Agent, g *Graph, cfg routerConfig) (*Router, error) {
 		r.push(dm)
 	}
 	// Probe: one decision on an empty demand matrix catches policies whose
-	// shape is bound to a different topology before serving starts.
+	// shape is bound to a different topology before serving starts. decide
+	// bypasses the caches, so the probe leaves them cold and the serving
+	// counters honest (a cold-start batch would otherwise hit the probe's
+	// zero-padded window and skip its first real forward pass).
 	if !cfg.skipProbe {
-		if _, _, err := r.decide(r.snapshotHistory(traffic.NewDemandMatrix(g.NumNodes()))); err != nil {
+		if _, _, err := r.decide(r.snapshotHistory(r.zero)); err != nil {
 			return nil, fmt.Errorf("gddr: agent incompatible with topology: %w", err)
 		}
 		r.forwardPasses.Store(0) // the probe does not count as serving activity
@@ -222,10 +240,14 @@ func newRouter(agent *Agent, g *Graph, cfg routerConfig) (*Router, error) {
 
 // Route computes the routing decision for dm. The request observes the
 // demand history accumulated by previous calls (the paper's m-step demand
-// memory); dm itself joins the history for subsequent decisions. Route is
-// safe for concurrent use: requests that arrive while the policy is busy
-// are batched onto one shared forward pass. Cancelling ctx abandons the
-// request.
+// memory); dm itself joins the history for subsequent decisions, so
+// ownership of dm passes to the router: the caller must not modify it
+// after Route returns (a mutated matrix would silently rewrite the demand
+// history past decisions were supposed to have observed, and defeat the
+// fast-path caches' change detection — submit a fresh or cloned matrix per
+// tick instead). Route is safe for concurrent use: requests that arrive
+// while the policy is busy are batched onto one shared forward pass.
+// Cancelling ctx abandons the request.
 func (r *Router) Route(ctx context.Context, dm *DemandMatrix) (*Decision, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -255,9 +277,12 @@ func (r *Router) Route(ctx context.Context, dm *DemandMatrix) (*Decision, error)
 // Stats returns serving counters since the router started.
 func (r *Router) Stats() RouterStats {
 	return RouterStats{
-		Requests:      r.requests.Load(),
-		Batches:       r.batches.Load(),
-		ForwardPasses: r.forwardPasses.Load(),
+		Requests:        r.requests.Load(),
+		Batches:         r.batches.Load(),
+		ForwardPasses:   r.forwardPasses.Load(),
+		PolicyCacheHits: r.policyCacheHits.Load(),
+		StrategyHits:    r.strategyHits.Load(),
+		StrategyMisses:  r.strategyMisses.Load(),
 	}
 }
 
@@ -312,7 +337,10 @@ func (r *Router) worker() {
 // yield gives concurrent callers that are runnable but not yet parked on
 // the channel a chance to enqueue — without it, a CPU-bound serving loop
 // on few cores degenerates to singleton batches because waiting senders
-// never get scheduled between polls.
+// never get scheduled between polls. With a batch window configured, the
+// worker then keeps the batch open up to that long, blocking for senders
+// that are still on their way; Close cuts the wait short, and the batch
+// gathered so far is still served (Close drains in-flight work).
 func (r *Router) gather(first *routeRequest) []*routeRequest {
 	batch := []*routeRequest{first}
 	runtime.Gosched()
@@ -320,7 +348,23 @@ func (r *Router) gather(first *routeRequest) []*routeRequest {
 		select {
 		case req := <-r.reqCh:
 			batch = append(batch, req)
+			continue
 		default:
+		}
+		break
+	}
+	if r.batchWindow <= 0 || len(batch) >= r.maxBatch {
+		return batch
+	}
+	timer := time.NewTimer(r.batchWindow)
+	defer timer.Stop()
+	for len(batch) < r.maxBatch {
+		select {
+		case req := <-r.reqCh:
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		case <-r.quit:
 			return batch
 		}
 	}
@@ -362,15 +406,18 @@ func (r *Router) serve(batch []*routeRequest) {
 
 	// All requests of the batch observe the pre-batch history (matching the
 	// training-time contract that a decision for time t sees demands up to
-	// t-1), then join it for subsequent batches.
+	// t-1), then join it for subsequent batches. A cold-start history is
+	// padded with zero matrices — the "no traffic observed yet" statement —
+	// never with a batch member's own demand, which would let the first
+	// decisions observe the very demand they are routing.
 	r.mu.Lock()
-	hist := r.snapshotHistory(live[0].dm)
+	hist := r.snapshotHistory(r.zero)
 	for _, req := range live {
 		r.push(req.dm)
 	}
 	r.mu.Unlock()
 
-	weights, gamma, err := r.decide(hist)
+	weights, gamma, err := r.decideCached(hist)
 	if err != nil {
 		for _, req := range live {
 			req.resp <- routeResponse{err: err}
@@ -379,19 +426,102 @@ func (r *Router) serve(batch []*routeRequest) {
 	}
 
 	// The splitting ratios depend only on (weights, gamma, sink), so they
-	// are shared across the batch; each request pays only for propagating
-	// its own demand through them.
-	ratios := make(map[int]*routing.Ratios)
+	// are shared across the batch — and, via the strategy cache, across
+	// every batch for which the policy keeps emitting these weights; each
+	// request pays only for propagating its own demand through them.
+	strat, err := r.strategyFor(weights, gamma)
+	if err != nil {
+		for _, req := range live {
+			req.resp <- routeResponse{err: err}
+		}
+		return
+	}
 	for _, req := range live {
-		d, err := r.evaluate(req.dm, weights, gamma, ratios)
+		d, err := r.evaluate(req.dm, strat)
 		req.resp <- routeResponse{d: d, err: err}
 	}
 }
 
+// decideCached is decide behind the policy-output cache: if the observed
+// history window is unchanged since the last batch (pointer-equal or, for
+// identical matrices decoded afresh, value-equal), the deterministic
+// MeanAction would recompute the same action, so the cached (weights,
+// gamma) is returned without building an observation or running a forward
+// pass. The returned slices are shared with the cache and must be treated
+// as read-only — every consumer copies before handing them to callers.
+func (r *Router) decideCached(hist []*DemandMatrix) ([]float64, float64, error) {
+	if !r.noCache {
+		r.cacheMu.Lock()
+		if c := r.lastOut; c != nil && windowsEqual(c.window, hist) {
+			weights, gamma := c.weights, c.gamma
+			r.cacheMu.Unlock()
+			r.policyCacheHits.Add(1)
+			return weights, gamma, nil
+		}
+		r.cacheMu.Unlock()
+	}
+	weights, gamma, err := r.decide(hist)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !r.noCache {
+		r.cacheMu.Lock()
+		r.lastOut = &policyOutput{window: hist, weights: weights, gamma: gamma}
+		r.cacheMu.Unlock()
+	}
+	return weights, gamma, nil
+}
+
+// windowsEqual reports whether two history windows hold the same demand,
+// with a pointer fast path per slot (steady demand re-pushes the same
+// matrices) before falling back to entry comparison.
+func windowsEqual(a, b []*DemandMatrix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// strategyFor returns the routing strategy for (weights, gamma), reusing
+// the cached one when the policy output is unchanged. With caching off it
+// builds a fresh per-batch strategy, which still shares ratios within the
+// batch (the pre-cache behaviour).
+func (r *Router) strategyFor(weights []float64, gamma float64) (*routing.Strategy, error) {
+	if r.noCache {
+		r.strategyMisses.Add(1)
+		return routing.NewStrategy(r.g, weights, gamma)
+	}
+	r.cacheMu.Lock()
+	if s := r.strategy; s != nil && s.Matches(weights, gamma) {
+		r.cacheMu.Unlock()
+		r.strategyHits.Add(1)
+		return s, nil
+	}
+	r.cacheMu.Unlock()
+	s, err := routing.NewStrategy(r.g, weights, gamma)
+	if err != nil {
+		return nil, err
+	}
+	r.strategyMisses.Add(1)
+	r.cacheMu.Lock()
+	r.strategy = s
+	r.cacheMu.Unlock()
+	return s, nil
+}
+
 // decide runs the policy on the demand history and returns the edge
-// weights and softmin spread of the resulting routing strategy.
+// weights and softmin spread of the resulting routing strategy. The
+// observation is built into a pooled Observer's buffers: MeanAction copies
+// what it needs, so the buffers are free for reuse when decide returns.
 func (r *Router) decide(hist []*DemandMatrix) ([]float64, float64, error) {
-	obs, err := env.Observe(r.g, hist)
+	ob := r.observers.Get().(*env.Observer)
+	defer r.observers.Put(ob)
+	obs, err := ob.Observe(r.g, hist)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -442,31 +572,56 @@ func (r *Router) decide(hist []*DemandMatrix) ([]float64, float64, error) {
 	return weights, r.ecfg.Gamma, nil
 }
 
-// evaluate derives the full Decision for dm under the batch's weights,
-// reusing per-sink splitting ratios across the batch via the ratios map.
-func (r *Router) evaluate(dm *DemandMatrix, weights []float64, gamma float64, ratios map[int]*routing.Ratios) (*Decision, error) {
+// evaluate derives the full Decision for dm under the batch's routing
+// strategy. The demand in-sums are precomputed in one pass (replacing the
+// per-sink column scans), propagation runs through pooled scratch buffers,
+// and the strategy supplies cached per-sink splitting ratios. Only the
+// caller-owned Decision fields are allocated.
+func (r *Router) evaluate(dm *DemandMatrix, strat *routing.Strategy) (*Decision, error) {
+	n := r.g.NumNodes()
 	ne := r.g.NumEdges()
-	loads := make([]float64, ne)
-	splits := make(map[int][]float64)
-	for sink := 0; sink < r.g.NumNodes(); sink++ {
-		if dm.InSum(sink) == 0 {
-			continue
+	sc := r.scratch.Get().(*evalScratch)
+	defer r.scratch.Put(sc)
+	sc.insums = grow(sc.insums, n)
+	dm.InSums(sc.insums)
+	sinks := sc.sinks[:0]
+	for v, in := range sc.insums {
+		if in != 0 {
+			sinks = append(sinks, v)
 		}
-		rt, ok := ratios[sink]
-		if !ok {
-			var err error
-			rt, err = routing.SplittingRatios(r.g, sink, weights, gamma)
+	}
+	sc.sinks = sinks
+
+	// One backing array for the two per-edge result slices; the scratch
+	// loads buffer is reset by construction, so reuse cannot double-count
+	// (see Ratios.Loads' accumulation contract).
+	buf := make([]float64, 2*ne)
+	loads, util := buf[:ne:ne], buf[ne:]
+	if r.evalWorkers > 1 && len(sinks) > 1 {
+		if err := r.evaluateSinksParallel(dm, strat, sinks, sc, loads); err != nil {
+			return nil, err
+		}
+	} else {
+		sc.inflow = grow(sc.inflow, n)
+		for _, sink := range sinks {
+			rt, err := strat.Ratios(sink)
 			if err != nil {
 				return nil, fmt.Errorf("gddr: route sink %d: %w", sink, err)
 			}
-			ratios[sink] = rt
+			if err := rt.AccumulateLoads(r.g, dm, loads, sc.inflow); err != nil {
+				return nil, fmt.Errorf("gddr: route sink %d: %w", sink, err)
+			}
 		}
-		if err := rt.Loads(r.g, dm, loads); err != nil {
+	}
+
+	splits := make(map[int][]float64, len(sinks))
+	for _, sink := range sinks {
+		rt, err := strat.Ratios(sink)
+		if err != nil {
 			return nil, fmt.Errorf("gddr: route sink %d: %w", sink, err)
 		}
 		splits[sink] = append([]float64(nil), rt.Ratio...)
 	}
-	util := make([]float64, ne)
 	maxU := 0.0
 	for ei := range util {
 		util[ei] = loads[ei] / r.g.Edge(ei).Capacity
@@ -475,11 +630,72 @@ func (r *Router) evaluate(dm *DemandMatrix, weights []float64, gamma float64, ra
 		}
 	}
 	return &Decision{
-		Weights:        append([]float64(nil), weights...),
-		Gamma:          gamma,
+		Weights:        append([]float64(nil), strat.Weights()...),
+		Gamma:          strat.Gamma(),
 		Splits:         splits,
 		Loads:          loads,
 		Utilization:    util,
 		MaxUtilization: maxU,
 	}, nil
+}
+
+// evaluateSinksParallel fans the per-sink load propagation of one request
+// out over the eval workers. Each sink's contribution lands in its own row
+// of the scratch matrix and the rows are folded in sink order — each edge
+// receives exactly one addition per sink, the same floating-point sequence
+// as the sequential path, so parallel decisions are bit-identical.
+func (r *Router) evaluateSinksParallel(dm *DemandMatrix, strat *routing.Strategy, sinks []int, sc *evalScratch, loads []float64) error {
+	n := r.g.NumNodes()
+	ne := r.g.NumEdges()
+	sc.contrib = grow(sc.contrib, len(sinks)*ne)
+	workers := r.evalWorkers
+	if workers > len(sinks) {
+		workers = len(sinks)
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		poolErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inflow := make([]float64, n)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sinks) {
+					return
+				}
+				row := sc.contrib[i*ne : (i+1)*ne]
+				clear(row)
+				rt, err := strat.Ratios(sinks[i])
+				if err == nil {
+					err = rt.AccumulateLoads(r.g, dm, row, inflow)
+				}
+				if err != nil {
+					errMu.Lock()
+					if poolErr == nil {
+						poolErr = fmt.Errorf("gddr: route sink %d: %w", sinks[i], err)
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if poolErr != nil {
+		return poolErr
+	}
+	for i := range sinks {
+		row := sc.contrib[i*ne : (i+1)*ne]
+		for ei, c := range row {
+			if c != 0 {
+				loads[ei] += c
+			}
+		}
+	}
+	return nil
 }

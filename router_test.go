@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"gddr/internal/routing"
 	"gddr/internal/traffic"
@@ -340,5 +342,258 @@ func TestRouterWarmHistory(t *testing.T) {
 	// A mis-sized warm history is rejected up front.
 	if _, err := NewRouter(agent, g, WithWarmHistory(traffic.NewDemandMatrix(3))); err == nil {
 		t.Fatal("mismatched warm history accepted")
+	}
+}
+
+// sameDecision asserts two decisions are bit-identical in every field.
+func sameDecision(t *testing.T, label string, a, b *Decision) {
+	t.Helper()
+	if a.Gamma != b.Gamma {
+		t.Fatalf("%s: gamma %g != %g", label, a.Gamma, b.Gamma)
+	}
+	if a.MaxUtilization != b.MaxUtilization {
+		t.Fatalf("%s: MLU %g != %g", label, a.MaxUtilization, b.MaxUtilization)
+	}
+	exact := func(name string, x, y []float64) {
+		t.Helper()
+		if len(x) != len(y) {
+			t.Fatalf("%s: %s sized %d vs %d", label, name, len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s: %s[%d] %g != %g", label, name, i, x[i], y[i])
+			}
+		}
+	}
+	exact("weights", a.Weights, b.Weights)
+	exact("loads", a.Loads, b.Loads)
+	exact("utilization", a.Utilization, b.Utilization)
+	if len(a.Splits) != len(b.Splits) {
+		t.Fatalf("%s: splits for %d vs %d sinks", label, len(a.Splits), len(b.Splits))
+	}
+	for sink, ra := range a.Splits {
+		rb, ok := b.Splits[sink]
+		if !ok {
+			t.Fatalf("%s: sink %d missing from second decision", label, sink)
+		}
+		exact(fmt.Sprintf("splits[%d]", sink), ra, rb)
+	}
+}
+
+// TestRouterColdStartObservesZeroHistory is the regression test for the
+// cold-start observation leak: the first batch's history pad must be a zero
+// matrix, not the batch's own demand, so a decision for time t never
+// observes the demand it is routing. Two fresh routers fed different first
+// demands must therefore emit identical weights (both observed an all-zero
+// history); under the leak each would have observed its own demand.
+func TestRouterColdStartObservesZeroHistory(t *testing.T) {
+	g := Abilene()
+	agent := testRouterAgent(t)
+	route := func(dm *DemandMatrix) *Decision {
+		t.Helper()
+		router, err := NewRouter(agent, g, WithRouterWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer router.Close()
+		d, err := router.Route(context.Background(), dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	dA, dB := route(testDemand(g, 101)), route(testDemand(g, 202))
+	if len(dA.Weights) != len(dB.Weights) {
+		t.Fatalf("weights sized %d vs %d", len(dA.Weights), len(dB.Weights))
+	}
+	for ei := range dA.Weights {
+		if dA.Weights[ei] != dB.Weights[ei] {
+			t.Fatalf("edge %d: cold-start weights differ (%g vs %g): first decision observed its own demand", ei, dA.Weights[ei], dB.Weights[ei])
+		}
+	}
+	if dA.Gamma != dB.Gamma {
+		t.Fatalf("cold-start gammas differ: %g vs %g", dA.Gamma, dB.Gamma)
+	}
+}
+
+// newUncachedRouter builds a router with the serving fast-path caches
+// disabled: the baseline of the golden test and the speedup gate.
+func newUncachedRouter(t *testing.T, agent *Agent, g *Graph, opts ...RouterOption) *Router {
+	t.Helper()
+	cfg := resolveRouterConfig(opts)
+	cfg.noCache = true
+	router, err := newRouter(agent, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return router
+}
+
+// TestRouterCacheGoldenDecisions: for the same request sequence — steady
+// stretches that hit both caches, demand changes that miss — every Decision
+// must be bit-identical with caching on and off.
+func TestRouterCacheGoldenDecisions(t *testing.T) {
+	g := Abilene()
+	agent := testRouterAgent(t)
+	a, b := testDemand(g, 301), testDemand(g, 302)
+	seq := []*DemandMatrix{a, a, a, b, a, b.Clone(), b, b}
+
+	cached, err := NewRouter(agent, g, WithRouterWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cached.Close()
+	uncached := newUncachedRouter(t, agent, g, WithRouterWorkers(1))
+	defer uncached.Close()
+
+	for i, dm := range seq {
+		dc, err := cached.Route(context.Background(), dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		du, err := uncached.Route(context.Background(), dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDecision(t, fmt.Sprintf("request %d", i), dc, du)
+	}
+	if hits := cached.Stats().PolicyCacheHits + cached.Stats().StrategyHits; hits == 0 {
+		t.Fatal("golden sequence never hit a cache; the test is not exercising the fast path")
+	}
+	if s := uncached.Stats(); s.PolicyCacheHits != 0 || s.StrategyHits != 0 {
+		t.Fatalf("uncached router reported cache hits: %+v", s)
+	}
+}
+
+// TestRouterSteadyDemandCacheHits pins the cache counters under steady
+// demand: once the history window stabilises, batches are answered without
+// forward passes (policy-output cache) and without rebuilding splitting
+// ratios (strategy cache) — including for value-equal demand decoded into
+// fresh allocations, the serving-gateway case.
+func TestRouterSteadyDemandCacheHits(t *testing.T) {
+	g := Abilene()
+	router, err := NewRouter(testRouterAgent(t), g, WithRouterWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	ctx := context.Background()
+	dm := testDemand(g, 400)
+
+	var last *Decision
+	var steady *Decision
+	for i := 0; i < 5; i++ {
+		d, err := router.Route(ctx, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			steady = d // memory=2: window is [dm,dm] from here on
+		}
+		last = d
+	}
+	sameDecision(t, "steady state", steady, last)
+
+	stats := router.Stats()
+	// Batches 4 and 5 see the same [dm,dm] window as batch 3.
+	if stats.PolicyCacheHits != 2 {
+		t.Fatalf("policy cache hits %d, want 2 (stats %+v)", stats.PolicyCacheHits, stats)
+	}
+	if stats.ForwardPasses != stats.Batches-stats.PolicyCacheHits {
+		t.Fatalf("forward passes %d for %d batches with %d cache hits", stats.ForwardPasses, stats.Batches, stats.PolicyCacheHits)
+	}
+	if stats.StrategyHits < 2 {
+		t.Fatalf("strategy hits %d, want >= 2", stats.StrategyHits)
+	}
+	if stats.StrategyHits+stats.StrategyMisses != stats.Batches {
+		t.Fatalf("strategy hits %d + misses %d != batches %d", stats.StrategyHits, stats.StrategyMisses, stats.Batches)
+	}
+
+	// A value-equal clone must hit too: same demand decoded afresh.
+	d, err := router.Route(ctx, dm.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDecision(t, "cloned steady demand", steady, d)
+	if got := router.Stats().PolicyCacheHits; got != 3 {
+		t.Fatalf("policy cache hits after clone %d, want 3", got)
+	}
+}
+
+// TestRouterEvalWorkersBitIdentical: sink-parallel evaluation must produce
+// decisions bit-identical to the sequential path at any worker count.
+func TestRouterEvalWorkersBitIdentical(t *testing.T) {
+	g := NSFNet()
+	agent := testRouterAgent(t)
+	sequential, err := NewRouter(agent, g, WithRouterWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sequential.Close()
+	parallel, err := NewRouter(agent, g, WithRouterWorkers(1), WithEvalWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parallel.Close()
+
+	for i := 0; i < 4; i++ {
+		dm := testDemand(g, int64(500+i))
+		ds, err := sequential.Route(context.Background(), dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := parallel.Route(context.Background(), dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDecision(t, fmt.Sprintf("request %d", i), ds, dp)
+	}
+}
+
+// TestRouterBatchWindow: a serving worker with a batch window keeps
+// gathering concurrent requests instead of serving singletons, and Close
+// does not wait out the window.
+func TestRouterBatchWindow(t *testing.T) {
+	g := Abilene()
+	router, err := NewRouter(testRouterAgent(t), g, WithRouterWorkers(1), WithMaxBatch(8), WithBatchWindow(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 8
+	const perCaller = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, callers*perCaller)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perCaller; i++ {
+				if _, err := router.Route(context.Background(), testDemand(g, int64(c*10+i))); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	stats := router.Stats()
+	if stats.Requests != callers*perCaller {
+		t.Fatalf("served %d requests, want %d", stats.Requests, callers*perCaller)
+	}
+	if stats.Batches >= stats.Requests {
+		t.Fatalf("batch window never batched: %d batches for %d requests", stats.Batches, stats.Requests)
+	}
+	start := time.Now()
+	router.Close()
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("close took %v with a 2ms batch window", elapsed)
+	}
+	if _, err := router.Route(context.Background(), testDemand(g, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
 	}
 }

@@ -1,0 +1,195 @@
+package gddr
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"gddr/internal/nn"
+	"gddr/internal/rl"
+)
+
+// CheckpointFormat is the version of the training-checkpoint wire format.
+const CheckpointFormat = 1
+
+// TrainCheckpoint is a durable snapshot of a training run at an update
+// boundary: the originating configuration, every parameter tensor, the Adam
+// moments, the per-worker random streams and environment states, the
+// step/episode counters, and the learning curve so far. Restoring it (see
+// ResumeAgent) and training to the original budget is bit-identical to the
+// uninterrupted run for the same scenario and (Seed, Workers) pair.
+type TrainCheckpoint struct {
+	Format int         `json:"format"`
+	Algo   AlgoKind    `json:"algo"`
+	Config TrainConfig `json:"config"`
+	// ScenarioDigest fingerprints the scenario the run trained on, so a
+	// resume against a different scenario is rejected instead of silently
+	// corrupting the episode stream.
+	ScenarioDigest string          `json:"scenario_digest,omitempty"`
+	Params         []nn.ParamState `json:"params"`
+	Train          *rl.TrainState  `json:"train,omitempty"`
+	Curve          []EpisodeStat   `json:"curve,omitempty"`
+}
+
+// Checkpoint captures the agent's current training state. It is consistent
+// with the last completed update: collections aborted by cancellation are
+// not part of it.
+func (a *Agent) Checkpoint() (*TrainCheckpoint, error) {
+	st, err := a.trainer.State()
+	if err != nil {
+		return nil, err
+	}
+	return &TrainCheckpoint{
+		Format:         CheckpointFormat,
+		Algo:           a.Config.Algo,
+		Config:         a.Config,
+		ScenarioDigest: a.digest,
+		Params:         nn.CaptureParams(a.trainer.Params()),
+		Train:          st,
+		Curve:          a.Curve(),
+	}, nil
+}
+
+// SaveCheckpoint writes the agent's training checkpoint as JSON.
+func (a *Agent) SaveCheckpoint(w io.Writer) error {
+	cp, err := a.Checkpoint()
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(cp)
+}
+
+// WriteCheckpointFile writes the checkpoint atomically: to a temp file in
+// the target directory, then renamed over path, so a crash mid-write never
+// corrupts the previous checkpoint.
+func (a *Agent) WriteCheckpointFile(path string) error {
+	cp, err := a.Checkpoint()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(tmp).Encode(cp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCheckpoint reads and validates a checkpoint written by
+// SaveCheckpoint/WriteCheckpointFile.
+func LoadCheckpoint(r io.Reader) (*TrainCheckpoint, error) {
+	var cp TrainCheckpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("gddr: decode checkpoint: %w", err)
+	}
+	if cp.Format != CheckpointFormat {
+		return nil, fmt.Errorf("gddr: unsupported checkpoint format %d (want %d)", cp.Format, CheckpointFormat)
+	}
+	if len(cp.Params) == 0 {
+		return nil, fmt.Errorf("gddr: checkpoint carries no parameters")
+	}
+	if cp.Train != nil && string(cp.Algo) != cp.Train.Algo {
+		return nil, fmt.Errorf("gddr: checkpoint algorithm %q does not match training state %q", cp.Algo, cp.Train.Algo)
+	}
+	return &cp, nil
+}
+
+// LoadCheckpointFile is LoadCheckpoint over a file path.
+func LoadCheckpointFile(path string) (*TrainCheckpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
+}
+
+// ResumeAgent reconstructs an agent from a checkpoint: the architecture is
+// rebuilt from the checkpointed TrainConfig, the parameters and optimiser
+// moments are restored into it (validated by name and shape, so a
+// checkpoint cannot be loaded into a mismatched architecture), and the
+// training state is staged for the next Train/ResumeTraining call, which
+// continues the run bit-identically. Options are applied on top of the
+// checkpointed config — safe for runtime concerns (WithProgress,
+// WithCheckpointPath, extending WithTotalSteps). Changing the architecture
+// or the worker count is rejected; a WithSeed override has no effect on
+// the continuation, because every random stream is restored from the
+// checkpointed state rather than re-derived from the seed.
+func ResumeAgent(cp *TrainCheckpoint, scenario *Scenario, opts ...Option) (*Agent, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("gddr: nil checkpoint")
+	}
+	merged := append([]Option{WithConfig(cp.Config)}, opts...)
+	agent, err := NewAgent(cp.Config.Policy, scenario, merged...)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.RestoreParams(cp.Params, agent.trainer.Params()); err != nil {
+		return nil, fmt.Errorf("gddr: checkpoint does not match the rebuilt architecture: %w", err)
+	}
+	if cp.Train != nil {
+		if w := len(cp.Train.WorkerStates); w > 0 && agent.Config.Workers != 0 && agent.Config.Workers != w {
+			return nil, fmt.Errorf("gddr: checkpoint was collected with %d rollout workers, config asks for %d (worker count is part of the determinism contract)",
+				w, agent.Config.Workers)
+		}
+		agent.pending = cp.Train
+	}
+	agent.curve = append([]EpisodeStat(nil), cp.Curve...)
+	agent.digest = cp.ScenarioDigest
+	return agent, nil
+}
+
+// scenarioDigest fingerprints a scenario's structure and demand values so a
+// checkpoint can detect a mismatched resume: graphs (nodes, edges,
+// capacities) and every demand matrix's bits feed an FNV-64a hash.
+func scenarioDigest(s *Scenario) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	writeFloat := func(v float64) {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	writeInt(len(s.Items))
+	for _, item := range s.Items {
+		writeInt(item.Graph.NumNodes())
+		writeInt(item.Graph.NumEdges())
+		for ei := 0; ei < item.Graph.NumEdges(); ei++ {
+			e := item.Graph.Edge(ei)
+			writeInt(e.From)
+			writeInt(e.To)
+			writeFloat(e.Capacity)
+		}
+		writeInt(len(item.Sequences))
+		for _, seq := range item.Sequences {
+			writeInt(len(seq))
+			for _, dm := range seq {
+				writeInt(dm.N)
+				for _, v := range dm.Data {
+					writeFloat(v)
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

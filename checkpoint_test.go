@@ -1,0 +1,440 @@
+package gddr
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"gddr/internal/graph"
+	"gddr/internal/traffic"
+)
+
+// multiScenario builds a two-topology scenario (ring-4 and ring-5) cheap
+// enough for checkpoint round-trip tests.
+func multiScenario(t *testing.T, seed int64) *Scenario {
+	t.Helper()
+	s := &Scenario{}
+	for i, n := range []int{4, 5} {
+		g, err := graph.Ring(n, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		seqs, err := traffic.Sequences(1, n, 8, 2, traffic.DefaultBimodal(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(g, seqs)
+	}
+	return s
+}
+
+// ckptConfig is the shared tiny training config of the checkpoint tests:
+// 16-step rollouts so update boundaries land at multiples of 16.
+func ckptConfig(totalSteps int) TrainConfig {
+	cfg := DefaultTrainConfig(GNNPolicy)
+	cfg.Memory = 2
+	cfg.TotalSteps = totalSteps
+	cfg.GNN.Hidden = 4
+	cfg.GNN.Steps = 1
+	cfg.PPO.RolloutSteps = 16
+	cfg.PPO.MiniBatch = 8
+	cfg.Workers = 2
+	return cfg
+}
+
+func trainedParams(t *testing.T, a *Agent) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func curvesEqual(t *testing.T, a, b []EpisodeStat) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("curve length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("curve diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCheckpointResumeBitIdentical is the acceptance-criteria equivalence:
+// train k steps, checkpoint, resume the remaining N-k in a fresh agent, and
+// the final parameters and the full learning curve are bit-identical to an
+// uninterrupted N-step run with the same (seed, workers) pair.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	const k, n = 32, 64
+	scenario := multiScenario(t, 7)
+	cache := NewOptimalCache()
+
+	// Uninterrupted reference run.
+	ref, err := NewAgent(GNNPolicy, scenario, WithConfig(ckptConfig(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCurve, err := ref.Train(context.Background(), scenario, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Train k, checkpoint, resume N-k.
+	partial, err := NewAgent(GNNPolicy, scenario, WithConfig(ckptConfig(k)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := partial.Train(context.Background(), scenario, cache); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := partial.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeAgent(cp, scenario, WithTotalSteps(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.TrainedSteps() != 0 { // state is staged, applied at Train
+		t.Fatalf("trained steps before resume: %d", resumed.TrainedSteps())
+	}
+	resumedCurve, err := resumed.ResumeTraining(context.Background(), scenario, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.TrainedSteps() != n {
+		t.Fatalf("resumed run trained %d steps, want %d", resumed.TrainedSteps(), n)
+	}
+	if !bytes.Equal(trainedParams(t, ref), trainedParams(t, resumed)) {
+		t.Fatal("resumed parameters differ from the uninterrupted run")
+	}
+	curvesEqual(t, refCurve, resumedCurve)
+}
+
+// TestCancelCheckpointResume covers the SIGINT path: cancel mid-run, write
+// the checkpoint (which describes the last completed update), resume — the
+// result is bit-identical to the uninterrupted run.
+func TestCancelCheckpointResume(t *testing.T) {
+	const n = 64
+	scenario := multiScenario(t, 8)
+	cache := NewOptimalCache()
+
+	ref, err := NewAgent(GNNPolicy, scenario, WithConfig(ckptConfig(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCurve, err := ref.Train(context.Background(), scenario, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	interrupted, err := NewAgent(GNNPolicy, scenario,
+		WithConfig(ckptConfig(n)),
+		WithProgress(func(p Progress) {
+			if p.Episode != nil && p.Episode.Timestep >= 16 {
+				cancel() // takes effect at the next rollout boundary
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interrupted.Train(ctx, scenario, cache); err == nil {
+		t.Fatal("cancelled training reported success")
+	}
+	if got := interrupted.TrainedSteps(); got <= 0 || got >= n {
+		t.Fatalf("cancelled run trained %d steps, want within (0,%d)", got, n)
+	}
+	var buf bytes.Buffer
+	if err := interrupted.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeAgent(cp, scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedCurve, err := resumed.ResumeTraining(context.Background(), scenario, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(trainedParams(t, ref), trainedParams(t, resumed)) {
+		t.Fatal("post-cancel resume diverged from the uninterrupted run")
+	}
+	curvesEqual(t, refCurve, resumedCurve)
+}
+
+// TestPeriodicCheckpointFiles exercises WithCheckpointEvery +
+// WithCheckpointPath: the file exists after training and resumes cleanly.
+func TestPeriodicCheckpointFiles(t *testing.T) {
+	scenario := multiScenario(t, 9)
+	path := filepath.Join(t.TempDir(), "train.ckpt.json")
+	cfg := ckptConfig(48)
+	agent, err := NewAgent(GNNPolicy, scenario,
+		WithConfig(cfg),
+		WithCheckpointEvery(16),
+		WithCheckpointPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Train(context.Background(), scenario, nil); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Train == nil || cp.Train.Timesteps != 48 {
+		t.Fatalf("final periodic checkpoint at %+v, want 48 steps", cp.Train)
+	}
+	if len(cp.Train.WorkerStates) != 2 {
+		t.Fatalf("checkpoint has %d worker states, want 2", len(cp.Train.WorkerStates))
+	}
+	if _, err := ResumeAgent(cp, scenario); err != nil {
+		t.Fatal(err)
+	}
+
+	// CheckpointEvery without a path must be rejected up front.
+	bad, err := NewAgent(GNNPolicy, scenario, WithConfig(ckptConfig(16)), WithCheckpointEvery(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Train(context.Background(), scenario, nil); err == nil {
+		t.Fatal("CheckpointEvery without CheckpointPath accepted")
+	}
+}
+
+// TestCheckpointValidation covers the guard rails: architecture mismatch,
+// scenario mismatch, worker-count mismatch, and format violations.
+func TestCheckpointValidation(t *testing.T) {
+	scenario := multiScenario(t, 10)
+	agent, err := NewAgent(GNNPolicy, scenario, WithConfig(ckptConfig(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Train(context.Background(), scenario, nil); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := agent.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Params cannot be restored into a mismatched architecture.
+	mutated := *cp
+	mutated.Config.GNN.Hidden = 8
+	if _, err := ResumeAgent(&mutated, scenario); err == nil {
+		t.Fatal("architecture mismatch accepted")
+	}
+
+	// Worker-count mismatch is rejected.
+	if _, err := ResumeAgent(cp, scenario, WithRolloutWorkers(3)); err == nil {
+		t.Fatal("worker-count mismatch accepted")
+	}
+
+	// Scenario mismatch is rejected at resume time.
+	resumed, err := ResumeAgent(cp, scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := multiScenario(t, 99)
+	if _, err := resumed.ResumeTraining(context.Background(), other, nil); err == nil {
+		t.Fatal("scenario mismatch accepted")
+	}
+
+	// Format violations.
+	if _, err := LoadCheckpoint(bytes.NewBufferString(`{"format":99}`)); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := LoadCheckpoint(bytes.NewBufferString(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	fresh, err := NewAgent(GNNPolicy, scenario, WithConfig(ckptConfig(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.ResumeTraining(context.Background(), scenario, nil); err == nil {
+		t.Fatal("resume without checkpoint state accepted")
+	}
+}
+
+// TestSamplerPlumbing trains with a size curriculum over a two-topology
+// scenario and checks determinism is preserved end to end.
+func TestSamplerPlumbing(t *testing.T) {
+	scenario := multiScenario(t, 11)
+	run := func() []byte {
+		cfg := ckptConfig(48)
+		cfg.Sampler = SizeCurriculumSampling(2)
+		agent, err := NewAgent(GNNPolicy, scenario, WithConfig(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := agent.Train(context.Background(), scenario, nil); err != nil {
+			t.Fatal(err)
+		}
+		return trainedParams(t, agent)
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("curriculum training not deterministic")
+	}
+	// An invalid sampler spec surfaces as a construction-time error.
+	cfg := ckptConfig(16)
+	cfg.Sampler = WeightedSampling(1) // 1 weight, 2 members
+	agent, err := NewAgent(GNNPolicy, scenario, WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Train(context.Background(), scenario, nil); err == nil {
+		t.Fatal("mis-sized sampler weights accepted")
+	}
+}
+
+// TestA2CAgentTrains covers the -algo a2c path through the public API.
+func TestA2CAgentTrains(t *testing.T) {
+	scenario := multiScenario(t, 12)
+	cfg := ckptConfig(32)
+	cfg.Algo = A2CAlgo
+	cfg.A2C.RolloutSteps = 16
+	agent, err := NewAgent(GNNPolicy, scenario, WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Train(context.Background(), scenario, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := agent.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Algo != A2CAlgo {
+		t.Fatalf("checkpoint algo %q want a2c", cp.Algo)
+	}
+	if _, err := ResumeAgent(cp, scenario); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExperimentCheckpointDir runs a registry experiment with a checkpoint
+// directory and checks each training stage leaves a resumable checkpoint.
+func TestExperimentCheckpointDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	opts := tinyOptions()
+	report, err := RunExperiment(context.Background(), "figure7",
+		WithExperimentOptions(opts),
+		WithCheckpointDir(dir),
+		WithRolloutWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report == nil {
+		t.Fatal("nil report")
+	}
+	for _, stage := range []string{"figure7-mlp", "figure7-gnn"} {
+		path := filepath.Join(dir, stage+".ckpt.json")
+		cp, err := LoadCheckpointFile(path)
+		if err != nil {
+			t.Fatalf("stage %s: %v", stage, err)
+		}
+		if cp.Train == nil || cp.Train.Timesteps != opts.TrainSteps {
+			t.Fatalf("stage %s checkpoint incomplete: %+v", stage, cp.Train)
+		}
+		if len(cp.Train.WorkerStates) != 2 {
+			t.Fatalf("stage %s trained with %d workers, want 2", stage, len(cp.Train.WorkerStates))
+		}
+	}
+}
+
+// TestRetryAfterCancelUsesFreshContext is the regression test for the
+// stale-clone hazard: after a cancelled Train, calling Train again with a
+// live context (and no checkpoint round trip) must complete — the rollout
+// workers must step clones of the newly built environment, not clones
+// still bound to the cancelled context — and land on the same parameters
+// as an uninterrupted run.
+func TestRetryAfterCancelUsesFreshContext(t *testing.T) {
+	const n = 64
+	scenario := multiScenario(t, 14)
+
+	ref, err := NewAgent(GNNPolicy, scenario, WithConfig(ckptConfig(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Train(context.Background(), scenario, NewOptimalCache()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	retried, err := NewAgent(GNNPolicy, scenario,
+		WithConfig(ckptConfig(n)),
+		WithProgress(func(p Progress) {
+			if p.Episode != nil && p.Episode.Timestep >= 16 {
+				cancel()
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Separate, unwarmed caches per call: the retry must not depend on the
+	// first call's cache having been filled before cancellation.
+	if _, err := retried.Train(ctx, scenario, NewOptimalCache()); err == nil {
+		t.Fatal("cancelled training reported success")
+	}
+	if _, err := retried.Train(context.Background(), scenario, NewOptimalCache()); err != nil {
+		t.Fatalf("retry with a live context failed: %v", err)
+	}
+	if retried.TrainedSteps() != n {
+		t.Fatalf("retry trained to %d steps, want %d", retried.TrainedSteps(), n)
+	}
+	if !bytes.Equal(trainedParams(t, ref), trainedParams(t, retried)) {
+		t.Fatal("cancel+retry diverged from the uninterrupted run")
+	}
+
+	// And a continuation on a different scenario is rejected outright.
+	if _, err := retried.Train(context.Background(), multiScenario(t, 77), nil); err == nil {
+		t.Fatal("scenario swap mid-agent accepted")
+	}
+}
+
+// TestExperimentCheckpointConfigMismatch re-runs an experiment against a
+// checkpoint dir written under different options: it must fail loudly
+// instead of silently resuming the old configuration.
+func TestExperimentCheckpointConfigMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	opts := tinyOptions()
+	if _, err := RunExperiment(context.Background(), "figure7",
+		WithExperimentOptions(opts), WithCheckpointDir(dir)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunExperiment(context.Background(), "figure7",
+		WithExperimentOptions(opts), WithCheckpointDir(dir), WithTotalSteps(opts.TrainSteps*2)); err == nil {
+		t.Fatal("config mismatch against stage checkpoints accepted")
+	}
+	// Re-running with identical options resumes (here: a completed stage
+	// no-ops its training) and succeeds.
+	if _, err := RunExperiment(context.Background(), "figure7",
+		WithExperimentOptions(opts), WithCheckpointDir(dir)); err != nil {
+		t.Fatalf("identical re-run failed: %v", err)
+	}
+}

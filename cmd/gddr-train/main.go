@@ -1,14 +1,25 @@
-// Command gddr-train trains a GDDR routing agent with PPO on an embedded
-// topology and saves the learned parameters as JSON. Ctrl-C cancels the
-// run at the next PPO rollout, keeping the last completed update.
+// Command gddr-train trains a GDDR routing agent (PPO or A2C) on an
+// embedded topology and saves the learned parameters as JSON. Rollouts can
+// be collected by parallel workers (-workers); results are bit-identical
+// for a given (seed, workers) pair. With -checkpoint the run writes durable
+// training checkpoints (periodically and on Ctrl-C), and -resume continues
+// a checkpointed run exactly where it left off — the resumed run is
+// bit-identical to an uninterrupted one.
 //
-// Example:
+// Examples:
 //
-//	gddr-train -policy gnn -topology abilene -steps 20000 -out model.json
+//	gddr-train -policy gnn -topology abilene -steps 20000 -workers 4 -checkpoint run.ckpt.json -out model.json
+//	gddr-train -resume run.ckpt.json -steps 40000 -out model.json
+//
+// Ctrl-C cancels the run at the next rollout boundary, keeping the last
+// completed update; when -checkpoint (or -resume) is set, the final
+// checkpoint and the learning curve so far are written before exiting.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -31,8 +42,10 @@ func main() {
 func run() error {
 	var (
 		policyName = flag.String("policy", "gnn", "policy architecture: mlp, gnn, gnn-iterative")
+		algoName   = flag.String("algo", "ppo", "training algorithm: ppo, a2c")
 		topoName   = flag.String("topology", "abilene", "embedded topology name")
-		steps      = flag.Int("steps", 20000, "PPO environment steps (paper: 500000)")
+		steps      = flag.Int("steps", 20000, "training environment steps (paper: 500000)")
+		workers    = flag.Int("workers", 1, "parallel rollout-collection workers")
 		seqs       = flag.Int("sequences", 3, "training demand sequences (paper: 7)")
 		seqLen     = flag.Int("seqlen", 30, "demand matrices per sequence (paper: 60)")
 		cycle      = flag.Int("cycle", 5, "cycle length of the cyclical sequences (paper: 10)")
@@ -41,14 +54,24 @@ func run() error {
 		msgSteps   = flag.Int("gnn-steps", 2, "GNN message-passing steps")
 		seed       = flag.Int64("seed", 1, "random seed")
 		outPath    = flag.String("out", "model.json", "output model file")
+		ckptPath   = flag.String("checkpoint", "", "training-checkpoint file (enables periodic + on-interrupt checkpoints)")
+		ckptEvery  = flag.Int("checkpoint-every", 2000, "environment steps between periodic checkpoints")
+		resumePath = flag.String("resume", "", "resume from a training checkpoint written by -checkpoint")
+		curvePath  = flag.String("curve", "", "write the learning curve as JSON (default: <checkpoint>.curve.json when checkpointing)")
 		quiet      = flag.Bool("quiet", false, "suppress per-episode progress")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	kind, err := policy.ParseKind(*policyName)
+	if err != nil {
+		return err
+	}
+	algo, err := gddr.ParseAlgo(*algoName)
 	if err != nil {
 		return err
 	}
@@ -63,12 +86,7 @@ func run() error {
 	}
 	scenario := gddr.NewScenario(g, sequences)
 
-	opts := []gddr.Option{
-		gddr.WithMemory(*memory),
-		gddr.WithTotalSteps(*steps),
-		gddr.WithSeed(*seed),
-		gddr.WithGNNSize(*hidden, *msgSteps),
-	}
+	var opts []gddr.Option
 	if !*quiet {
 		opts = append(opts, gddr.WithProgress(func(p gddr.Progress) {
 			if p.Episode != nil {
@@ -77,29 +95,105 @@ func run() error {
 			}
 		}))
 	}
-	agent, err := gddr.NewAgent(kind, scenario, opts...)
-	if err != nil {
-		return err
+
+	var agent *gddr.Agent
+	if *resumePath != "" {
+		// A resumed run is defined by its checkpoint: architecture, seed,
+		// algorithm, and hyperparameters cannot change mid-run, so an
+		// explicit flag that asks for that is an error, not a silent no-op.
+		for _, name := range []string{"policy", "algo", "seed", "memory", "gnn-hidden", "gnn-steps"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s cannot be changed when resuming; it is fixed by the checkpoint", name)
+			}
+		}
+		cp, err := gddr.LoadCheckpointFile(*resumePath)
+		if err != nil {
+			return err
+		}
+		// The scenario flags must match the original run; the checkpoint's
+		// scenario digest rejects a mismatch at training time. -steps
+		// (extend the budget) and -workers (validated against the
+		// checkpoint) may be set explicitly; the checkpoint file keeps
+		// being written unless -checkpoint says otherwise.
+		if explicit["steps"] {
+			opts = append(opts, gddr.WithTotalSteps(*steps))
+		}
+		if explicit["workers"] {
+			opts = append(opts, gddr.WithRolloutWorkers(*workers))
+		}
+		path := *ckptPath
+		if path == "" {
+			path = *resumePath
+		}
+		opts = append(opts, gddr.WithCheckpointPath(path))
+		// The checkpoint interval follows the original run unless the user
+		// explicitly asks for a different one.
+		if explicit["checkpoint-every"] {
+			opts = append(opts, gddr.WithCheckpointEvery(*ckptEvery))
+		}
+		*ckptPath = path
+		agent, err = gddr.ResumeAgent(cp, scenario, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resuming %s on %s from %s: %d/%d steps done\n",
+			cp.Config.Policy, *topoName, *resumePath, cp.Train.Timesteps, agent.Config.TotalSteps)
+	} else {
+		opts = append(opts,
+			gddr.WithMemory(*memory),
+			gddr.WithTotalSteps(*steps),
+			gddr.WithSeed(*seed),
+			gddr.WithGNNSize(*hidden, *msgSteps),
+			gddr.WithAlgo(algo),
+			gddr.WithRolloutWorkers(*workers),
+		)
+		if *ckptPath != "" {
+			opts = append(opts, gddr.WithCheckpointPath(*ckptPath), gddr.WithCheckpointEvery(*ckptEvery))
+		}
+		agent, err = gddr.NewAgent(kind, scenario, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("training %s (%s) on %s (%d nodes, %d edges), %d params, %d steps, %d workers\n",
+			kind, algo, *topoName, g.NumNodes(), g.NumEdges(), agent.NumParams(), *steps, *workers)
 	}
-	fmt.Printf("training %s on %s (%d nodes, %d edges), %d params, %d steps\n",
-		kind, *topoName, g.NumNodes(), g.NumEdges(), agent.NumParams(), *steps)
 
 	cache := gddr.NewOptimalCache()
 	if _, err := gddr.Prewarm(ctx, scenario, cache); err != nil {
 		return err
 	}
 	if _, err := agent.Train(ctx, scenario, cache); err != nil {
+		if errors.Is(err, context.Canceled) {
+			// Ctrl-C: persist the last completed update so the run can be
+			// resumed bit-identically, then exit cleanly.
+			fmt.Printf("\ninterrupted at %d/%d steps\n", agent.TrainedSteps(), agent.Config.TotalSteps)
+			return persistInterrupted(agent, *ckptPath, *curvePath)
+		}
 		return err
 	}
+
 	ratio, err := agent.Evaluate(ctx, scenario, cache)
 	if err != nil {
 		return err
 	}
-	sp, err := gddr.ShortestPathRatio(ctx, scenario, *memory, cache)
+	sp, err := gddr.ShortestPathRatio(ctx, scenario, agent.Config.Memory, cache)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("train-set mean U_agent/U_opt: %.4f (shortest path: %.4f)\n", ratio, sp)
+
+	if *ckptPath != "" {
+		if err := agent.WriteCheckpointFile(*ckptPath); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint written to %s\n", *ckptPath)
+	}
+	if *curvePath != "" {
+		if err := writeCurve(agent, *curvePath); err != nil {
+			return err
+		}
+		fmt.Printf("learning curve written to %s\n", *curvePath)
+	}
 
 	f, err := os.Create(*outPath)
 	if err != nil {
@@ -111,4 +205,41 @@ func run() error {
 	}
 	fmt.Printf("model written to %s\n", *outPath)
 	return nil
+}
+
+// persistInterrupted writes the final checkpoint and learning curve after a
+// cancelled run. Without a checkpoint path the training state is discarded
+// as before, but an explicitly requested -curve file is still written.
+func persistInterrupted(agent *gddr.Agent, ckptPath, curvePath string) error {
+	if ckptPath != "" {
+		if err := agent.WriteCheckpointFile(ckptPath); err != nil {
+			return err
+		}
+		fmt.Printf("final checkpoint written to %s (resume with -resume %s)\n", ckptPath, ckptPath)
+		if curvePath == "" {
+			curvePath = ckptPath + ".curve.json"
+		}
+	} else {
+		fmt.Println("no -checkpoint path set; training progress discarded")
+	}
+	if curvePath == "" {
+		return nil
+	}
+	if err := writeCurve(agent, curvePath); err != nil {
+		return err
+	}
+	fmt.Printf("learning curve written to %s\n", curvePath)
+	return nil
+}
+
+// writeCurve writes the agent's cumulative learning curve as JSON.
+func writeCurve(agent *gddr.Agent, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(agent.Curve())
 }

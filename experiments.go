@@ -1,9 +1,14 @@
 package gddr
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"gddr/internal/graph"
 	"gddr/internal/routing"
@@ -31,6 +36,21 @@ type ExperimentOptions struct {
 	// to a specific one (empty means "abilene"); the figure experiments
 	// follow the paper and ignore it.
 	Topology string `json:"topology,omitempty"`
+	// Algo selects the training algorithm (default PPO).
+	Algo AlgoKind `json:"algo,omitempty"`
+	// RolloutWorkers is the parallel rollout-collection worker count per
+	// trained policy (default 1; part of the determinism contract).
+	RolloutWorkers int `json:"rollout_workers,omitempty"`
+	// CheckpointDir, when set, makes every training stage write periodic
+	// checkpoints to <dir>/<stage>.ckpt.json so an interrupted experiment
+	// can resume its trained policies.
+	CheckpointDir string `json:"checkpoint_dir,omitempty"`
+	// CheckpointEvery is the checkpoint interval in environment steps
+	// (default TrainSteps/4 when CheckpointDir is set).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Sampler selects multi-topology episode sampling for the
+	// generalisation experiments (zero value: uniform).
+	Sampler SamplerSpec `json:"sampler,omitempty"`
 }
 
 // DefaultExperimentOptions returns the scaled-down defaults.
@@ -73,6 +93,13 @@ func (o ExperimentOptions) trainConfig(kind PolicyKind) TrainConfig {
 	cfg.Seed = o.Seed
 	cfg.GNN.Hidden = o.GNNHidden
 	cfg.GNN.Steps = o.GNNSteps
+	if o.Algo != "" {
+		cfg.Algo = o.Algo
+	}
+	if o.RolloutWorkers > 0 {
+		cfg.Workers = o.RolloutWorkers
+	}
+	cfg.Sampler = o.Sampler
 	// Short trainings need more, smaller PPO updates than the PPO2
 	// defaults, and a slightly hotter learning rate.
 	if o.TrainSteps < 100000 {
@@ -116,17 +143,103 @@ func init() {
 	})
 }
 
+// stageCheckpointPath maps a progress-stage name to its checkpoint file
+// under the experiment's checkpoint directory.
+func stageCheckpointPath(dir, stage string) string {
+	return filepath.Join(dir, strings.ReplaceAll(stage, "/", "-")+".ckpt.json")
+}
+
+// stageAgent builds the agent for one experiment training stage. When the
+// experiment carries a checkpoint directory, the stage writes periodic
+// checkpoints to <dir>/<stage>.ckpt.json and resumes from an existing one;
+// the returned path is empty when checkpointing is off.
+func stageAgent(kind PolicyKind, train *Scenario, opts ExperimentOptions, progress ProgressFunc, stage string) (*Agent, string, error) {
+	cfg := opts.trainConfig(kind)
+	if opts.CheckpointDir == "" {
+		agent, err := NewAgent(kind, train, WithConfig(cfg), WithProgress(stagedProgress(progress, stage)))
+		return agent, "", err
+	}
+	if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+		return nil, "", err
+	}
+	path := stageCheckpointPath(opts.CheckpointDir, stage)
+	cfg.CheckpointPath = path
+	cfg.CheckpointEvery = opts.CheckpointEvery
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = max(1, cfg.TotalSteps/4)
+	}
+	if cp, err := LoadCheckpointFile(path); err == nil {
+		// A stage checkpoint only resumes a run of the *same* experiment
+		// configuration; silently adopting the checkpointed config would
+		// attribute old results to the new options. Mismatches (changed
+		// steps, seed, algorithm, workers, sizes) must be explicit.
+		if err := checkpointConfigMatches(cp.Config, cfg); err != nil {
+			return nil, "", fmt.Errorf("gddr: checkpoint %s was written by a different experiment configuration (%w); delete it or point WithCheckpointDir elsewhere", path, err)
+		}
+		// Checkpoint plumbing follows the *current* options (the config
+		// match above ignores it): periodic checkpoints must land in the
+		// current directory, not wherever the original run wrote them.
+		agent, err := ResumeAgent(cp, train,
+			WithProgress(stagedProgress(progress, stage)),
+			WithCheckpointPath(path),
+			WithCheckpointEvery(cfg.CheckpointEvery))
+		if err != nil {
+			return nil, "", fmt.Errorf("gddr: resume %s: %w", path, err)
+		}
+		return agent, path, nil
+	} else if !os.IsNotExist(err) {
+		return nil, "", fmt.Errorf("gddr: read %s: %w", path, err)
+	}
+	agent, err := NewAgent(kind, train, WithConfig(cfg), WithProgress(stagedProgress(progress, stage)))
+	return agent, path, err
+}
+
+// checkpointConfigMatches reports whether a stage checkpoint's config and
+// the config derived from the current experiment options describe the same
+// run, comparing every field that shapes the result (architecture, seed,
+// budget, algorithm, hyperparameters, workers, sampler).
+func checkpointConfigMatches(got, want TrainConfig) error {
+	// Checkpoint plumbing itself may differ (the interval is re-derived).
+	got.CheckpointEvery, want.CheckpointEvery = 0, 0
+	got.CheckpointPath, want.CheckpointPath = "", ""
+	gj, err := json.Marshal(got)
+	if err != nil {
+		return err
+	}
+	wj, err := json.Marshal(want)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(gj, wj) {
+		return fmt.Errorf("checkpoint config %s != current %s", gj, wj)
+	}
+	return nil
+}
+
+// stageTrain trains a stage agent and writes its final checkpoint when the
+// experiment checkpoints.
+func stageTrain(ctx context.Context, agent *Agent, train *Scenario, cache *OptimalCache, ckptPath string) ([]EpisodeStat, error) {
+	curve, err := agent.Train(ctx, train, cache)
+	if err != nil {
+		return nil, err
+	}
+	if ckptPath != "" {
+		if err := agent.WriteCheckpointFile(ckptPath); err != nil {
+			return nil, err
+		}
+	}
+	return curve, nil
+}
+
 // trainAndEvaluate builds, trains, and evaluates one policy, reporting
 // progress under the given stage name; it returns the held-out ratio and
 // the learning curve.
 func trainAndEvaluate(ctx context.Context, kind PolicyKind, train, test *Scenario, opts ExperimentOptions, cache *OptimalCache, progress ProgressFunc, stage string) (float64, []EpisodeStat, error) {
-	agent, err := NewAgent(kind, train,
-		WithConfig(opts.trainConfig(kind)),
-		WithProgress(stagedProgress(progress, stage)))
+	agent, ckptPath, err := stageAgent(kind, train, opts, progress, stage)
 	if err != nil {
 		return 0, nil, err
 	}
-	curve, err := agent.Train(ctx, train, cache)
+	curve, err := stageTrain(ctx, agent, train, cache, ckptPath)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -190,13 +303,11 @@ func runFigure7(ctx context.Context, opts ExperimentOptions, progress ProgressFu
 	curves := make(map[string][]EpisodeStat)
 	for _, kind := range []PolicyKind{MLPPolicy, GNNPolicy} {
 		name := kind.String()
-		agent, err := NewAgent(kind, train,
-			WithConfig(opts.trainConfig(kind)),
-			WithProgress(stagedProgress(progress, "figure7/"+name)))
+		agent, ckptPath, err := stageAgent(kind, train, opts, progress, "figure7/"+name)
 		if err != nil {
 			return nil, err
 		}
-		curve, err := agent.Train(ctx, train, cache)
+		curve, err := stageTrain(ctx, agent, train, cache, ckptPath)
 		if err != nil {
 			return nil, err
 		}

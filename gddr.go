@@ -41,11 +41,51 @@ type (
 	PolicyKind = policy.Kind
 	// PPOConfig holds the PPO hyperparameters.
 	PPOConfig = rl.Config
+	// A2CConfig holds the A2C hyperparameters.
+	A2CConfig = rl.A2CConfig
 	// GNNConfig sizes the graph-network policies.
 	GNNConfig = policy.GNNConfig
 	// BimodalParams configures the bimodal demand generator.
 	BimodalParams = traffic.BimodalParams
+	// SamplerSpec describes how multi-topology training scenarios sample
+	// their member environment per episode. It is JSON-serialisable and
+	// carried inside checkpoints so a resumed run samples identically.
+	SamplerSpec = env.SamplerSpec
+	// SamplerStage is one curriculum stage of a SamplerSpec.
+	SamplerStage = env.SamplerSpecStage
 )
+
+// UniformSampling samples scenario members uniformly (the default).
+func UniformSampling() SamplerSpec { return SamplerSpec{Kind: "uniform"} }
+
+// WeightedSampling samples member i proportionally to weights[i]; the
+// weight count must match the scenario's (graph, sequence) pair count.
+func WeightedSampling(weights ...float64) SamplerSpec {
+	return SamplerSpec{Kind: "weighted", Weights: weights}
+}
+
+// SizeWeightedSampling samples members proportionally to their graph's
+// node count raised to alpha (alpha 0 means 1, i.e. linear in size), so
+// large topologies — which learn slowest per episode — see more episodes.
+func SizeWeightedSampling(alpha float64) SamplerSpec {
+	return SamplerSpec{Kind: "size", Alpha: alpha}
+}
+
+// CurriculumSampling anneals the member distribution across explicit
+// stages: the first stage whose UpTo bound covers the current training
+// progress is used.
+func CurriculumSampling(stages ...SamplerStage) SamplerSpec {
+	return SamplerSpec{Kind: "curriculum", Stages: stages}
+}
+
+// SizeCurriculumSampling builds a small-to-large curriculum over the
+// scenario's graphs in the given number of stages: early training samples
+// only the smallest topologies (denser reward signal per second), the
+// final stage samples all of them — the annealing schedule for the
+// generalisation experiments (§VIII-D).
+func SizeCurriculumSampling(stages int) SamplerSpec {
+	return SamplerSpec{Kind: "size-curriculum", StageCount: stages}
+}
 
 // Policy kinds.
 const (

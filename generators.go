@@ -3,7 +3,9 @@ package gddr
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"gddr/internal/rng"
 	"gddr/internal/traffic"
 )
 
@@ -20,7 +22,9 @@ import (
 // synchronised for this use), so concurrent Sequence or GenerateSequences
 // calls sharing an rng race on it and destroy seed-reproducibility. Give
 // each goroutine its own seeded rng — that is also what keeps parallel
-// generation deterministic.
+// generation deterministic. SeededGenerator (Fork one stream per
+// goroutine) and GenerateSequencesSeeded (one derived stream per sequence)
+// package that pattern.
 type Generator interface {
 	// Sequence draws length demand matrices for an n-node topology, in
 	// timestep order, consuming randomness from rng.
@@ -149,6 +153,78 @@ func GenerateSequences(gen Generator, count, n, length int, rng *rand.Rand) ([][
 			return nil, err
 		}
 		out[i] = seq
+	}
+	return out, nil
+}
+
+// SeededGenerator couples a Generator with a private deterministic random
+// stream, fixing the documented concurrency hazard of the bare Generator
+// surface (every generator draws from the one *rand.Rand the caller passes
+// in, so goroutines sharing one rng race and destroy seed-reproducibility).
+// Each goroutine owns its own SeededGenerator — take one with
+// NewSeededGenerator and hand workers independent streams with Fork:
+//
+//	base := gddr.NewSeededGenerator(gen, seed)
+//	for w := 0; w < workers; w++ {
+//	        go produce(base.Fork(int64(w))) // no shared rng, reproducible
+//	}
+//
+// A SeededGenerator is itself not safe for concurrent use (sequential
+// Sequence calls advance its private stream); Fork is what crosses
+// goroutines.
+type SeededGenerator struct {
+	gen  Generator
+	seed int64
+	r    *rand.Rand
+}
+
+// NewSeededGenerator binds gen to a private stream seeded with seed.
+func NewSeededGenerator(gen Generator, seed int64) *SeededGenerator {
+	return &SeededGenerator{gen: gen, seed: seed, r: rand.New(rand.NewSource(rng.DeriveSeed(seed, 0)))}
+}
+
+// Fork derives an independent, reproducible generator stream: forking the
+// same (seed, stream) pair always yields the same sequence of draws,
+// regardless of what the parent has generated, so parallel workers can
+// fork by worker index and stay deterministic.
+func (s *SeededGenerator) Fork(stream int64) *SeededGenerator {
+	return NewSeededGenerator(s.gen, rng.DeriveSeed(s.seed, 1+uint64(stream)))
+}
+
+// Sequence draws the next sequence from the private stream.
+func (s *SeededGenerator) Sequence(n, length int) ([]*DemandMatrix, error) {
+	return s.gen.Sequence(n, length, s.r)
+}
+
+// GenerateSequencesSeeded draws count independent sequences from gen, each
+// seeded from (seed, index) and generated concurrently — the parallel-safe
+// alternative to GenerateSequences. Because sequence i's stream depends
+// only on (seed, i), the result is deterministic, independent of count and
+// of scheduling, and identical to generating the sequences one at a time.
+// The generator itself must be stateless (all built-in generators are).
+func GenerateSequencesSeeded(gen Generator, count, n, length int, seed int64) ([][]*DemandMatrix, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("gddr: nil generator")
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("gddr: sequence count must be >= 1, got %d", count)
+	}
+	out := make([][]*DemandMatrix, count)
+	errs := make([]error, count)
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := NewSeededGenerator(gen, seed).Fork(int64(i))
+			out[i], errs[i] = g.Sequence(n, length)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package gddr
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"gddr/internal/traffic"
@@ -158,5 +159,104 @@ func TestNewGeneratedScenario(t *testing.T) {
 	}
 	if _, err := NewGeneratedScenario(nil, Gravity(1), 1, 5, 1); err == nil {
 		t.Fatal("nil graph accepted")
+	}
+}
+
+func sequencesEqual(a, b [][]*DemandMatrix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j].N != b[i][j].N {
+				return false
+			}
+			for k := range a[i][j].Data {
+				if a[i][j].Data[k] != b[i][j].Data[k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestGenerateSequencesSeededDeterministic checks the parallel-safe
+// generation path: repeated runs are bit-identical, and sequence i's
+// content depends only on (seed, i), not on how many sequences are drawn.
+func TestGenerateSequencesSeededDeterministic(t *testing.T) {
+	gen := Cyclical(Bimodal(DefaultBimodalParams()), 3)
+	a, err := GenerateSequencesSeeded(gen, 4, 6, 9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSequencesSeeded(gen, 4, 6, 9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sequencesEqual(a, b) {
+		t.Fatal("seeded generation not deterministic")
+	}
+	one, err := GenerateSequencesSeeded(gen, 1, 6, 9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sequencesEqual(one, a[:1]) {
+		t.Fatal("sequence content depends on the sequence count")
+	}
+	other, err := GenerateSequencesSeeded(gen, 2, 6, 9, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sequencesEqual(other, a[:2]) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+	if _, err := GenerateSequencesSeeded(nil, 1, 6, 9, 1); err == nil {
+		t.Fatal("nil generator accepted")
+	}
+	if _, err := GenerateSequencesSeeded(gen, 0, 6, 9, 1); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+// TestSeededGeneratorForkRace is the regression test for the documented
+// Generator/GenerateSequences concurrency hazard: parallel workers forking
+// independent streams must neither race (caught by -race) nor change the
+// sequences a single-threaded run would produce.
+func TestSeededGeneratorForkRace(t *testing.T) {
+	gen := Sparsified(Cyclical(Bimodal(DefaultBimodalParams()), 2), 0.7)
+	base := NewSeededGenerator(gen, 7)
+
+	// Single-threaded reference: fork per worker, generate sequentially.
+	want := make([][]*DemandMatrix, 8)
+	for w := range want {
+		seq, err := base.Fork(int64(w)).Sequence(5, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[w] = seq
+	}
+
+	got := make([][]*DemandMatrix, len(want))
+	errs := make([]error, len(want))
+	var wg sync.WaitGroup
+	for w := range got {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w], errs[w] = base.Fork(int64(w)).Sequence(5, 6)
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if !sequencesEqual(want, got) {
+		t.Fatal("parallel forked generation diverged from sequential")
 	}
 }

@@ -300,8 +300,7 @@ func TestMultiEnvSamplesMembers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(3))
-	m, err := NewMulti([]*Env{e1, e2}, rng)
+	m, err := NewMulti([]*Env{e1, e2}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +314,7 @@ func TestMultiEnvSamplesMembers(t *testing.T) {
 	if len(seen) != 2 {
 		t.Fatalf("multi-env sampled %d members, want 2", len(seen))
 	}
-	if _, err := NewMulti(nil, rng); err == nil {
+	if _, err := NewMulti(nil, 3); err == nil {
 		t.Fatal("empty multi-env accepted")
 	}
 }
@@ -332,8 +331,7 @@ func TestMultiEnvActionDimTracksCurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(4))
-	m, err := NewMulti([]*Env{e1, e2}, rng)
+	m, err := NewMulti([]*Env{e1, e2}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,62 +1,184 @@
 package env
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-)
 
-// Task is one (graph, demand sequence) pair available to a MultiEnv.
-type Task struct {
-	Env *Env
-}
+	"gddr/internal/rng"
+)
 
 // MultiEnv samples a member environment per episode, implementing the mixed
 // training regime of the paper's generalisation experiment (§VIII-D): the
 // agent trains across different topologies and sequences, which only the
 // GNN policies support because their parameter count is topology-independent.
+//
+// Member selection is delegated to a Sampler (uniform by default; weighted
+// and curriculum schedules let generalisation runs anneal from small to
+// large graphs), drawing from a serialisable random stream so a
+// checkpointed run resumes the exact episode sequence.
 type MultiEnv struct {
-	envs []*Env
-	rng  *rand.Rand
-	cur  *Env
+	envs    []*Env
+	sampler Sampler
+	src     *rng.Source
+	r       *rand.Rand
+	cur     int // member of the running episode; -1 before the first Reset
+
+	episodes int // episodes started
+	steps    int // successful Step calls
+	budget   int // total Step calls this run will serve (0: unknown)
 }
 
-var _ Interface = (*MultiEnv)(nil)
+var _ TrainEnv = (*MultiEnv)(nil)
 
-// NewMulti wraps the environments; episodes sample uniformly using rng.
-func NewMulti(envs []*Env, rng *rand.Rand) (*MultiEnv, error) {
+// NewMulti wraps the environments; episodes sample uniformly from a stream
+// seeded with seed.
+func NewMulti(envs []*Env, seed int64) (*MultiEnv, error) {
+	return NewMultiSampled(envs, UniformSampler{}, seed)
+}
+
+// NewMultiSampled wraps the environments with an explicit episode sampler.
+func NewMultiSampled(envs []*Env, sampler Sampler, seed int64) (*MultiEnv, error) {
 	if len(envs) == 0 {
 		return nil, fmt.Errorf("env: multi-env needs at least one environment")
 	}
-	if rng == nil {
-		return nil, fmt.Errorf("env: multi-env needs a rand source")
+	if sampler == nil {
+		return nil, fmt.Errorf("env: multi-env needs a sampler")
 	}
-	return &MultiEnv{envs: envs, rng: rng}, nil
+	m := &MultiEnv{envs: envs, sampler: sampler, cur: -1}
+	m.Reseed(seed)
+	return m, nil
+}
+
+// Reseed implements TrainEnv: it resets the episode-sampling stream.
+func (m *MultiEnv) Reseed(seed int64) {
+	m.src = rng.New(seed)
+	m.r = rand.New(m.src)
+}
+
+// SetBudget implements TrainEnv: it declares the total number of Step calls
+// this environment will serve, which defines the curriculum progress passed
+// to the sampler.
+func (m *MultiEnv) SetBudget(steps int) { m.budget = steps }
+
+// SetContext binds ctx to every member (see Env.SetContext).
+func (m *MultiEnv) SetContext(ctx context.Context) {
+	for _, e := range m.envs {
+		e.SetContext(ctx)
+	}
+}
+
+// progress returns the fraction of the training budget consumed.
+func (m *MultiEnv) progress() float64 {
+	if m.budget <= 0 {
+		return 0
+	}
+	p := float64(m.steps) / float64(m.budget)
+	if p > 1 {
+		p = 1
+	}
+	return p
 }
 
 // Reset samples a member environment and starts an episode on it.
 func (m *MultiEnv) Reset() (*Observation, error) {
-	m.cur = m.envs[m.rng.Intn(len(m.envs))]
-	return m.cur.Reset()
+	idx := m.sampler.Pick(m.r, len(m.envs), m.progress())
+	if idx < 0 || idx >= len(m.envs) {
+		return nil, fmt.Errorf("env: sampler picked member %d of %d", idx, len(m.envs))
+	}
+	m.cur = idx
+	m.episodes++
+	return m.envs[idx].Reset()
 }
 
 // Step forwards to the current member environment.
 func (m *MultiEnv) Step(action []float64) (*Observation, float64, bool, error) {
-	if m.cur == nil {
+	if m.cur < 0 {
 		return nil, 0, false, fmt.Errorf("env: multi-env stepped before reset")
 	}
-	return m.cur.Step(action)
+	obs, reward, done, err := m.envs[m.cur].Step(action)
+	if err == nil {
+		m.steps++
+	}
+	return obs, reward, done, err
 }
 
 // ActionDim returns the action dimension of the current episode's member.
 func (m *MultiEnv) ActionDim() int {
-	if m.cur == nil {
+	if m.cur < 0 {
 		return m.envs[0].ActionDim()
 	}
-	return m.cur.ActionDim()
+	return m.envs[m.cur].ActionDim()
 }
 
-// Current returns the member environment of the running episode.
-func (m *MultiEnv) Current() *Env { return m.cur }
+// Current returns the member environment of the running episode (nil before
+// the first Reset).
+func (m *MultiEnv) Current() *Env {
+	if m.cur < 0 {
+		return nil
+	}
+	return m.envs[m.cur]
+}
 
 // Members returns the wrapped environments.
 func (m *MultiEnv) Members() []*Env { return m.envs }
+
+// Clone implements TrainEnv: members are cloned (sharing graphs, sequences,
+// and the LP cache), the sampler is shared (samplers are stateless), and
+// the clone starts with fresh counters and the same stream state — callers
+// normally Reseed the clone with a per-worker stream.
+func (m *MultiEnv) Clone() TrainEnv {
+	envs := make([]*Env, len(m.envs))
+	for i, e := range m.envs {
+		envs[i] = e.Clone().(*Env)
+	}
+	c := &MultiEnv{envs: envs, sampler: m.sampler, cur: -1, budget: m.budget}
+	c.src = rng.New(0)
+	c.src.SetState(m.src.State())
+	c.r = rand.New(c.src)
+	return c
+}
+
+// State implements TrainEnv.
+func (m *MultiEnv) State() State {
+	st := State{Member: m.cur, Episodes: m.episodes, Steps: m.steps, RNG: m.src.State()}
+	if m.cur >= 0 {
+		member := m.envs[m.cur].State()
+		st.T = member.T
+		st.IterEdge = member.IterEdge
+		st.Pending = member.Pending
+		st.PendingSet = member.PendingSet
+	}
+	return st
+}
+
+// Restore implements TrainEnv.
+func (m *MultiEnv) Restore(st State) error {
+	if st.Member < -1 || st.Member >= len(m.envs) {
+		return fmt.Errorf("env: restore member %d outside [-1,%d)", st.Member, len(m.envs))
+	}
+	if st.Episodes < 0 || st.Steps < 0 {
+		return fmt.Errorf("env: restore has negative counters (%d episodes, %d steps)", st.Episodes, st.Steps)
+	}
+	if st.Member >= 0 {
+		member := st
+		member.Member = -1
+		if err := m.envs[st.Member].Restore(member); err != nil {
+			return err
+		}
+	}
+	m.cur = st.Member
+	m.episodes = st.Episodes
+	m.steps = st.Steps
+	m.src.SetState(st.RNG)
+	m.r = rand.New(m.src)
+	return nil
+}
+
+// Observation implements TrainEnv.
+func (m *MultiEnv) Observation() (*Observation, error) {
+	if m.cur < 0 {
+		return nil, fmt.Errorf("env: multi-env has no episode in progress")
+	}
+	return m.envs[m.cur].Observation()
+}

@@ -1,0 +1,242 @@
+package env
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sampler decides which member environment a MultiEnv runs its next episode
+// on. progress is the fraction of the training budget already consumed (in
+// [0,1]; 0 when no budget is known), which lets curriculum samplers anneal
+// the member distribution over a run.
+//
+// Implementations must be stateless and safe to share between the cloned
+// environments of parallel rollout workers: all variation must come from the
+// rand source and the (n, progress) arguments, so a restored run resamples
+// identically.
+type Sampler interface {
+	Pick(r *rand.Rand, n int, progress float64) int
+}
+
+// UniformSampler picks members uniformly — the paper's mixed training
+// regime (§VIII-D) and the historical MultiEnv behaviour.
+type UniformSampler struct{}
+
+// Pick implements Sampler.
+func (UniformSampler) Pick(r *rand.Rand, n int, _ float64) int { return r.Intn(n) }
+
+// WeightedSampler picks member i with probability proportional to its
+// weight.
+type WeightedSampler struct {
+	cum []float64 // strictly increasing cumulative weights
+}
+
+// NewWeighted builds a weighted sampler. Weights must be non-negative with
+// a positive sum.
+func NewWeighted(weights []float64) (*WeightedSampler, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("env: weighted sampler needs at least one weight")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("env: invalid sampler weight %g at %d", w, i)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("env: sampler weights sum to %g, need > 0", total)
+	}
+	return &WeightedSampler{cum: cum}, nil
+}
+
+// Pick implements Sampler.
+func (s *WeightedSampler) Pick(r *rand.Rand, n int, _ float64) int {
+	if n != len(s.cum) {
+		// Defensive: a mis-sized sampler must not silently skew training.
+		panic(fmt.Sprintf("env: weighted sampler has %d weights for %d members", len(s.cum), n))
+	}
+	x := r.Float64() * s.cum[len(s.cum)-1]
+	i := sort.SearchFloat64s(s.cum, x)
+	if i >= len(s.cum) {
+		i = len(s.cum) - 1
+	}
+	// Skip zero-weight members SearchFloat64s can land on when x falls
+	// exactly on a repeated cumulative value.
+	for i > 0 && s.cum[i] == s.cum[i-1] {
+		i--
+	}
+	return i
+}
+
+// CurriculumStage is one phase of a curriculum schedule: the member
+// distribution used while progress <= UpTo. Nil weights mean uniform.
+type CurriculumStage struct {
+	UpTo    float64
+	Weights []float64
+}
+
+// CurriculumSampler anneals the member distribution over training progress:
+// the first stage whose UpTo bound is >= progress is used (the final stage
+// catches everything beyond its bound, so late training keeps its
+// distribution even if progress estimates overshoot 1).
+type CurriculumSampler struct {
+	stages   []CurriculumStage
+	samplers []Sampler // parallel to stages
+}
+
+// NewCurriculum builds a curriculum sampler. Stages must be non-empty with
+// strictly increasing UpTo bounds.
+func NewCurriculum(stages []CurriculumStage) (*CurriculumSampler, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("env: curriculum needs at least one stage")
+	}
+	samplers := make([]Sampler, len(stages))
+	prev := math.Inf(-1)
+	for i, st := range stages {
+		if st.UpTo <= prev {
+			return nil, fmt.Errorf("env: curriculum stage %d bound %g not increasing", i, st.UpTo)
+		}
+		prev = st.UpTo
+		if st.Weights == nil {
+			samplers[i] = UniformSampler{}
+			continue
+		}
+		w, err := NewWeighted(st.Weights)
+		if err != nil {
+			return nil, fmt.Errorf("env: curriculum stage %d: %w", i, err)
+		}
+		samplers[i] = w
+	}
+	return &CurriculumSampler{stages: stages, samplers: samplers}, nil
+}
+
+// Pick implements Sampler.
+func (s *CurriculumSampler) Pick(r *rand.Rand, n int, progress float64) int {
+	idx := len(s.stages) - 1
+	for i, st := range s.stages {
+		if progress <= st.UpTo {
+			idx = i
+			break
+		}
+	}
+	return s.samplers[idx].Pick(r, n, progress)
+}
+
+// SamplerSpec is the JSON-serialisable description of a sampling strategy,
+// carried inside training configs and checkpoints so a resumed run rebuilds
+// the exact sampler. The zero value means uniform.
+type SamplerSpec struct {
+	// Kind selects the strategy: "" or "uniform", "weighted" (explicit
+	// Weights), "size" (members weighted by node count ^ Alpha),
+	// "curriculum" (explicit Stages), or "size-curriculum" (StageCount
+	// stages annealing uniformly from the smallest graphs to all of them).
+	Kind    string             `json:"kind,omitempty"`
+	Weights []float64          `json:"weights,omitempty"`
+	Alpha   float64            `json:"alpha,omitempty"`
+	Stages  []SamplerSpecStage `json:"stages,omitempty"`
+	// StageCount is the number of size-curriculum stages (default 3).
+	StageCount int `json:"stage_count,omitempty"`
+}
+
+// SamplerSpecStage is the wire form of one curriculum stage.
+type SamplerSpecStage struct {
+	UpTo    float64   `json:"up_to"`
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// Build materialises the spec for a concrete member set.
+func (s SamplerSpec) Build(members []*Env) (Sampler, error) {
+	n := len(members)
+	if n == 0 {
+		return nil, fmt.Errorf("env: sampler spec needs at least one member")
+	}
+	switch s.Kind {
+	case "", "uniform":
+		return UniformSampler{}, nil
+	case "weighted":
+		if len(s.Weights) != n {
+			return nil, fmt.Errorf("env: weighted sampler spec has %d weights for %d members", len(s.Weights), n)
+		}
+		return NewWeighted(s.Weights)
+	case "size":
+		alpha := s.Alpha
+		if alpha == 0 {
+			alpha = 1
+		}
+		w := make([]float64, n)
+		for i, e := range members {
+			w[i] = math.Pow(float64(e.Graph().NumNodes()), alpha)
+		}
+		return NewWeighted(w)
+	case "curriculum":
+		stages := make([]CurriculumStage, len(s.Stages))
+		for i, st := range s.Stages {
+			if st.Weights != nil && len(st.Weights) != n {
+				return nil, fmt.Errorf("env: curriculum spec stage %d has %d weights for %d members", i, len(st.Weights), n)
+			}
+			stages[i] = CurriculumStage{UpTo: st.UpTo, Weights: st.Weights}
+		}
+		return NewCurriculum(stages)
+	case "size-curriculum":
+		count := s.StageCount
+		if count <= 0 {
+			count = 3
+		}
+		sizes := make([]int, n)
+		for i, e := range members {
+			sizes[i] = e.Graph().NumNodes()
+		}
+		return NewCurriculum(SizeCurriculumStages(sizes, count))
+	default:
+		return nil, fmt.Errorf("env: unknown sampler kind %q", s.Kind)
+	}
+}
+
+// SizeCurriculumStages builds a small-to-large annealing schedule over
+// members with the given graph sizes: stage k (of count) samples uniformly
+// among the members whose size is at or below the k-th size quantile, so
+// early training sees only the smallest graphs and the final stage sees all
+// of them. Useful for the generalisation experiments, where small graphs
+// give denser reward signal per wall-clock second.
+func SizeCurriculumStages(sizes []int, count int) []CurriculumStage {
+	if count < 1 {
+		count = 1
+	}
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	stages := make([]CurriculumStage, count)
+	for k := 0; k < count; k++ {
+		// Threshold at the ((k+1)/count) quantile of member sizes.
+		qi := (k + 1) * len(sorted) / count
+		if qi < 1 {
+			qi = 1
+		}
+		thr := sorted[qi-1]
+		w := make([]float64, len(sizes))
+		any := false
+		for i, sz := range sizes {
+			if sz <= thr {
+				w[i] = 1
+				any = true
+			}
+		}
+		if !any { // unreachable with qi >= 1, but keep the stage valid
+			for i := range w {
+				w[i] = 1
+			}
+		}
+		stages[k] = CurriculumStage{UpTo: float64(k+1) / float64(count), Weights: w}
+	}
+	// The last stage must cover every member so training never starves the
+	// largest graphs.
+	last := stages[count-1].Weights
+	for i := range last {
+		last[i] = 1
+	}
+	return stages
+}

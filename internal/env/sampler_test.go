@@ -1,0 +1,226 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/graph"
+)
+
+func pickCounts(t *testing.T, s Sampler, n, draws int, progress float64) []int {
+	t.Helper()
+	r := rand.New(rand.NewSource(1))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		idx := s.Pick(r, n, progress)
+		if idx < 0 || idx >= n {
+			t.Fatalf("pick %d outside [0,%d)", idx, n)
+		}
+		counts[idx]++
+	}
+	return counts
+}
+
+func TestUniformSamplerDistribution(t *testing.T) {
+	counts := pickCounts(t, UniformSampler{}, 4, 8000, 0)
+	for i, c := range counts {
+		if math.Abs(float64(c)/8000-0.25) > 0.03 {
+			t.Fatalf("member %d picked %d of 8000, want ~2000", i, c)
+		}
+	}
+}
+
+func TestWeightedSamplerDistribution(t *testing.T) {
+	s, err := NewWeighted([]float64{1, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := pickCounts(t, s, 3, 8000, 0)
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight member picked %d times", counts[1])
+	}
+	if math.Abs(float64(counts[0])/8000-0.25) > 0.03 {
+		t.Fatalf("member 0 picked %d of 8000, want ~2000", counts[0])
+	}
+	if math.Abs(float64(counts[2])/8000-0.75) > 0.03 {
+		t.Fatalf("member 2 picked %d of 8000, want ~6000", counts[2])
+	}
+}
+
+func TestWeightedSamplerRejectsBadWeights(t *testing.T) {
+	if _, err := NewWeighted(nil); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := NewWeighted([]float64{1, -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewWeighted([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+	if _, err := NewWeighted([]float64{math.NaN()}); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+}
+
+func TestCurriculumSamplerStagesByProgress(t *testing.T) {
+	s, err := NewCurriculum([]CurriculumStage{
+		{UpTo: 0.5, Weights: []float64{1, 0}},
+		{UpTo: 1.0, Weights: []float64{0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := pickCounts(t, s, 2, 200, 0.2)
+	if early[1] != 0 {
+		t.Fatalf("early stage leaked member 1: %v", early)
+	}
+	late := pickCounts(t, s, 2, 200, 0.9)
+	if late[0] != 0 {
+		t.Fatalf("late stage leaked member 0: %v", late)
+	}
+	// Progress beyond the last bound must fall back to the final stage.
+	over := pickCounts(t, s, 2, 50, 1.5)
+	if over[0] != 0 {
+		t.Fatalf("overshoot progress left the final stage: %v", over)
+	}
+}
+
+func TestCurriculumRejectsBadStages(t *testing.T) {
+	if _, err := NewCurriculum(nil); err == nil {
+		t.Fatal("empty curriculum accepted")
+	}
+	if _, err := NewCurriculum([]CurriculumStage{{UpTo: 0.5}, {UpTo: 0.5}}); err == nil {
+		t.Fatal("non-increasing stage bounds accepted")
+	}
+	if _, err := NewCurriculum([]CurriculumStage{{UpTo: 1, Weights: []float64{0}}}); err == nil {
+		t.Fatal("all-zero stage weights accepted")
+	}
+}
+
+func TestSizeCurriculumStagesAnnealSmallToLarge(t *testing.T) {
+	sizes := []int{12, 4, 8}
+	stages := SizeCurriculumStages(sizes, 3)
+	if len(stages) != 3 {
+		t.Fatalf("got %d stages, want 3", len(stages))
+	}
+	// First stage: only the smallest member (size 4, index 1).
+	if w := stages[0].Weights; w[1] == 0 || w[0] != 0 || w[2] != 0 {
+		t.Fatalf("first stage weights %v, want only the smallest member", w)
+	}
+	// Last stage: everyone.
+	for i, w := range stages[2].Weights {
+		if w == 0 {
+			t.Fatalf("final stage excludes member %d", i)
+		}
+	}
+	if stages[2].UpTo != 1 {
+		t.Fatalf("final stage bound %g, want 1", stages[2].UpTo)
+	}
+}
+
+func TestSamplerSpecBuild(t *testing.T) {
+	e1 := smallEnv(t, FullAction) // ring-4
+	g2, err := graph.Ring(6, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Memory = 2
+	e2, err := New(g2, testSequence(t, 6, 8, 3, 2), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []*Env{e1, e2}
+
+	if _, err := (SamplerSpec{}).Build(members); err != nil {
+		t.Fatalf("zero spec: %v", err)
+	}
+	if _, err := (SamplerSpec{Kind: "weighted", Weights: []float64{1, 2}}).Build(members); err != nil {
+		t.Fatalf("weighted spec: %v", err)
+	}
+	if _, err := (SamplerSpec{Kind: "weighted", Weights: []float64{1}}).Build(members); err == nil {
+		t.Fatal("mis-sized weighted spec accepted")
+	}
+	s, err := (SamplerSpec{Kind: "size", Alpha: 2}).Build(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := pickCounts(t, s, 2, 4000, 0)
+	// Weights 16 vs 36 -> member 1 share ~0.69.
+	if math.Abs(float64(counts[1])/4000-36.0/52.0) > 0.04 {
+		t.Fatalf("size-weighted share off: %v", counts)
+	}
+	if _, err := (SamplerSpec{Kind: "size-curriculum", StageCount: 2}).Build(members); err != nil {
+		t.Fatalf("size-curriculum spec: %v", err)
+	}
+	if _, err := (SamplerSpec{Kind: "bogus"}).Build(members); err == nil {
+		t.Fatal("unknown sampler kind accepted")
+	}
+	if _, err := (SamplerSpec{}).Build(nil); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+}
+
+func TestMultiEnvCloneRestoreRoundTrip(t *testing.T) {
+	e1 := smallEnv(t, FullAction)
+	e2 := smallEnv(t, FullAction)
+	m, err := NewMulti([]*Env{e1, e2}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetBudget(100)
+	if _, err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := m.Step(make([]float64, m.ActionDim())); err != nil {
+		t.Fatal(err)
+	}
+	st := m.State()
+
+	c := m.Clone().(*MultiEnv)
+	if err := c.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	// The restored clone must replay the identical episode/member sequence.
+	wantObs, err := m.Observation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotObs, err := c.Observation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantObs.Flat {
+		if wantObs.Flat[i] != gotObs.Flat[i] {
+			t.Fatal("restored observation differs")
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := m.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		if m.cur != c.cur {
+			t.Fatalf("member sequence diverged at episode %d: %d vs %d", i, m.cur, c.cur)
+		}
+	}
+	if err := m.Restore(State{Member: 5}); err == nil {
+		t.Fatal("out-of-range member accepted")
+	}
+}
+
+func TestEnvRestoreValidates(t *testing.T) {
+	e := smallEnv(t, FullAction)
+	if err := e.Restore(State{Member: -1, T: 999}); err == nil {
+		t.Fatal("out-of-range t accepted")
+	}
+	if err := e.Restore(State{Member: -1, T: 2, Pending: []float64{1}}); err == nil {
+		t.Fatal("mis-sized pending accepted")
+	}
+	if _, err := e.Observation(); err == nil {
+		t.Fatal("observation outside an episode accepted")
+	}
+}

@@ -108,6 +108,49 @@ func (a *Adam) Step() {
 // SetLearningRate updates the step size.
 func (a *Adam) SetLearningRate(lr float64) { a.lr = lr }
 
+// AdamState is the serialisable optimiser state: the bias-correction step
+// counter and the first/second moment estimates per parameter, in parameter
+// order. Restoring it alongside the parameter values resumes training
+// bit-identically.
+type AdamState struct {
+	Step int         `json:"step"`
+	M    [][]float64 `json:"m"`
+	V    [][]float64 `json:"v"`
+}
+
+// State captures the optimiser state for checkpointing.
+func (a *Adam) State() AdamState {
+	st := AdamState{Step: a.step, M: make([][]float64, len(a.m)), V: make([][]float64, len(a.v))}
+	for i := range a.m {
+		st.M[i] = append([]float64(nil), a.m[i].Data...)
+		st.V[i] = append([]float64(nil), a.v[i].Data...)
+	}
+	return st
+}
+
+// Restore rewinds the optimiser to a state captured with State. The moment
+// shapes must match the optimiser's parameters.
+func (a *Adam) Restore(st AdamState) error {
+	if st.Step < 0 {
+		return fmt.Errorf("nn: adam state has negative step %d", st.Step)
+	}
+	if len(st.M) != len(a.m) || len(st.V) != len(a.v) {
+		return fmt.Errorf("nn: adam state has %d/%d moments, optimiser has %d params", len(st.M), len(st.V), len(a.m))
+	}
+	for i := range a.m {
+		if len(st.M[i]) != len(a.m[i].Data) || len(st.V[i]) != len(a.v[i].Data) {
+			return fmt.Errorf("nn: adam state moment %d has %d/%d values, param has %d",
+				i, len(st.M[i]), len(st.V[i]), len(a.m[i].Data))
+		}
+	}
+	a.step = st.Step
+	for i := range a.m {
+		copy(a.m[i].Data, st.M[i])
+		copy(a.v[i].Data, st.V[i])
+	}
+	return nil
+}
+
 // CheckFinite returns an error if any parameter holds a NaN or Inf, naming
 // the first offender; useful as a training invariant.
 func CheckFinite(params []*ad.Param) error {

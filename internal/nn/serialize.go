@@ -9,8 +9,9 @@ import (
 	"gddr/internal/mat"
 )
 
-// paramJSON is the wire form of one parameter tensor.
-type paramJSON struct {
+// ParamState is the wire form of one parameter tensor, used both by the
+// model snapshots of SaveParams/LoadParams and by training checkpoints.
+type ParamState struct {
 	Name string    `json:"name"`
 	Rows int       `json:"rows"`
 	Cols int       `json:"cols"`
@@ -19,23 +20,56 @@ type paramJSON struct {
 
 // snapshotJSON is the wire form of a parameter set.
 type snapshotJSON struct {
-	Format int         `json:"format"`
-	Params []paramJSON `json:"params"`
+	Format int          `json:"format"`
+	Params []ParamState `json:"params"`
+}
+
+// CaptureParams copies the parameter tensors into their wire form.
+func CaptureParams(params []*ad.Param) []ParamState {
+	out := make([]ParamState, len(params))
+	for i, p := range params {
+		out[i] = ParamState{
+			Name: p.Name,
+			Rows: p.Value.Rows,
+			Cols: p.Value.Cols,
+			Data: append([]float64(nil), p.Value.Data...),
+		}
+	}
+	return out
+}
+
+// RestoreParams loads captured states back into params, matching by
+// position and validating names and shapes, so a snapshot cannot be
+// restored into a mismatched architecture.
+func RestoreParams(states []ParamState, params []*ad.Param) error {
+	if len(states) != len(params) {
+		return fmt.Errorf("nn: snapshot has %d params, model has %d", len(states), len(params))
+	}
+	for i, pj := range states {
+		p := params[i]
+		if pj.Name != p.Name {
+			return fmt.Errorf("nn: param %d name mismatch: snapshot %q, model %q", i, pj.Name, p.Name)
+		}
+		if pj.Rows != p.Value.Rows || pj.Cols != p.Value.Cols {
+			return fmt.Errorf("nn: param %q shape mismatch: snapshot %dx%d, model %dx%d",
+				p.Name, pj.Rows, pj.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		if len(pj.Data) != pj.Rows*pj.Cols {
+			return fmt.Errorf("nn: param %q data length %d != %dx%d", p.Name, len(pj.Data), pj.Rows, pj.Cols)
+		}
+	}
+	for i, pj := range states {
+		p := params[i]
+		p.Value = mat.FromSlice(pj.Rows, pj.Cols, append([]float64(nil), pj.Data...))
+		p.Grad = mat.New(pj.Rows, pj.Cols)
+	}
+	return nil
 }
 
 // SaveParams writes params as JSON to w.
 func SaveParams(w io.Writer, params []*ad.Param) error {
-	snap := snapshotJSON{Format: 1, Params: make([]paramJSON, len(params))}
-	for i, p := range params {
-		snap.Params[i] = paramJSON{
-			Name: p.Name,
-			Rows: p.Value.Rows,
-			Cols: p.Value.Cols,
-			Data: p.Value.Data,
-		}
-	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(snap)
+	return enc.Encode(snapshotJSON{Format: 1, Params: CaptureParams(params)})
 }
 
 // LoadParams reads a JSON snapshot from r into params, matching by position
@@ -48,23 +82,5 @@ func LoadParams(r io.Reader, params []*ad.Param) error {
 	if snap.Format != 1 {
 		return fmt.Errorf("nn: unsupported snapshot format %d", snap.Format)
 	}
-	if len(snap.Params) != len(params) {
-		return fmt.Errorf("nn: snapshot has %d params, model has %d", len(snap.Params), len(params))
-	}
-	for i, pj := range snap.Params {
-		p := params[i]
-		if pj.Name != p.Name {
-			return fmt.Errorf("nn: param %d name mismatch: snapshot %q, model %q", i, pj.Name, p.Name)
-		}
-		if pj.Rows != p.Value.Rows || pj.Cols != p.Value.Cols {
-			return fmt.Errorf("nn: param %q shape mismatch: snapshot %dx%d, model %dx%d",
-				p.Name, pj.Rows, pj.Cols, p.Value.Rows, p.Value.Cols)
-		}
-		if len(pj.Data) != pj.Rows*pj.Cols {
-			return fmt.Errorf("nn: param %q data length %d != %dx%d", p.Name, len(pj.Data), pj.Rows, pj.Cols)
-		}
-		p.Value = mat.FromSlice(pj.Rows, pj.Cols, append([]float64(nil), pj.Data...))
-		p.Grad = mat.New(pj.Rows, pj.Cols)
-	}
-	return nil
+	return RestoreParams(snap.Params, params)
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"gddr/internal/ad"
 	"gddr/internal/env"
@@ -58,165 +57,45 @@ func (c A2CConfig) Validate() error {
 	return nil
 }
 
-// A2CTrainer runs synchronous advantage actor-critic on a policy.
+// A2CTrainer runs synchronous advantage actor-critic on a policy. It shares
+// the PPO trainer's collector and rollout buffer — parallel workers,
+// per-worker streams, worker-order merge — and differs only in the update
+// rule: one gradient step over the whole rollout.
 type A2CTrainer struct {
-	cfg    A2CConfig
-	pol    Forwarder
-	logStd *ad.Param
-	opt    *nn.Adam
-	rng    *rand.Rand
-
-	episodes  int
-	timesteps int
+	cfg A2CConfig
+	*core
 }
 
-// Forwarder is the policy contract shared by the RL trainers.
-type Forwarder interface {
-	Forward(t *ad.Tape, obs *env.Observation) (mean, value *ad.Node, err error)
-	Params() []*ad.Param
-}
+var _ Algorithm = (*A2CTrainer)(nil)
 
-// NewA2CTrainer builds an A2C trainer over the policy.
-func NewA2CTrainer(pol Forwarder, cfg A2CConfig, rng *rand.Rand) (*A2CTrainer, error) {
+// NewA2CTrainer builds an A2C trainer over the policy; seed determines
+// every random stream of the run.
+func NewA2CTrainer(pol Forwarder, cfg A2CConfig, seed int64) (*A2CTrainer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if rng == nil {
-		return nil, fmt.Errorf("rl: a2c trainer needs a rand source")
+	c, err := newCore(AlgoA2C, pol, cfg.LearningRate, cfg.InitialLogStd, seed)
+	if err != nil {
+		return nil, err
 	}
-	logStd := ad.NewParam("a2c.log_std", mat.FromSlice(1, 1, []float64{cfg.InitialLogStd}))
-	params := append(pol.Params(), logStd)
-	return &A2CTrainer{
-		cfg:    cfg,
-		pol:    pol,
-		logStd: logStd,
-		opt:    nn.NewAdam(params, cfg.LearningRate),
-		rng:    rng,
-	}, nil
+	return &A2CTrainer{cfg: cfg, core: c}, nil
 }
 
-// Params returns all trained parameters.
-func (tr *A2CTrainer) Params() []*ad.Param { return append(tr.pol.Params(), tr.logStd) }
-
-// LogStd returns the current log standard deviation.
-func (tr *A2CTrainer) LogStd() float64 { return tr.logStd.Value.Data[0] }
-
-// Train runs A2C for totalSteps environment steps. Cancellation is checked
-// once per rollout, mirroring the PPO trainer.
+// Train runs A2C with a single rollout worker, mirroring the PPO trainer's
+// cancellation semantics.
 func (tr *A2CTrainer) Train(ctx context.Context, e env.Interface, totalSteps int, onEpisode func(EpisodeStat)) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if totalSteps < 1 {
-		return fmt.Errorf("rl: totalSteps must be positive, got %d", totalSteps)
-	}
-	obs, err := e.Reset()
-	if err != nil {
-		return fmt.Errorf("rl: reset: %w", err)
-	}
-	epReward := 0.0
-	epSteps := 0
-	for done := 0; done < totalSteps; {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		steps := tr.cfg.RolloutSteps
-		if rem := totalSteps - done; rem < steps {
-			steps = rem
-		}
-		batch := make([]*sample, 0, steps)
-		for len(batch) < steps {
-			action, logp, value, err := tr.act(obs)
-			if err != nil {
-				return err
-			}
-			next, reward, isDone, err := e.Step(action)
-			if err != nil {
-				return fmt.Errorf("rl: env step: %w", err)
-			}
-			shifted := reward
-			if reward != 0 {
-				shifted = reward + tr.cfg.RewardOffset
-			}
-			batch = append(batch, &sample{
-				obs: obs, action: action, logp: logp, value: value,
-				reward: shifted, done: isDone,
-			})
-			tr.timesteps++
-			epReward += reward
-			epSteps++
-			if isDone {
-				if onEpisode != nil {
-					meanRatio := 0.0
-					if epSteps > 0 {
-						meanRatio = -epReward / float64(epSteps)
-					}
-					onEpisode(EpisodeStat{
-						Episode:     tr.episodes,
-						Timestep:    tr.timesteps,
-						Steps:       epSteps,
-						TotalReward: epReward,
-						MeanRatio:   meanRatio,
-					})
-				}
-				tr.episodes++
-				epReward, epSteps = 0, 0
-				next, err = e.Reset()
-				if err != nil {
-					return fmt.Errorf("rl: reset: %w", err)
-				}
-			}
-			obs = next
-		}
-		var lastValue float64
-		if !batch[len(batch)-1].done {
-			_, _, lastValue, err = tr.act(obs)
-			if err != nil {
-				return err
-			}
-		}
-		computeGAE(batch, lastValue, tr.cfg.Discount, tr.cfg.GAELambda)
-		if err := tr.step(batch); err != nil {
-			return err
-		}
-		done += len(batch)
-	}
-	return nil
+	return tr.TrainWorkers(ctx, e, totalSteps, 1, Hooks{OnEpisode: onEpisode})
 }
 
-// act samples from the Gaussian policy without recording gradients.
-func (tr *A2CTrainer) act(obs *env.Observation) (action []float64, logp, value float64, err error) {
-	t := ad.NewTape()
-	mean, val, err := tr.pol.Forward(t, obs)
-	if err != nil {
-		return nil, 0, 0, fmt.Errorf("rl: a2c policy forward: %w", err)
-	}
-	std := math.Exp(tr.logStd.Value.Data[0])
-	k := len(mean.Value.Data)
-	action = make([]float64, k)
-	logp = -0.5*float64(k)*math.Log(2*math.Pi) - float64(k)*tr.logStd.Value.Data[0]
-	for i, mu := range mean.Value.Data {
-		z := tr.rng.NormFloat64()
-		action[i] = mu + std*z
-		logp -= 0.5 * z * z
-	}
-	return action, logp, val.Value.Data[0], nil
+// TrainWorkers runs A2C with parallel rollout collection.
+func (tr *A2CTrainer) TrainWorkers(ctx context.Context, e env.Interface, totalSteps, workers int, hooks Hooks) error {
+	g := gaeParams{discount: tr.cfg.Discount, lambda: tr.cfg.GAELambda, rewardOffset: tr.cfg.RewardOffset}
+	return tr.run(ctx, e, totalSteps, workers, tr.cfg.RolloutSteps, g, tr.step, hooks)
 }
 
 // step applies one actor-critic gradient step over the whole rollout.
 func (tr *A2CTrainer) step(batch []*sample) error {
-	// Advantage normalisation.
-	meanAdv, stdAdv := 0.0, 0.0
-	for _, s := range batch {
-		meanAdv += s.adv
-	}
-	meanAdv /= float64(len(batch))
-	for _, s := range batch {
-		d := s.adv - meanAdv
-		stdAdv += d * d
-	}
-	stdAdv = math.Sqrt(stdAdv/float64(len(batch))) + 1e-8
-
+	meanAdv, stdAdv := normalizeAdvantages(batch)
 	t := ad.NewTape()
 	logStdNode := t.Use(tr.logStd)
 	invStd := t.Exp(t.Scale(logStdNode, -1))
@@ -254,13 +133,6 @@ func (tr *A2CTrainer) step(batch []*sample) error {
 		nn.ClipGradNorm(params, tr.cfg.MaxGradNorm)
 	}
 	tr.opt.Step()
-	if v := tr.logStd.Value.Data[0]; v < -2.5 {
-		tr.logStd.Value.Data[0] = -2.5
-	} else if v > 0.5 {
-		tr.logStd.Value.Data[0] = 0.5
-	}
-	if err := nn.CheckFinite(params); err != nil {
-		return fmt.Errorf("rl: a2c after update at step %d: %w", tr.timesteps, err)
-	}
+	tr.clampLogStd()
 	return nil
 }

@@ -3,7 +3,6 @@ package rl
 import (
 	"context"
 	"math"
-	"math/rand"
 	"testing"
 
 	"gddr/internal/ad"
@@ -41,7 +40,7 @@ func TestA2CSolvesBandit(t *testing.T) {
 	cfg := DefaultA2CConfig()
 	cfg.RolloutSteps = 32
 	cfg.LearningRate = 0.02
-	tr, err := NewA2CTrainer(pol, cfg, rand.New(rand.NewSource(11)))
+	tr, err := NewA2CTrainer(pol, cfg, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,10 +55,15 @@ func TestA2CSolvesBandit(t *testing.T) {
 
 func TestA2CRejectsBadInputs(t *testing.T) {
 	pol := &banditPolicy{mu: ad.NewParam("mu", mat.New(1, 1)), v: ad.NewParam("v", mat.New(1, 1))}
-	if _, err := NewA2CTrainer(pol, DefaultA2CConfig(), nil); err == nil {
-		t.Fatal("nil rng accepted")
+	if _, err := NewA2CTrainer(nil, DefaultA2CConfig(), 1); err == nil {
+		t.Fatal("nil policy accepted")
 	}
-	tr, err := NewA2CTrainer(pol, DefaultA2CConfig(), rand.New(rand.NewSource(1)))
+	bad := DefaultA2CConfig()
+	bad.RolloutSteps = 0
+	if _, err := NewA2CTrainer(pol, bad, 1); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	tr, err := NewA2CTrainer(pol, DefaultA2CConfig(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +77,7 @@ func TestA2CEpisodeStats(t *testing.T) {
 	pol := &banditPolicy{mu: ad.NewParam("mu", mat.New(1, 1)), v: ad.NewParam("v", mat.New(1, 1))}
 	cfg := DefaultA2CConfig()
 	cfg.RolloutSteps = 8
-	tr, err := NewA2CTrainer(pol, cfg, rand.New(rand.NewSource(2)))
+	tr, err := NewA2CTrainer(pol, cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,68 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/env"
+	"gddr/internal/policy"
+	"gddr/internal/topo"
+	"gddr/internal/traffic"
+)
+
+// BenchmarkTrainRollout measures rollout-collection throughput on Abilene
+// with a GNN policy, the training hot path. One op is a 256-step rollout.
+// CI gates the 4-worker over 1-worker speedup at >= 2x (the policy forward
+// pass dominates and parallelises across worker clones; on a single-core
+// machine the ratio degenerates to ~1x, which is why the gate lives in CI
+// rather than in a test assertion).
+func BenchmarkTrainRollout(b *testing.B) {
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(1))
+	seq, err := traffic.BimodalCyclical(g.NumNodes(), 12, 3, traffic.DefaultBimodal(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := env.DefaultConfig()
+	cfg.Memory = 3
+	cache := env.NewOptimalCache()
+	base, err := env.New(g, seq, cfg, cache)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Prewarm the LP cache so collection measures env stepping + policy
+	// forward passes, not one-off LP solves.
+	for t := cfg.Memory; t < len(seq); t++ {
+		if _, err := cache.Get(g, seq[t]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pol, err := policy.NewGNN(policy.GNNConfig{Memory: 3, Hidden: 16, Steps: 2}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			menv, err := env.NewMulti([]*env.Env{base}, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := NewTrainer(pol, DefaultConfig(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			col, err := newCollector(menv, workers, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gae := gaeParams{discount: 0, lambda: 0.95, rewardOffset: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := col.collect(256, tr.sample, tr.value, gae, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,277 @@
+package rl
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/env"
+	"gddr/internal/graph"
+	"gddr/internal/nn"
+	"gddr/internal/policy"
+	"gddr/internal/traffic"
+)
+
+// trainEnv builds a small MultiEnv (two ring topologies) suitable for
+// cloning across rollout workers, with a shared LP cache.
+func trainEnv(t testing.TB, cache *env.OptimalCache) *env.MultiEnv {
+	t.Helper()
+	cfg := env.DefaultConfig()
+	cfg.Memory = 2
+	var envs []*env.Env
+	for i, n := range []int{4, 5} {
+		g, err := graph.Ring(n, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(20 + i)))
+		seq, err := traffic.BimodalCyclical(n, 8, 2, traffic.DefaultBimodal(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := env.New(g, seq, cfg, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs = append(envs, e)
+	}
+	m, err := env.NewMulti(envs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func tinyGNN(t testing.TB, seed int64) policy.Policy {
+	t.Helper()
+	pol, err := policy.NewGNN(policy.GNNConfig{Memory: 2, Hidden: 4, Steps: 1}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}
+
+func paramsEqual(t *testing.T, a, b []nn.ParamState) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("param count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("param %d name %q vs %q", i, a[i].Name, b[i].Name)
+		}
+		for j := range a[i].Data {
+			if a[i].Data[j] != b[i].Data[j] {
+				t.Fatalf("param %q diverges at %d: %v vs %v", a[i].Name, j, a[i].Data[j], b[i].Data[j])
+			}
+		}
+	}
+}
+
+// runParallel trains a fresh trainer for totalSteps with the given worker
+// count and returns the final parameters and learning curve.
+func runParallel(t *testing.T, seed int64, workers, totalSteps int, hookAt int, captured **TrainState, capturedParams *[]nn.ParamState) ([]nn.ParamState, []EpisodeStat) {
+	t.Helper()
+	cache := env.NewOptimalCache()
+	menv := trainEnv(t, cache)
+	pol := tinyGNN(t, seed)
+	cfg := DefaultConfig()
+	cfg.RolloutSteps = 16
+	cfg.MiniBatch = 8
+	tr, err := NewTrainer(pol, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var curve []EpisodeStat
+	hooks := Hooks{OnEpisode: func(s EpisodeStat) { curve = append(curve, s) }}
+	if hookAt > 0 {
+		hooks.OnUpdate = func(steps int) error {
+			if steps == hookAt && captured != nil && *captured == nil {
+				st, err := tr.State()
+				if err != nil {
+					return err
+				}
+				*captured = st
+				*capturedParams = nn.CaptureParams(tr.Params())
+			}
+			return nil
+		}
+	}
+	if err := tr.TrainWorkers(context.Background(), menv, totalSteps, workers, hooks); err != nil {
+		t.Fatal(err)
+	}
+	return nn.CaptureParams(tr.Params()), curve
+}
+
+// TestParallelTrainingDeterministic is the seed-determinism contract: two
+// full runs with the same (seed, workers) pair produce bit-identical final
+// parameters and learning curves, regardless of goroutine interleaving.
+func TestParallelTrainingDeterministic(t *testing.T) {
+	p1, c1 := runParallel(t, 3, 2, 64, 0, nil, nil)
+	p2, c2 := runParallel(t, 3, 2, 64, 0, nil, nil)
+	paramsEqual(t, p1, p2)
+	if len(c1) != len(c2) {
+		t.Fatalf("curve length %d vs %d", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("curve diverges at %d: %+v vs %+v", i, c1[i], c2[i])
+		}
+	}
+	if len(c1) == 0 {
+		t.Fatal("no episodes reported")
+	}
+	// Episode numbering must be contiguous in merge order.
+	for i, s := range c1 {
+		if s.Episode != i {
+			t.Fatalf("episode numbering wrong at %d: %+v", i, s)
+		}
+	}
+}
+
+// TestStateRestoreResumesBitIdentical captures the trainer state at an
+// update boundary mid-run, restores it into a fresh trainer over a fresh
+// environment, and checks the resumed run reproduces the uninterrupted
+// run's final parameters exactly.
+func TestStateRestoreResumesBitIdentical(t *testing.T) {
+	var captured *TrainState
+	var capturedParams []nn.ParamState
+	full, _ := runParallel(t, 4, 2, 64, 32, &captured, &capturedParams)
+	if captured == nil {
+		t.Fatal("mid-run state never captured")
+	}
+
+	cache := env.NewOptimalCache()
+	menv := trainEnv(t, cache)
+	pol := tinyGNN(t, 4)
+	cfg := DefaultConfig()
+	cfg.RolloutSteps = 16
+	cfg.MiniBatch = 8
+	tr, err := NewTrainer(pol, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.RestoreParams(capturedParams, tr.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Restore(captured, menv); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Timesteps() != 32 {
+		t.Fatalf("restored timesteps %d want 32", tr.Timesteps())
+	}
+	if err := tr.TrainWorkers(context.Background(), menv, 64, 2, Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	paramsEqual(t, full, nn.CaptureParams(tr.Params()))
+}
+
+// TestRestoreValidation exercises the checkpoint guard rails: wrong
+// algorithm, wrong worker count, and non-cloneable environments are all
+// rejected.
+func TestRestoreValidation(t *testing.T) {
+	cache := env.NewOptimalCache()
+	menv := trainEnv(t, cache)
+	pol := tinyGNN(t, 5)
+	cfg := DefaultConfig()
+	cfg.RolloutSteps = 16
+	cfg.MiniBatch = 8
+	tr, err := NewTrainer(pol, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.TrainWorkers(context.Background(), menv, 16, 2, Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.WorkerStates) != 2 {
+		t.Fatalf("state has %d workers, want 2", len(st.WorkerStates))
+	}
+
+	// Wrong algorithm.
+	a2c, err := NewA2CTrainer(tinyGNN(t, 5), DefaultA2CConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a2c.Restore(st, trainEnv(t, cache)); err == nil {
+		t.Fatal("a2c accepted a ppo state")
+	}
+
+	// Wrong worker count at the next training call.
+	tr2, err := NewTrainer(tinyGNN(t, 5), cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Restore(st, trainEnv(t, cache)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.TrainWorkers(context.Background(), trainEnv(t, cache), 32, 3, Hooks{}); err == nil {
+		t.Fatal("worker-count mismatch accepted")
+	}
+
+	// Parallel collection over a non-cloneable environment.
+	tr3, err := NewTrainer(&banditPolicy{mu: tr.logStd, v: tr.logStd}, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr3.TrainWorkers(context.Background(), newQuadraticEnv(t, 0), 16, 2, Hooks{}); err == nil {
+		t.Fatal("parallel collection over a plain env.Interface accepted")
+	}
+	// A single worker still works, but its state cannot be checkpointed.
+	if err := tr3.TrainWorkers(context.Background(), newQuadraticEnv(t, 0), 16, 1, Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr3.State(); err == nil {
+		t.Fatal("non-checkpointable state accepted")
+	}
+}
+
+// TestA2CSharesCollector trains A2C with parallel workers over the routing
+// MultiEnv, exercising the deduped collector path end to end.
+func TestA2CSharesCollector(t *testing.T) {
+	cache := env.NewOptimalCache()
+	cfg := DefaultA2CConfig()
+	cfg.RolloutSteps = 16
+	run := func() []nn.ParamState {
+		tr, err := NewA2CTrainer(tinyGNN(t, 6), cfg, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.TrainWorkers(context.Background(), trainEnv(t, cache), 48, 2, Hooks{}); err != nil {
+			t.Fatal(err)
+		}
+		return nn.CaptureParams(tr.Params())
+	}
+	paramsEqual(t, run(), run())
+}
+
+// TestTrainAcrossFreshEnvInstances mirrors how the public API calls the
+// trainer: every Train call passes a freshly built environment (new
+// context, new caches). Splitting a run across calls with fresh env
+// instances must match a single uninterrupted run bit-for-bit — the
+// collector rebases its workers onto the new environment from the last
+// update-boundary snapshot instead of stepping stale clones.
+func TestTrainAcrossFreshEnvInstances(t *testing.T) {
+	full, _ := runParallel(t, 13, 2, 64, 0, nil, nil)
+
+	cache := env.NewOptimalCache()
+	pol := tinyGNN(t, 13)
+	cfg := DefaultConfig()
+	cfg.RolloutSteps = 16
+	cfg.MiniBatch = 8
+	tr, err := NewTrainer(pol, cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.TrainWorkers(context.Background(), trainEnv(t, cache), 32, 2, Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	// Second call with a different env instance of the same scenario.
+	if err := tr.TrainWorkers(context.Background(), trainEnv(t, cache), 64, 2, Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	paramsEqual(t, full, nn.CaptureParams(tr.Params()))
+}

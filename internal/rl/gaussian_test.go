@@ -3,7 +3,6 @@ package rl
 import (
 	"context"
 	"math"
-	"math/rand"
 	"testing"
 
 	"gddr/internal/ad"
@@ -22,7 +21,7 @@ func TestLogStdClampedDuringTraining(t *testing.T) {
 	cfg.RolloutSteps = 32
 	cfg.MiniBatch = 16
 	cfg.LearningRate = 0.5 // absurd on purpose
-	tr, err := NewTrainer(pol, cfg, rand.New(rand.NewSource(7)))
+	tr, err := NewTrainer(pol, cfg, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +45,7 @@ func TestEpisodeStatsReportRawRewards(t *testing.T) {
 	cfg.RolloutSteps = 8
 	cfg.MiniBatch = 8
 	cfg.RewardOffset = 100 // obvious if it leaks into the stats
-	tr, err := NewTrainer(pol, cfg, rand.New(rand.NewSource(8)))
+	tr, err := NewTrainer(pol, cfg, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +94,7 @@ func TestActSamplingLogProbConsistency(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.InitialLogStd = -0.7
-	tr, err := NewTrainer(pol, cfg, rand.New(rand.NewSource(9)))
+	tr, err := NewTrainer(pol, cfg, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,19 +5,24 @@
 // the stable-baselines PPO2 implementation the paper trains with; the shared
 // scalar log-std keeps the action distribution well defined when the action
 // dimensionality varies across topologies (the generalisation experiments).
+//
+// Training is a collector/updater pair: parallel rollout workers step
+// independent environment clones on deterministic per-worker streams, and
+// the update pass consumes the merged rollout in fixed worker order (see
+// collector.go for the determinism contract). The synchronous
+// advantage-actor-critic trainer (a2c.go) shares the same collector and
+// rollout buffer, differing only in the update rule.
 package rl
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"gddr/internal/ad"
 	"gddr/internal/env"
 	"gddr/internal/mat"
 	"gddr/internal/nn"
-	"gddr/internal/policy"
 )
 
 // Config holds the PPO hyperparameters (defaults mirror PPO2).
@@ -85,172 +90,56 @@ func (c Config) Validate() error {
 
 // EpisodeStat summarises one finished episode for learning-curve logging.
 type EpisodeStat struct {
-	Episode     int     // episode index, from 0
-	Timestep    int     // total environment steps when the episode ended
-	Steps       int     // steps in this episode
-	TotalReward float64 // sum of rewards (paper Figure 7's y-axis)
-	MeanRatio   float64 // mean U_agent/U_opt over reward-bearing steps
+	Episode     int     `json:"episode"`      // episode index, from 0
+	Timestep    int     `json:"timestep"`     // total environment steps when the episode ended
+	Steps       int     `json:"steps"`        // steps in this episode
+	TotalReward float64 `json:"total_reward"` // sum of rewards (paper Figure 7's y-axis)
+	MeanRatio   float64 `json:"mean_ratio"`   // mean U_agent/U_opt over reward-bearing steps
+}
+
+// Forwarder is the policy contract shared by the RL trainers.
+type Forwarder interface {
+	Forward(t *ad.Tape, obs *env.Observation) (mean, value *ad.Node, err error)
+	Params() []*ad.Param
 }
 
 // Trainer runs PPO on a policy and environment.
 type Trainer struct {
-	cfg    Config
-	pol    policy.Policy
-	logStd *ad.Param
-	opt    *nn.Adam
-	rng    *rand.Rand
-
-	episodes  int
-	timesteps int
+	cfg Config
+	*core
 }
 
+var _ Algorithm = (*Trainer)(nil)
+
 // NewTrainer builds a PPO trainer. The policy's parameters plus the shared
-// log-std are optimised jointly with Adam.
-func NewTrainer(pol policy.Policy, cfg Config, rng *rand.Rand) (*Trainer, error) {
+// log-std are optimised jointly with Adam; seed determines every random
+// stream of the run (minibatch shuffles plus the per-worker action and
+// episode-sampling streams).
+func NewTrainer(pol Forwarder, cfg Config, seed int64) (*Trainer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if rng == nil {
-		return nil, fmt.Errorf("rl: trainer needs a rand source")
+	c, err := newCore(AlgoPPO, pol, cfg.LearningRate, cfg.InitialLogStd, seed)
+	if err != nil {
+		return nil, err
 	}
-	logStd := ad.NewParam("ppo.log_std", mat.FromSlice(1, 1, []float64{cfg.InitialLogStd}))
-	params := append(pol.Params(), logStd)
-	return &Trainer{
-		cfg:    cfg,
-		pol:    pol,
-		logStd: logStd,
-		opt:    nn.NewAdam(params, cfg.LearningRate),
-		rng:    rng,
-	}, nil
+	return &Trainer{cfg: cfg, core: c}, nil
 }
 
-// LogStd returns the current log standard deviation of the Gaussian head.
-func (tr *Trainer) LogStd() float64 { return tr.logStd.Value.Data[0] }
-
-// Params returns all trained parameters (policy + log-std).
-func (tr *Trainer) Params() []*ad.Param { return append(tr.pol.Params(), tr.logStd) }
-
-// sample holds one transition of a rollout.
-type sample struct {
-	obs    *env.Observation
-	action []float64
-	logp   float64
-	value  float64
-	reward float64
-	done   bool
-	adv    float64
-	ret    float64
-}
-
-// Train runs PPO for totalSteps environment steps on e. onEpisode, if not
-// nil, is invoked after every finished episode (for learning curves).
-// Cancellation is checked once per rollout: when ctx is done, Train returns
-// its error before collecting the next batch, leaving the parameters at the
-// last completed update.
+// Train runs PPO with a single rollout worker until the cumulative step
+// counter reaches totalSteps. onEpisode, if not nil, is invoked after every
+// finished episode (for learning curves). Cancellation is checked once per
+// rollout: when ctx is done, Train returns its error before collecting the
+// next batch, leaving the parameters at the last completed update.
 func (tr *Trainer) Train(ctx context.Context, e env.Interface, totalSteps int, onEpisode func(EpisodeStat)) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if totalSteps < 1 {
-		return fmt.Errorf("rl: totalSteps must be positive, got %d", totalSteps)
-	}
-	obs, err := e.Reset()
-	if err != nil {
-		return fmt.Errorf("rl: reset: %w", err)
-	}
-	epReward := 0.0
-	epSteps := 0
-
-	for done := 0; done < totalSteps; {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		steps := tr.cfg.RolloutSteps
-		if rem := totalSteps - done; rem < steps {
-			steps = rem
-		}
-		batch := make([]*sample, 0, steps)
-		for len(batch) < steps {
-			action, logp, value, err := tr.act(obs)
-			if err != nil {
-				return err
-			}
-			next, reward, isDone, err := e.Step(action)
-			if err != nil {
-				return fmt.Errorf("rl: env step: %w", err)
-			}
-			shifted := reward
-			if reward != 0 {
-				shifted = reward + tr.cfg.RewardOffset
-			}
-			batch = append(batch, &sample{
-				obs: obs, action: action, logp: logp, value: value,
-				reward: shifted, done: isDone,
-			})
-			tr.timesteps++
-			epReward += reward
-			epSteps++
-			if isDone {
-				if onEpisode != nil {
-					meanRatio := 0.0
-					if epSteps > 0 {
-						meanRatio = -epReward / float64(epSteps)
-					}
-					onEpisode(EpisodeStat{
-						Episode:     tr.episodes,
-						Timestep:    tr.timesteps,
-						Steps:       epSteps,
-						TotalReward: epReward,
-						MeanRatio:   meanRatio,
-					})
-				}
-				tr.episodes++
-				epReward, epSteps = 0, 0
-				next, err = e.Reset()
-				if err != nil {
-					return fmt.Errorf("rl: reset: %w", err)
-				}
-			}
-			obs = next
-		}
-		// Bootstrap value for the (possibly) unfinished trailing episode.
-		var lastValue float64
-		if !batch[len(batch)-1].done {
-			_, _, lastValue, err = tr.act(obs)
-			if err != nil {
-				return err
-			}
-		}
-		computeGAE(batch, lastValue, tr.cfg.Discount, tr.cfg.GAELambda)
-		if err := tr.update(batch); err != nil {
-			return err
-		}
-		if err := nn.CheckFinite(tr.Params()); err != nil {
-			return fmt.Errorf("rl: after update at step %d: %w", tr.timesteps, err)
-		}
-		done += len(batch)
-	}
-	return nil
+	return tr.TrainWorkers(ctx, e, totalSteps, 1, Hooks{OnEpisode: onEpisode})
 }
 
-// act samples an action from the current Gaussian policy (no gradients kept).
-func (tr *Trainer) act(obs *env.Observation) (action []float64, logp, value float64, err error) {
-	t := ad.NewTape()
-	mean, val, err := tr.pol.Forward(t, obs)
-	if err != nil {
-		return nil, 0, 0, fmt.Errorf("rl: policy forward: %w", err)
-	}
-	std := math.Exp(tr.logStd.Value.Data[0])
-	k := len(mean.Value.Data)
-	action = make([]float64, k)
-	logp = -0.5 * float64(k) * math.Log(2*math.Pi)
-	logp -= float64(k) * tr.logStd.Value.Data[0]
-	for i, mu := range mean.Value.Data {
-		z := tr.rng.NormFloat64()
-		action[i] = mu + std*z
-		logp -= 0.5 * z * z
-	}
-	return action, logp, val.Value.Data[0], nil
+// TrainWorkers runs PPO with parallel rollout collection (see collector.go
+// for the determinism contract).
+func (tr *Trainer) TrainWorkers(ctx context.Context, e env.Interface, totalSteps, workers int, hooks Hooks) error {
+	g := gaeParams{discount: tr.cfg.Discount, lambda: tr.cfg.GAELambda, rewardOffset: tr.cfg.RewardOffset}
+	return tr.run(ctx, e, totalSteps, workers, tr.cfg.RolloutSteps, g, tr.update, hooks)
 }
 
 // MeanAction returns the deterministic (mean) action for evaluation.
@@ -259,7 +148,7 @@ func (tr *Trainer) MeanAction(obs *env.Observation) ([]float64, error) {
 }
 
 // MeanAction evaluates pol deterministically on obs.
-func MeanAction(pol policy.Policy, obs *env.Observation) ([]float64, error) {
+func MeanAction(pol Forwarder, obs *env.Observation) ([]float64, error) {
 	t := ad.NewTape()
 	mean, _, err := pol.Forward(t, obs)
 	if err != nil {
@@ -287,20 +176,23 @@ func computeGAE(batch []*sample, lastValue, discount, lambda float64) {
 	}
 }
 
+// normalizeAdvantages returns the rollout's advantage mean and standard
+// deviation (plus epsilon), shared by the PPO and A2C updates.
+func normalizeAdvantages(batch []*sample) (mean, std float64) {
+	for _, s := range batch {
+		mean += s.adv
+	}
+	mean /= float64(len(batch))
+	for _, s := range batch {
+		d := s.adv - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std/float64(len(batch))) + 1e-8
+}
+
 // update runs the clipped-surrogate optimisation epochs over the rollout.
 func (tr *Trainer) update(batch []*sample) error {
-	// Advantage normalisation over the whole rollout.
-	meanAdv, stdAdv := 0.0, 0.0
-	for _, s := range batch {
-		meanAdv += s.adv
-	}
-	meanAdv /= float64(len(batch))
-	for _, s := range batch {
-		d := s.adv - meanAdv
-		stdAdv += d * d
-	}
-	stdAdv = math.Sqrt(stdAdv/float64(len(batch))) + 1e-8
-
+	meanAdv, stdAdv := normalizeAdvantages(batch)
 	idx := make([]int, len(batch))
 	for i := range idx {
 		idx[i] = i
@@ -366,13 +258,7 @@ func (tr *Trainer) minibatch(batch []*sample, idx []int, meanAdv, stdAdv float64
 		nn.ClipGradNorm(params, tr.cfg.MaxGradNorm)
 	}
 	tr.opt.Step()
-	// Keep exploration alive: a collapsed (or exploded) standard deviation
-	// freezes PPO because identical actions yield zero advantages.
-	if v := tr.logStd.Value.Data[0]; v < -2.5 {
-		tr.logStd.Value.Data[0] = -2.5
-	} else if v > 0.5 {
-		tr.logStd.Value.Data[0] = 0.5
-	}
+	tr.clampLogStd()
 	return nil
 }
 
@@ -380,7 +266,7 @@ func (tr *Trainer) minibatch(batch []*sample, idx []int, meanAdv, stdAdv float64
 // e and returns the mean per-step ratio U_agent/U_opt (lower is better; 1.0
 // is LP-optimal). In iterative mode only reward-bearing steps count.
 // Cancellation is checked at every episode boundary.
-func Evaluate(ctx context.Context, pol policy.Policy, e env.Interface, episodes int) (float64, error) {
+func Evaluate(ctx context.Context, pol Forwarder, e env.Interface, episodes int) (float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

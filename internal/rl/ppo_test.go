@@ -141,7 +141,7 @@ func TestPPOSolvesBandit(t *testing.T) {
 	cfg.RolloutSteps = 64
 	cfg.MiniBatch = 16
 	cfg.LearningRate = 0.02
-	tr, err := NewTrainer(pol, cfg, rand.New(rand.NewSource(2)))
+	tr, err := NewTrainer(pol, cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,15 +156,15 @@ func TestPPOSolvesBandit(t *testing.T) {
 
 func TestTrainerRejectsBadInputs(t *testing.T) {
 	pol := &banditPolicy{mu: ad.NewParam("mu", mat.New(1, 1)), v: ad.NewParam("v", mat.New(1, 1))}
-	if _, err := NewTrainer(pol, DefaultConfig(), nil); err == nil {
-		t.Fatal("nil rng accepted")
+	if _, err := NewTrainer(nil, DefaultConfig(), 1); err == nil {
+		t.Fatal("nil policy accepted")
 	}
 	bad := DefaultConfig()
 	bad.Epochs = 0
-	if _, err := NewTrainer(pol, bad, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := NewTrainer(pol, bad, 1); err == nil {
 		t.Fatal("bad config accepted")
 	}
-	tr, err := NewTrainer(pol, DefaultConfig(), rand.New(rand.NewSource(1)))
+	tr, err := NewTrainer(pol, DefaultConfig(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestEpisodeStatsReported(t *testing.T) {
 	pcfg := DefaultConfig()
 	pcfg.RolloutSteps = 16
 	pcfg.MiniBatch = 8
-	tr, err := NewTrainer(pol, pcfg, rng)
+	tr, err := NewTrainer(pol, pcfg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func TestPPOImprovesRouting(t *testing.T) {
 	pcfg.RolloutSteps = 128
 	pcfg.MiniBatch = 32
 	pcfg.LearningRate = 1e-3
-	tr, err := NewTrainer(pol, pcfg, rng)
+	tr, err := NewTrainer(pol, pcfg, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

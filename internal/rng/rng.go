@@ -1,0 +1,74 @@
+// Package rng provides the deterministic, serialisable random stream used
+// by the training pipeline. The standard library's rand.Source hides its
+// state, which makes checkpoint/resume impossible; this SplitMix64 source
+// exposes its single uint64 of state so a training run can be frozen to JSON
+// and resumed bit-identically. Independent streams (one per rollout worker,
+// one per generated sequence) are derived with Fork/DeriveSeed instead of
+// sharing one source across goroutines.
+package rng
+
+import "math/rand"
+
+// mix64 is the SplitMix64 output function (Steele, Lea & Flood 2014): a
+// bijective avalanche mix, also used to spread correlated seeds/streams.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+const gamma = 0x9E3779B97F4A7C15 // golden-ratio increment of SplitMix64
+
+// Source is a SplitMix64 pseudo-random source. It implements
+// rand.Source64, so rand.New(src) layers the full math/rand API
+// (NormFloat64, Shuffle, ...) on top; those helpers keep no hidden state, so
+// the Source's single word fully determines every future draw.
+//
+// A Source is not safe for concurrent use — that is the point: every
+// goroutine gets its own Fork.
+type Source struct {
+	state uint64
+}
+
+var _ rand.Source64 = (*Source)(nil)
+
+// New returns a source seeded from seed.
+func New(seed int64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the source. Nearby seeds are decorrelated by the mix
+// function.
+func (s *Source) Seed(seed int64) { s.state = mix64(uint64(seed) + gamma) }
+
+// Uint64 returns the next value of the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += gamma
+	return mix64(s.state)
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// State returns the current stream state for checkpointing.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState rewinds the source to a state captured with State.
+func (s *Source) SetState(state uint64) { s.state = state }
+
+// Fork derives an independent stream from the current state and a stream
+// tag without consuming any randomness from the parent: forking with
+// distinct tags yields decorrelated streams, and re-forking with the same
+// tag is reproducible.
+func (s *Source) Fork(stream uint64) *Source {
+	return &Source{state: mix64(s.state ^ mix64(stream*gamma+gamma))}
+}
+
+// DeriveSeed maps a (seed, stream) pair to an int64 seed for APIs that take
+// seeds rather than Sources — e.g. one seed per generated demand sequence,
+// or one per rollout worker's cloned environment.
+func DeriveSeed(seed int64, stream uint64) int64 {
+	return int64(New(seed).Fork(stream).Uint64())
+}

@@ -250,6 +250,66 @@ func WithCapacityAware(on bool) Option {
 	}
 }
 
+// WithAlgo selects the training algorithm (PPOAlgo or A2CAlgo).
+func WithAlgo(algo AlgoKind) Option {
+	return func(s *settings) {
+		s.cfg.Algo = algo
+		s.exp.Algo = algo
+	}
+}
+
+// WithRolloutWorkers sets the number of parallel rollout-collection
+// workers. Each worker steps its own environment clone on an independent
+// deterministic stream and the update pass merges worker slices in fixed
+// worker order, so results are bit-identical for a given (seed, workers)
+// pair — but differ across worker counts.
+func WithRolloutWorkers(n int) Option {
+	return func(s *settings) {
+		s.cfg.Workers = n
+		s.exp.RolloutWorkers = n
+	}
+}
+
+// WithCheckpointEvery writes a training checkpoint every n environment
+// steps (rounded up to update boundaries). Agents write to the path set
+// with WithCheckpointPath; experiments derive per-stage paths from the
+// directory set with WithCheckpointDir.
+func WithCheckpointEvery(n int) Option {
+	return func(s *settings) {
+		s.cfg.CheckpointEvery = n
+		s.exp.CheckpointEvery = n
+	}
+}
+
+// WithCheckpointPath sets the file periodic checkpoints are written to
+// (atomically). Agent-construction only; RunExperiment derives paths from
+// WithCheckpointDir instead.
+func WithCheckpointPath(path string) Option {
+	return func(s *settings) {
+		s.cfg.CheckpointPath = path
+		s.cfgOnly = append(s.cfgOnly, "WithCheckpointPath")
+	}
+}
+
+// WithCheckpointDir makes registered experiments checkpoint every trained
+// policy under the directory (one file per training stage), so an
+// interrupted experiment resumes instead of restarting. NewAgent ignores
+// it; use WithCheckpointPath there.
+func WithCheckpointDir(dir string) Option {
+	return func(s *settings) { s.exp.CheckpointDir = dir }
+}
+
+// WithSampler selects how multi-topology training scenarios sample their
+// member environment per episode — e.g. UniformSampling(),
+// SizeWeightedSampling(alpha), or SizeCurriculumSampling(stages) to anneal
+// from small to large graphs.
+func WithSampler(spec SamplerSpec) Option {
+	return func(s *settings) {
+		s.cfg.Sampler = spec
+		s.exp.Sampler = spec
+	}
+}
+
 // WithSequences sets the number of training and held-out test demand
 // sequences an experiment generates (paper: 7 and 3).
 func WithSequences(train, test int) Option {

@@ -13,20 +13,60 @@ import (
 	"gddr/internal/routing"
 )
 
-// TrainConfig configures agent construction and PPO training.
+// AlgoKind selects the training algorithm.
+type AlgoKind string
+
+// Training algorithms. The empty string behaves as PPOAlgo so existing
+// configs keep training with PPO.
+const (
+	PPOAlgo AlgoKind = rl.AlgoPPO
+	A2CAlgo AlgoKind = rl.AlgoA2C
+)
+
+// ParseAlgo parses a training-algorithm name.
+func ParseAlgo(s string) (AlgoKind, error) {
+	switch s {
+	case "", "ppo":
+		return PPOAlgo, nil
+	case "a2c":
+		return A2CAlgo, nil
+	default:
+		return "", fmt.Errorf("gddr: unknown training algorithm %q", s)
+	}
+}
+
+// TrainConfig configures agent construction and training.
 type TrainConfig struct {
-	Policy     PolicyKind
-	Memory     int     // demand history length m (paper: 5)
-	Gamma      float64 // softmin γ for non-iterative policies
-	TotalSteps int     // environment steps of PPO training
-	Seed       int64
-	PPO        PPOConfig
-	GNN        GNNConfig // used by GNN policies
-	MLPHidden  []int     // hidden layer sizes of the MLP baseline
+	Policy     PolicyKind `json:"policy"`
+	Algo       AlgoKind   `json:"algo,omitempty"` // ppo (default) or a2c
+	Memory     int        `json:"memory"`         // demand history length m (paper: 5)
+	Gamma      float64    `json:"gamma"`          // softmin γ for non-iterative policies
+	TotalSteps int        `json:"total_steps"`    // environment steps of training
+	Seed       int64      `json:"seed"`
+	PPO        PPOConfig  `json:"ppo"`
+	A2C        A2CConfig  `json:"a2c"`
+	GNN        GNNConfig  `json:"gnn"`        // used by GNN policies
+	MLPHidden  []int      `json:"mlp_hidden"` // hidden layer sizes of the MLP baseline
 	// CapacityAware warm-starts the action-to-weight mapping around
 	// inverse-capacity base weights (see env.Config.CapacityAware and
 	// DESIGN.md substitution #5).
-	CapacityAware bool
+	CapacityAware bool `json:"capacity_aware"`
+	// Workers is the number of parallel rollout-collection workers
+	// (default 1). The worker count is part of the determinism contract:
+	// results are bit-identical for a given (Seed, Workers) pair, and a
+	// checkpoint records it so a resumed run cannot silently change it.
+	Workers int `json:"workers,omitempty"`
+	// CheckpointEvery writes a training checkpoint to CheckpointPath every
+	// given number of environment steps (rounded up to update boundaries);
+	// zero disables periodic checkpoints.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// CheckpointPath is the file periodic checkpoints are written to
+	// (atomically, via a temp file and rename).
+	CheckpointPath string `json:"checkpoint_path,omitempty"`
+	// Sampler selects how multi-topology scenarios sample their member per
+	// episode (uniform, weighted, size-weighted, or curriculum schedules
+	// that anneal from small to large graphs). Zero value: uniform.
+	Sampler SamplerSpec `json:"sampler,omitempty"`
 }
 
 // DefaultTrainConfig returns the tuned defaults of this reproduction
@@ -35,14 +75,17 @@ type TrainConfig struct {
 func DefaultTrainConfig(kind PolicyKind) TrainConfig {
 	cfg := TrainConfig{
 		Policy:        kind,
+		Algo:          PPOAlgo,
 		Memory:        5,
 		Gamma:         routing.DefaultGamma,
 		TotalSteps:    20000,
 		Seed:          1,
 		PPO:           rl.DefaultConfig(),
+		A2C:           rl.DefaultA2CConfig(),
 		GNN:           policy.DefaultGNNConfig(5),
 		MLPHidden:     []int{128, 128},
 		CapacityAware: true,
+		Workers:       1,
 	}
 	if kind == policy.GNNIterativeKind {
 		// Iterative actions influence later observations within a demand-
@@ -51,6 +94,8 @@ func DefaultTrainConfig(kind PolicyKind) TrainConfig {
 		// undiscounted return with a long GAE horizon.
 		cfg.PPO.Discount = 1
 		cfg.PPO.GAELambda = 0.98
+		cfg.A2C.Discount = 1
+		cfg.A2C.GAELambda = 0.98
 	}
 	return cfg
 }
@@ -60,8 +105,12 @@ type Agent struct {
 	Kind     PolicyKind
 	Config   TrainConfig
 	policy   policy.Policy
-	trainer  *rl.Trainer
+	trainer  rl.Algorithm
 	progress ProgressFunc
+
+	curve   []EpisodeStat  // cumulative learning curve across Train calls
+	pending *rl.TrainState // checkpoint state awaiting the next Train call
+	digest  string         // fingerprint of the scenario last trained on
 }
 
 // NewAgent constructs an untrained agent of the given architecture, with
@@ -78,8 +127,14 @@ func NewAgent(kind PolicyKind, scenario *Scenario, opts ...Option) (*Agent, erro
 	s := newSettings(kind).apply(opts)
 	cfg := s.cfg
 	cfg.Policy = kind // the kind argument wins over WithConfig
+	if cfg.Algo == "" {
+		cfg.Algo = PPOAlgo
+	}
 	if cfg.Memory < 1 {
 		return nil, fmt.Errorf("gddr: memory must be >= 1, got %d", cfg.Memory)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("gddr: rollout workers must be >= 0, got %d", cfg.Workers)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var pol policy.Policy
@@ -105,7 +160,15 @@ func NewAgent(kind PolicyKind, scenario *Scenario, opts ...Option) (*Agent, erro
 	if err != nil {
 		return nil, err
 	}
-	trainer, err := rl.NewTrainer(pol, cfg.PPO, rng)
+	var trainer rl.Algorithm
+	switch cfg.Algo {
+	case PPOAlgo:
+		trainer, err = rl.NewTrainer(pol, cfg.PPO, cfg.Seed)
+	case A2CAlgo:
+		trainer, err = rl.NewA2CTrainer(pol, cfg.A2C, cfg.Seed)
+	default:
+		return nil, fmt.Errorf("gddr: unknown training algorithm %q", cfg.Algo)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -144,10 +207,34 @@ func (a *Agent) envConfig() env.Config {
 	}
 }
 
-// Train runs PPO on the scenario for Config.TotalSteps environment steps
-// and returns the per-episode learning curve. Cancellation of ctx is
-// honoured at every PPO rollout boundary and before every LP solve; the
-// agent keeps the parameters of the last completed update. The LP cache
+// trainEnv expands the scenario into the multi-environment the trainer's
+// rollout workers clone: members in scenario order, episode sampling per
+// Config.Sampler, bound to ctx.
+func (a *Agent) trainEnv(ctx context.Context, scenario *Scenario, cache *OptimalCache) (*env.MultiEnv, error) {
+	envs, err := scenario.envs(a.envConfig(), cache)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range envs {
+		e.SetContext(ctx)
+	}
+	sampler, err := a.Config.Sampler.Build(envs)
+	if err != nil {
+		return nil, err
+	}
+	return env.NewMultiSampled(envs, sampler, a.Config.Seed+1)
+}
+
+// Train runs the configured algorithm (PPO by default) on the scenario
+// until Config.TotalSteps cumulative environment steps and returns the
+// learning curve so far (including any history restored from a
+// checkpoint). Rollouts are collected by Config.Workers parallel workers;
+// results are bit-identical for a given (Seed, Workers) pair. When the
+// agent carries checkpoint state (see ResumeAgent), training resumes from
+// it bit-identically with the uninterrupted run. Cancellation of ctx is
+// honoured at every rollout boundary and before every LP solve; the agent
+// keeps the parameters of the last completed update, and a checkpoint
+// written after cancellation describes that update boundary. The LP cache
 // may be shared across calls; pass nil for a private one.
 func (a *Agent) Train(ctx context.Context, scenario *Scenario, cache *OptimalCache) ([]EpisodeStat, error) {
 	if ctx == nil {
@@ -159,38 +246,85 @@ func (a *Agent) Train(ctx context.Context, scenario *Scenario, cache *OptimalCac
 	if a.Config.TotalSteps < 1 {
 		return nil, fmt.Errorf("gddr: TotalSteps must be positive, got %d", a.Config.TotalSteps)
 	}
+	if a.Config.CheckpointEvery > 0 && a.Config.CheckpointPath == "" {
+		return nil, fmt.Errorf("gddr: CheckpointEvery is set but CheckpointPath is empty")
+	}
+	// A continuation — whether from staged checkpoint state or a repeated
+	// Train call on the same agent — must stay on the scenario the episode
+	// stream started on; a silent swap would corrupt it.
+	digest := scenarioDigest(scenario)
+	continuing := a.pending != nil || a.trainer.Timesteps() > 0
+	if continuing && a.digest != "" && a.digest != digest {
+		return nil, fmt.Errorf("gddr: scenario does not match the one this run trained on (digest %s, expected %s); build a new agent to train on a different scenario", digest, a.digest)
+	}
+	a.digest = digest
 	if cache == nil {
 		cache = NewOptimalCache()
 	}
-	envs, err := scenario.envs(a.envConfig(), cache)
+	menv, err := a.trainEnv(ctx, scenario, cache)
 	if err != nil {
 		return nil, err
 	}
-	for _, e := range envs {
-		e.SetContext(ctx)
+	workers := a.Config.Workers
+	if workers < 1 {
+		workers = 1
 	}
-	rng := rand.New(rand.NewSource(a.Config.Seed + 1))
-	menv, err := env.NewMulti(envs, rng)
-	if err != nil {
-		return nil, err
-	}
-	var stats []EpisodeStat
-	err = a.trainer.Train(ctx, menv, a.Config.TotalSteps, func(st rl.EpisodeStat) {
-		stats = append(stats, st)
-		if a.progress != nil {
-			a.progress(Progress{
-				Stage:   "train",
-				Step:    st.Timestep,
-				Total:   a.Config.TotalSteps,
-				Episode: &st,
-			})
+	if a.pending != nil {
+		if err := a.trainer.Restore(a.pending, menv); err != nil {
+			return nil, err
 		}
-	})
+		a.pending = nil
+	}
+	lastCkpt := a.trainer.Timesteps()
+	hooks := rl.Hooks{
+		OnEpisode: func(st rl.EpisodeStat) {
+			a.curve = append(a.curve, st)
+			if a.progress != nil {
+				a.progress(Progress{
+					Stage:   "train",
+					Step:    st.Timestep,
+					Total:   a.Config.TotalSteps,
+					Episode: &st,
+				})
+			}
+		},
+	}
+	if a.Config.CheckpointEvery > 0 {
+		hooks.OnUpdate = func(step int) error {
+			if step-lastCkpt < a.Config.CheckpointEvery {
+				return nil
+			}
+			lastCkpt = step
+			return a.WriteCheckpointFile(a.Config.CheckpointPath)
+		}
+	}
+	err = a.trainer.TrainWorkers(ctx, menv, a.Config.TotalSteps, workers, hooks)
 	if err != nil {
 		return nil, fmt.Errorf("gddr: training %v policy: %w", a.Kind, err)
 	}
-	return stats, nil
+	return a.Curve(), nil
 }
+
+// ResumeTraining continues a checkpointed run (see ResumeAgent) on the
+// scenario, which must match the one the checkpoint was taken on. It is
+// Train with an explicit guard that there is checkpoint state to resume.
+func (a *Agent) ResumeTraining(ctx context.Context, scenario *Scenario, cache *OptimalCache) ([]EpisodeStat, error) {
+	if a.pending == nil {
+		return nil, fmt.Errorf("gddr: agent carries no checkpoint state to resume; use Train")
+	}
+	return a.Train(ctx, scenario, cache)
+}
+
+// Curve returns a copy of the learning curve accumulated so far, including
+// history restored from a checkpoint — useful for persisting partial
+// results after a cancelled run. The result is never nil, so it always
+// serialises as a JSON array.
+func (a *Agent) Curve() []EpisodeStat {
+	return append([]EpisodeStat{}, a.curve...)
+}
+
+// TrainedSteps returns the cumulative environment steps trained so far.
+func (a *Agent) TrainedSteps() int { return a.trainer.Timesteps() }
 
 // Evaluate runs the agent deterministically over every sequence of the
 // scenario once and returns the mean per-timestep U_agent/U_opt ratio

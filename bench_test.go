@@ -122,19 +122,27 @@ func BenchmarkRouterRoute(b *testing.B) {
 // uncached baseline at Abilene scale, while TestRouterCacheGoldenDecisions
 // proves the decisions are bit-identical.
 func BenchmarkRouterRouteSteady(b *testing.B) {
-	for _, cached := range []bool{true, false} {
-		name := "cache=on"
-		if !cached {
-			name = "cache=off"
-		}
-		b.Run(name, func(b *testing.B) {
+	// cache=on is the instrumented fast path (metrics are on by default);
+	// metrics=off is the same path with instrumentation compiled out of the
+	// router, the baseline for CI's 1.1x instrumentation-overhead gate.
+	for _, variant := range []struct {
+		name               string
+		noCache, noMetrics bool
+	}{
+		{name: "cache=on"},
+		{name: "cache=off", noCache: true},
+		{name: "metrics=off", noMetrics: true},
+	} {
+		cached := !variant.noCache
+		b.Run(variant.name, func(b *testing.B) {
 			agent, err := NewAgent(GNNPolicy, nil, WithMemory(3), WithGNNSize(16, 2))
 			if err != nil {
 				b.Fatal(err)
 			}
 			g := topo.Abilene()
 			cfg := resolveRouterConfig([]RouterOption{WithRouterWorkers(1)})
-			cfg.noCache = !cached
+			cfg.noCache = variant.noCache
+			cfg.noMetrics = variant.noMetrics
 			router, err := newRouter(agent, g, cfg)
 			if err != nil {
 				b.Fatal(err)

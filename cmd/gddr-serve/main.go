@@ -5,8 +5,13 @@
 //	POST /route           {"demands": [[...], ...]}    -> routing decision
 //	POST /topology/event  {"type":"link_down", ...}    -> apply a topology event
 //	POST /model/swap      <checkpoint JSON>            -> hot-swap the model
-//	GET  /stats                                        -> cumulative serving stats
+//	GET  /stats                                        -> cumulative serving stats + uptime
 //	GET  /healthz                                      -> liveness + topology version
+//	GET  /metrics                                      -> Prometheus text exposition
+//
+// Logging is structured (log/slog); -log-format selects text or JSON lines.
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ and -trace
+// attaches a per-request timing breakdown to every routing decision.
 //
 // Example session:
 //
@@ -14,6 +19,7 @@
 //	curl -s localhost:8080/route -d '{"demands": [[0,100,...], ...]}'
 //	curl -s localhost:8080/topology/event -d '{"type":"link_down","from":2,"to":9}'
 //	curl -s localhost:8080/model/swap --data-binary @retrained.json
+//	curl -s localhost:8080/metrics
 package main
 
 import (
@@ -24,14 +30,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
 	"gddr"
+	"gddr/internal/metrics"
 	"gddr/internal/policy"
 	"gddr/internal/topo"
 )
@@ -54,8 +62,22 @@ func run() error {
 		msgSteps   = flag.Int("gnn-steps", 2, "GNN message-passing steps (must match training)")
 		workers    = flag.Int("workers", 0, "serving goroutines (0: GOMAXPROCS)")
 		maxBatch   = flag.Int("max-batch", 16, "max requests sharing one forward pass")
+		logFormat  = flag.String("log-format", "text", "log line format: text or json")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceOn    = flag.Bool("trace", false, "attach a per-request timing breakdown to each decision")
 	)
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+	slog.SetDefault(slog.New(handler))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -93,28 +115,40 @@ func run() error {
 	if *workers > 0 {
 		opts = append(opts, gddr.WithRouterWorkers(*workers))
 	}
-	opts = append(opts, gddr.WithMaxBatch(*maxBatch))
+	opts = append(opts, gddr.WithMaxBatch(*maxBatch), gddr.WithTracing(*traceOn))
 	engine, err := gddr.NewEngine(agent, g, opts...)
 	if err != nil {
 		return err
 	}
 	defer engine.Close()
 
+	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /route", handleRoute(engine))
 	mux.HandleFunc("POST /topology/event", handleEvent(engine))
 	mux.HandleFunc("POST /model/swap", handleSwap(engine))
-	mux.HandleFunc("GET /stats", handleStats(engine))
-	mux.HandleFunc("GET /healthz", handleHealthz(engine))
+	mux.HandleFunc("GET /stats", handleStats(engine, start))
+	mux.HandleFunc("GET /healthz", handleHealthz(engine, start))
+	mux.HandleFunc("GET /metrics", handleMetrics(engine))
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
+	// The instrumentation middleware wraps OUTSIDE jsonErrors so it records
+	// the status the client actually receives, including mux rejections
+	// rewritten into the JSON error contract.
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           jsonErrors(mux),
+		Handler:           instrument(engine.Metrics(), jsonErrors(mux)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("gddr-serve: serving %s (%d nodes, %d edges) on %s", *topoName, g.NumNodes(), g.NumEdges(), *addr)
+		slog.Info("serving", "topology", *topoName, "nodes", g.NumNodes(), "edges", g.NumEdges(), "addr", *addr, "pprof", *pprofOn, "trace", *traceOn)
 		if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -124,10 +158,79 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Print("gddr-serve: shutting down")
+	slog.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return server.Shutdown(shutdownCtx)
+}
+
+// knownRoutes bounds the label cardinality of the HTTP metrics: every
+// request path collapses to one of the mounted routes (or "other"), so an
+// attacker probing random URLs cannot grow the registry without bound.
+var knownRoutes = map[string]string{
+	"/route":          "/route",
+	"/topology/event": "/topology/event",
+	"/model/swap":     "/model/swap",
+	"/stats":          "/stats",
+	"/healthz":        "/healthz",
+	"/metrics":        "/metrics",
+}
+
+func routeLabel(path string) string {
+	if r, ok := knownRoutes[path]; ok {
+		return r
+	}
+	if strings.HasPrefix(path, "/debug/pprof/") {
+		return "/debug/pprof/"
+	}
+	return "other"
+}
+
+// statusWriter captures the final status code for the HTTP metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument records per-route request counts (by method and status) and
+// latency histograms, and logs one structured line per request.
+func instrument(reg *metrics.Registry, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		begin := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(begin)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		route := routeLabel(r.URL.Path)
+		reg.Counter("gddr_http_requests_total", "HTTP requests served.",
+			metrics.L("path", route), metrics.L("method", r.Method), metrics.L("status", fmt.Sprintf("%d", sw.status))).Inc()
+		reg.Histogram("gddr_http_request_seconds", "HTTP request latency.", metrics.LatencyBuckets(),
+			metrics.L("path", route)).Observe(elapsed.Seconds())
+		slog.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"elapsed_us", elapsed.Microseconds(),
+			"remote", r.RemoteAddr)
+	})
 }
 
 // writeJSON renders one response; encode failures after the header is
@@ -136,7 +239,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("gddr-serve: encoding response: %v", err)
+		slog.Error("encoding response", "err", err)
 	}
 }
 
@@ -234,7 +337,7 @@ func (w *jsonErrorWriter) flush() {
 	w.Header().Del("Content-Length") // sized for the text body, if set
 	w.ResponseWriter.WriteHeader(w.status)
 	if err := json.NewEncoder(w.ResponseWriter).Encode(map[string]string{"error": msg}); err != nil {
-		log.Printf("gddr-serve: encoding error response: %v", err)
+		slog.Error("encoding error response", "err", err)
 	}
 }
 
@@ -334,13 +437,16 @@ func handleSwap(engine *gddr.Engine) http.HandlerFunc {
 	}
 }
 
-func handleStats(engine *gddr.Engine) http.HandlerFunc {
+func handleStats(engine *gddr.Engine, start time.Time) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, engine.Stats())
+		writeJSON(w, http.StatusOK, map[string]any{
+			"stats":          engine.Stats(),
+			"uptime_seconds": time.Since(start).Seconds(),
+		})
 	}
 }
 
-func handleHealthz(engine *gddr.Engine) http.HandlerFunc {
+func handleHealthz(engine *gddr.Engine, start time.Time) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if engine.Version() == 0 {
 			writeError(w, http.StatusServiceUnavailable, gddr.ErrClosed)
@@ -349,7 +455,17 @@ func handleHealthz(engine *gddr.Engine) http.HandlerFunc {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":           "ok",
 			"topology_version": engine.Version(),
+			"uptime_seconds":   time.Since(start).Seconds(),
 		})
+	}
+}
+
+func handleMetrics(engine *gddr.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := engine.Metrics().WritePrometheus(w); err != nil {
+			slog.Error("writing metrics", "err", err)
+		}
 	}
 }
 

@@ -23,10 +23,15 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"time"
 
 	"gddr"
+	"gddr/internal/metrics"
 	"gddr/internal/policy"
 	"gddr/internal/topo"
 	"gddr/internal/traffic"
@@ -59,6 +64,8 @@ func run() error {
 		resumePath = flag.String("resume", "", "resume from a training checkpoint written by -checkpoint")
 		curvePath  = flag.String("curve", "", "write the learning curve as JSON (default: <checkpoint>.curve.json when checkpointing)")
 		quiet      = flag.Bool("quiet", false, "suppress per-episode progress")
+		metricAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus) and /debug/pprof on this address while training")
+		metricOut  = flag.String("metrics-out", "", "dump final training metrics to this file (.csv for CSV, else JSON)")
 	)
 	flag.Parse()
 	explicit := map[string]bool{}
@@ -86,7 +93,30 @@ func run() error {
 	}
 	scenario := gddr.NewScenario(g, sequences)
 
+	reg := metrics.NewRegistry()
+	if *metricAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Addr: *metricAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "gddr-train: metrics listener:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", *metricAddr)
+	}
+
 	var opts []gddr.Option
+	opts = append(opts, gddr.WithMetrics(reg))
 	if !*quiet {
 		opts = append(opts, gddr.WithProgress(func(p gddr.Progress) {
 			if p.Episode != nil {
@@ -159,7 +189,7 @@ func run() error {
 	}
 
 	cache := gddr.NewOptimalCache()
-	if _, err := gddr.Prewarm(ctx, scenario, cache); err != nil {
+	if _, err := gddr.Prewarm(ctx, scenario, cache, gddr.WithMetrics(reg)); err != nil {
 		return err
 	}
 	if _, err := agent.Train(ctx, scenario, cache); err != nil {
@@ -167,6 +197,9 @@ func run() error {
 			// Ctrl-C: persist the last completed update so the run can be
 			// resumed bit-identically, then exit cleanly.
 			fmt.Printf("\ninterrupted at %d/%d steps\n", agent.TrainedSteps(), agent.Config.TotalSteps)
+			if err := dumpMetrics(reg, *metricOut); err != nil {
+				return err
+			}
 			return persistInterrupted(agent, *ckptPath, *curvePath)
 		}
 		return err
@@ -193,6 +226,9 @@ func run() error {
 			return err
 		}
 		fmt.Printf("learning curve written to %s\n", *curvePath)
+	}
+	if err := dumpMetrics(reg, *metricOut); err != nil {
+		return err
 	}
 
 	f, err := os.Create(*outPath)
@@ -229,6 +265,29 @@ func persistInterrupted(agent *gddr.Agent, ckptPath, curvePath string) error {
 		return err
 	}
 	fmt.Printf("learning curve written to %s\n", curvePath)
+	return nil
+}
+
+// dumpMetrics writes the registry's final snapshot to path — CSV when the
+// extension is .csv, JSON otherwise. An empty path is a no-op.
+func dumpMetrics(reg *metrics.Registry, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if filepath.Ext(path) == ".csv" {
+		err = reg.WriteCSV(f)
+	} else {
+		err = reg.WriteJSON(f)
+	}
+	if err != nil {
+		return fmt.Errorf("writing metrics to %s: %w", path, err)
+	}
+	fmt.Printf("metrics written to %s\n", path)
 	return nil
 }
 

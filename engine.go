@@ -7,6 +7,9 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"gddr/internal/metrics"
 )
 
 // Engine is the live network-operations serving surface: a Router whose
@@ -39,6 +42,35 @@ type Engine struct {
 	// Counters of retired snapshots, folded in as routers are replaced so
 	// Stats stays cumulative across topology and model swaps.
 	retired RouterStats
+
+	// registry is shared with every snapshot's router, so serving counters
+	// and histograms stay cumulative across topology and model swaps; met
+	// adds the engine's own event/swap instruments on top.
+	registry *metrics.Registry
+	met      *engineMetrics
+}
+
+// engineMetrics bundles the engine's registry instruments: event and swap
+// counters plus the timing distributions of the snapshot-replacement
+// machinery (rebuild = building the validated replacement while the old
+// snapshot still serves; drain = waiting out the old snapshot's in-flight
+// batches; apply = the whole Apply call).
+type engineMetrics struct {
+	eventsApplied  *metrics.Counter
+	agentSwaps     *metrics.Counter
+	applySeconds   *metrics.Histogram
+	rebuildSeconds *metrics.Histogram
+	drainSeconds   *metrics.Histogram
+}
+
+func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
+	return &engineMetrics{
+		eventsApplied:  reg.Counter("gddr_engine_events_applied_total", "Topology events successfully applied."),
+		agentSwaps:     reg.Counter("gddr_engine_agent_swaps_total", "Successful hot model swaps."),
+		applySeconds:   reg.Histogram("gddr_engine_event_apply_seconds", "End-to-end Apply duration (validation, rebuild, drain, publish).", metrics.LatencyBuckets()),
+		rebuildSeconds: reg.Histogram("gddr_engine_snapshot_rebuild_seconds", "Building and probe-validating a replacement serving snapshot.", metrics.LatencyBuckets()),
+		drainSeconds:   reg.Histogram("gddr_engine_snapshot_drain_seconds", "Draining in-flight requests off a retiring snapshot.", metrics.LatencyBuckets()),
+	}
 }
 
 // engineState is one immutable serving snapshot. next is closed when the
@@ -78,15 +110,40 @@ type EngineStats struct {
 // re-probe on topology events, keeping event application cheap.
 func NewEngine(agent *Agent, g *Graph, opts ...RouterOption) (*Engine, error) {
 	cfg := resolveRouterConfig(opts)
+	// Pin one registry for the engine's lifetime before the first snapshot
+	// is built: every rebuilt router registers into it idempotently, so the
+	// serving instruments are cumulative across topology and model swaps.
+	if cfg.metrics == nil {
+		cfg.metrics = metrics.NewRegistry()
+	}
 	r, err := newRouter(agent, g, cfg)
 	if err != nil {
 		return nil, err
 	}
 	cfg.history = nil // warm history applies to the first snapshot only
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, registry: cfg.metrics, met: newEngineMetrics(cfg.metrics)}
+	e.registry.GaugeFunc("gddr_engine_topology_version", "Current topology version (0 after Close).", func() float64 {
+		return float64(e.Version())
+	})
+	e.registry.GaugeFunc("gddr_engine_topology_nodes", "Nodes in the topology currently served.", func() float64 {
+		if st := e.state.Load(); st != nil {
+			return float64(st.router.Graph().NumNodes())
+		}
+		return 0
+	})
+	e.registry.GaugeFunc("gddr_engine_topology_edges", "Edges in the topology currently served.", func() float64 {
+		if st := e.state.Load(); st != nil {
+			return float64(st.router.Graph().NumEdges())
+		}
+		return 0
+	})
 	e.state.Store(&engineState{router: r, agent: agent, version: 1, next: make(chan struct{})})
 	return e, nil
 }
+
+// Metrics returns the registry every snapshot's serving instruments and the
+// engine's own event/swap metrics live in — the process's /metrics source.
+func (e *Engine) Metrics() *metrics.Registry { return e.registry }
 
 // Route computes the routing decision for dm on the current topology. It is
 // safe for concurrent use and never fails because of a concurrent Apply or
@@ -153,10 +210,13 @@ func (e *Engine) Apply(ctx context.Context, events ...Event) error {
 	transform := func(g *Graph, hist []*DemandMatrix) (*Graph, []*DemandMatrix, error) {
 		return applyEvents(g, hist, events)
 	}
+	start := time.Now()
 	if err := e.replaceLocked(st, st.agent, transform, skipProbe); err != nil {
 		return err
 	}
+	e.met.applySeconds.Observe(time.Since(start).Seconds())
 	e.eventsApplied.Add(int64(len(events)))
+	e.met.eventsApplied.Add(int64(len(events)))
 	return nil
 }
 
@@ -190,6 +250,7 @@ func (e *Engine) SwapAgent(ctx context.Context, agent *Agent) error {
 		return err
 	}
 	e.agentSwaps.Add(1)
+	e.met.agentSwaps.Inc()
 	return nil
 }
 
@@ -225,6 +286,7 @@ func (e *Engine) SwapCheckpoint(ctx context.Context, r io.Reader) error {
 		return err
 	}
 	e.agentSwaps.Add(1)
+	e.met.agentSwaps.Inc()
 	return nil
 }
 
@@ -252,11 +314,15 @@ func (e *Engine) replaceLocked(old *engineState, agent *Agent, transform func(*G
 	cfg := e.cfg
 	cfg.history = hist
 	cfg.skipProbe = skipProbe
+	rebuildStart := time.Now()
 	r, err := newRouter(agent, g2, cfg)
 	if err != nil {
 		return err
 	}
+	drainStart := time.Now()
+	e.met.rebuildSeconds.Observe(drainStart.Sub(rebuildStart).Seconds())
 	old.router.Close()
+	e.met.drainSeconds.Observe(time.Since(drainStart).Seconds())
 	// Re-transform the now-final history (in-flight batches may have pushed
 	// matrices after the provisional snapshot). A transform that just
 	// succeeded on the same graph cannot fail on a longer history; if it

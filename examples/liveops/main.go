@@ -126,7 +126,20 @@ func run() error {
 	fmt.Printf("%-34s v%-2d %2d nodes %2d edges  MLU %.4f\n",
 		"after hot model swap", st.TopologyVersion, st.Nodes, st.Edges, d.MaxUtilization)
 
-	fmt.Printf("\nserved %d requests in %d batches across %d topology versions (%d events, %d swaps)\n",
-		st.Requests, st.Batches, st.TopologyVersion, st.EventsApplied, st.AgentSwaps)
+	// The engine's metrics registry is cumulative across every topology
+	// rebuild and model swap above — the same registry gddr-serve exposes
+	// on GET /metrics. Counters summarise the whole session; histograms
+	// record the latency distributions of routing and reconfiguration.
+	fmt.Println("\nsession metrics:")
+	for _, p := range engine.Metrics().Snapshot() {
+		switch p.Type {
+		case "counter", "gauge":
+			fmt.Printf("  %-42s %g\n", p.Name, p.Value)
+		case "histogram":
+			if p.Count > 0 {
+				fmt.Printf("  %-42s count=%d mean=%.6f\n", p.Name, p.Count, p.Sum/float64(p.Count))
+			}
+		}
+	}
 	return nil
 }

@@ -100,8 +100,20 @@ func run() error {
 		fmt.Printf("routed demand: max utilisation %.4f with gamma %.2f over %d destinations\n",
 			d.MaxUtilization, d.Gamma, len(d.Splits))
 	}
-	rs := router.Stats()
-	fmt.Printf("router served %d requests in %d batches (%d forward passes)\n",
-		rs.Requests, rs.Batches, rs.ForwardPasses)
+	// 6. Observability: every Router records its serving telemetry in a
+	//    metrics registry (counters, gauges, latency histograms). The
+	//    snapshot below is the same data `gddr-serve` exposes on /metrics
+	//    in Prometheus format.
+	fmt.Println("serving metrics:")
+	for _, p := range router.Metrics().Snapshot() {
+		switch p.Type {
+		case "counter":
+			fmt.Printf("  %-42s %g\n", p.Name, p.Value)
+		case "histogram":
+			if p.Count > 0 {
+				fmt.Printf("  %-42s count=%d mean=%.6f\n", p.Name, p.Count, p.Sum/float64(p.Count))
+			}
+		}
+	}
 	return nil
 }

@@ -10,10 +10,13 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gddr/internal/graph"
 	"gddr/internal/lp"
 	"gddr/internal/mat"
+	"gddr/internal/metrics"
 	"gddr/internal/routing"
 	"gddr/internal/traffic"
 )
@@ -124,6 +127,14 @@ type Interface interface {
 type OptimalCache struct {
 	mu sync.Mutex
 	m  map[cacheKey]float64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	// Registry instruments, nil until Instrument is called.
+	metHits   *metrics.Counter
+	metMisses *metrics.Counter
+	metSolve  *metrics.Histogram
 }
 
 type cacheKey struct {
@@ -135,6 +146,37 @@ type cacheKey struct {
 // NewOptimalCache returns an empty cache.
 func NewOptimalCache() *OptimalCache {
 	return &OptimalCache{m: make(map[cacheKey]float64)}
+}
+
+// CacheStats is a point-in-time summary of an OptimalCache.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Size   int   `json:"size"`
+}
+
+// Stats returns the cache's cumulative hit/miss counters and current size.
+func (c *OptimalCache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Size: c.Len()}
+}
+
+// Instrument registers the cache's telemetry on reg: cumulative hit/miss
+// counters, a solve-latency histogram, and a size gauge. Safe to call
+// concurrently with lookups; calling it again with the same registry is a
+// no-op (registration is idempotent).
+func (c *OptimalCache) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	hits := reg.Counter("gddr_lp_cache_hits_total", "LP optimal-cache hits.")
+	misses := reg.Counter("gddr_lp_cache_misses_total", "LP optimal-cache misses (each one paid for an LP solve).")
+	solve := reg.Histogram("gddr_lp_solve_seconds", "LP solve latency on cache misses.", metrics.LatencyBuckets())
+	reg.GaugeFunc("gddr_lp_cache_entries", "Number of memoised LP optima.", func() float64 {
+		return float64(c.Len())
+	})
+	c.mu.Lock()
+	c.metHits, c.metMisses, c.metSolve = hits, misses, solve
+	c.mu.Unlock()
 }
 
 // Get returns the optimal max utilisation for dm on g, solving the LP on a
@@ -164,20 +206,33 @@ func (c *OptimalCache) get(ctx context.Context, g *graph.Graph, dm *traffic.Dema
 	key := cacheKey{g: g, dm: dm, obj: obj}
 	c.mu.Lock()
 	v, ok := c.m[key]
+	metHits, metMisses, metSolve := c.metHits, c.metMisses, c.metSolve
 	c.mu.Unlock()
 	if ok {
+		c.hits.Add(1)
+		if metHits != nil {
+			metHits.Inc()
+		}
 		return v, nil
+	}
+	c.misses.Add(1)
+	if metMisses != nil {
+		metMisses.Inc()
 	}
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
 	var opt float64
 	var err error
+	solveStart := time.Now()
 	switch obj {
 	case MeanUtilization:
 		opt, _, err = lp.OptimalMeanUtilization(g, dm)
 	default:
 		opt, _, err = lp.OptimalMaxUtilization(g, dm)
+	}
+	if metSolve != nil {
+		metSolve.Observe(time.Since(solveStart).Seconds())
 	}
 	if err != nil {
 		return 0, err

@@ -100,6 +100,7 @@ func (tr *A2CTrainer) step(batch []*sample) error {
 	logStdNode := t.Use(tr.logStd)
 	invStd := t.Exp(t.Scale(logStdNode, -1))
 	var total *ad.Node
+	var pgSum, vSum float64
 	for _, s := range batch {
 		mean, value, err := tr.pol.Forward(t, s.obs)
 		if err != nil {
@@ -115,6 +116,8 @@ func (tr *A2CTrainer) step(batch []*sample) error {
 		adv := (s.adv - meanAdv) / stdAdv
 		pgLoss := t.Scale(logp, -adv)
 		vLoss := t.Square(t.AddScalar(value, -s.ret))
+		pgSum += pgLoss.Value.Data[0]
+		vSum += vLoss.Value.Data[0]
 		entropy := t.Scale(logStdNode, k)
 		loss := t.Add(pgLoss, t.Scale(vLoss, tr.cfg.ValueCoef))
 		loss = t.Add(loss, t.Scale(entropy, -tr.cfg.EntropyCoef))
@@ -134,5 +137,6 @@ func (tr *A2CTrainer) step(batch []*sample) error {
 	}
 	tr.opt.Step()
 	tr.clampLogStd()
+	tr.recordLosses(pgSum/float64(len(batch)), vSum/float64(len(batch)))
 	return nil
 }

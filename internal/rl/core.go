@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"gddr/internal/ad"
 	"gddr/internal/env"
@@ -15,12 +16,30 @@ import (
 
 // Hooks are the training-loop callbacks. OnEpisode fires once per finished
 // episode, in deterministic (worker-order) sequence, before the update that
-// consumes the rollout. OnUpdate fires after every completed update with
+// consumes the rollout. OnUpdateStat fires after every completed update with
+// that update's timing and loss summary — purely informational, it cannot
+// abort training. OnUpdate fires last, after every completed update, with
 // the cumulative timestep count — the only point where the trainer's state
 // is checkpoint-consistent; returning an error aborts training.
 type Hooks struct {
-	OnEpisode func(EpisodeStat)
-	OnUpdate  func(timesteps int) error
+	OnEpisode    func(EpisodeStat)
+	OnUpdateStat func(UpdateStat)
+	OnUpdate     func(timesteps int) error
+}
+
+// UpdateStat summarises one completed gradient update for telemetry:
+// counters at the update boundary, the rollout/update wall-clock split, and
+// the losses of the last minibatch consumed. Losses are raw per-sample
+// means as optimised (policy loss includes its sign; value loss is the
+// unweighted squared error).
+type UpdateStat struct {
+	Timesteps      int     // cumulative environment steps after this update
+	Steps          int     // environment steps consumed by this update's rollout
+	Episodes       int     // cumulative finished episodes after this update
+	PolicyLoss     float64 // last minibatch mean policy (surrogate) loss
+	ValueLoss      float64 // last minibatch mean value loss
+	CollectSeconds float64 // wall-clock spent collecting the rollout
+	UpdateSeconds  float64 // wall-clock spent in the gradient update
 }
 
 // TrainState is the serialisable training state at an update boundary:
@@ -81,6 +100,18 @@ type core struct {
 
 	episodes  int
 	timesteps int
+
+	// Last-minibatch losses, recorded by the algorithm's update rule for
+	// the OnUpdateStat hook.
+	lastPolicyLoss float64
+	lastValueLoss  float64
+}
+
+// recordLosses stores the losses of the minibatch just optimised so run can
+// report them through Hooks.OnUpdateStat.
+func (c *core) recordLosses(policy, value float64) {
+	c.lastPolicyLoss = policy
+	c.lastValueLoss = value
 }
 
 func newCore(algo string, pol Forwarder, lr, initialLogStd float64, seed int64) (*core, error) {
@@ -204,10 +235,12 @@ func (c *core) run(ctx context.Context, e env.Interface, totalSteps, workers, ro
 		if rem := totalSteps - c.timesteps; rem < steps {
 			steps = rem
 		}
+		collectStart := time.Now()
 		ro, err := c.col.collect(steps, c.sample, c.value, g, c.timesteps, c.episodes)
 		if err != nil {
 			return err
 		}
+		collectSeconds := time.Since(collectStart).Seconds()
 		c.timesteps += steps
 		c.episodes += len(ro.stats)
 		if hooks.OnEpisode != nil {
@@ -215,11 +248,24 @@ func (c *core) run(ctx context.Context, e env.Interface, totalSteps, workers, ro
 				hooks.OnEpisode(st)
 			}
 		}
+		updateStart := time.Now()
 		if err := update(ro.samples); err != nil {
 			return err
 		}
+		updateSeconds := time.Since(updateStart).Seconds()
 		if err := nn.CheckFinite(c.Params()); err != nil {
 			return fmt.Errorf("rl: after update at step %d: %w", c.timesteps, err)
+		}
+		if hooks.OnUpdateStat != nil {
+			hooks.OnUpdateStat(UpdateStat{
+				Timesteps:      c.timesteps,
+				Steps:          steps,
+				Episodes:       c.episodes,
+				PolicyLoss:     c.lastPolicyLoss,
+				ValueLoss:      c.lastValueLoss,
+				CollectSeconds: collectSeconds,
+				UpdateSeconds:  updateSeconds,
+			})
 		}
 		if hooks.OnUpdate != nil {
 			if err := hooks.OnUpdate(c.timesteps); err != nil {

@@ -219,6 +219,7 @@ func (tr *Trainer) minibatch(batch []*sample, idx []int, meanAdv, stdAdv float64
 	logStdNode := t.Use(tr.logStd)
 	invStd := t.Exp(t.Scale(logStdNode, -1))
 	var total *ad.Node
+	var pgSum, vSum float64
 	for _, i := range idx {
 		s := batch[i]
 		mean, value, err := tr.pol.Forward(t, s.obs)
@@ -239,6 +240,8 @@ func (tr *Trainer) minibatch(batch []*sample, idx []int, meanAdv, stdAdv float64
 		surr2 := t.Scale(t.ClampConst(ratio, 1-tr.cfg.ClipEps, 1+tr.cfg.ClipEps), adv)
 		pgLoss := t.Scale(t.Min(surr1, surr2), -1)
 		vLoss := t.Square(t.AddScalar(value, -s.ret))
+		pgSum += pgLoss.Value.Data[0]
+		vSum += vLoss.Value.Data[0]
 		// Gaussian entropy = k(logσ + ½log2πe); only logσ carries gradient.
 		entropy := t.Scale(logStdNode, k)
 		loss := t.Add(pgLoss, t.Scale(vLoss, tr.cfg.ValueCoef))
@@ -259,6 +262,7 @@ func (tr *Trainer) minibatch(batch []*sample, idx []int, meanAdv, stdAdv float64
 	}
 	tr.opt.Step()
 	tr.clampLogStd()
+	tr.recordLosses(pgSum/float64(len(idx)), vSum/float64(len(idx)))
 	return nil
 }
 

@@ -1,0 +1,260 @@
+package gddr
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"gddr/internal/metrics"
+	"gddr/internal/traffic"
+)
+
+// TestRouterMetricsMirrorStats: the registry counters must agree with the
+// per-router Stats() atomics, and the latency histograms must have one
+// observation per request.
+func TestRouterMetricsMirrorStats(t *testing.T) {
+	g := Abilene()
+	agent := testRouterAgent(t)
+	reg := metrics.NewRegistry()
+	router, err := NewRouter(agent, g, WithMetricsRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	if router.Metrics() != reg {
+		t.Fatal("Metrics() must return the registry the router was built with")
+	}
+
+	ctx := context.Background()
+	steady := testDemand(g, 1)
+	for i := 0; i < 5; i++ {
+		if _, err := router.Route(ctx, steady); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := router.Stats()
+	check := func(name string, want int64) {
+		t.Helper()
+		if got := reg.Counter(name, "").Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	check("gddr_router_requests_total", st.Requests)
+	check("gddr_router_forward_passes_total", st.ForwardPasses)
+	check("gddr_router_policy_cache_hits_total", st.PolicyCacheHits)
+	check("gddr_router_strategy_cache_hits_total", st.StrategyHits)
+	check("gddr_router_strategy_cache_misses_total", st.StrategyMisses)
+	if st.PolicyCacheHits == 0 {
+		t.Error("steady demand must hit the policy cache")
+	}
+	lat := reg.Histogram("gddr_router_route_latency_seconds", "", metrics.LatencyBuckets())
+	if lat.Count() != st.Requests {
+		t.Errorf("latency histogram has %d observations, want %d", lat.Count(), st.Requests)
+	}
+	qw := reg.Histogram("gddr_router_queue_wait_seconds", "", metrics.LatencyBuckets())
+	if qw.Count() != st.Requests {
+		t.Errorf("queue-wait histogram has %d observations, want %d", qw.Count(), st.Requests)
+	}
+}
+
+// TestRouterTracing: WithTracing attaches the per-request breakdown, cached
+// and uncached paths are distinguishable, and tracing stays off by default.
+func TestRouterTracing(t *testing.T) {
+	g := Abilene()
+	agent := testRouterAgent(t)
+	router, err := NewRouter(agent, g, WithTracing(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	ctx := context.Background()
+	cold, err := router.Route(ctx, testDemand(g, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Trace == nil {
+		t.Fatal("tracing enabled but Decision.Trace is nil")
+	}
+	if cold.Trace.PolicyCacheHit {
+		t.Error("first request cannot hit the policy cache")
+	}
+	if cold.Trace.ForwardNS <= 0 || cold.Trace.ObserveNS <= 0 || cold.Trace.StrategyNS <= 0 {
+		t.Errorf("uncached trace must time observe/forward/strategy, got %+v", cold.Trace)
+	}
+	if cold.Trace.BatchSize < 1 {
+		t.Errorf("batch size = %d, want >= 1", cold.Trace.BatchSize)
+	}
+
+	// The policy cache keys on the demand-history window, so it only hits
+	// once the window is saturated with the steady demand: route until the
+	// window holds nothing else, then the next request must report the hit
+	// and no forward-pass time.
+	for i := 0; i < 2; i++ {
+		if _, err := router.Route(ctx, testDemand(g, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm, err := router.Route(ctx, testDemand(g, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Trace == nil || !warm.Trace.PolicyCacheHit || !warm.Trace.StrategyCacheHit {
+		t.Errorf("steady-state trace must report cache hits, got %+v", warm.Trace)
+	}
+	if warm.Trace.ForwardNS != 0 {
+		t.Errorf("cached request reports %dns of forward time", warm.Trace.ForwardNS)
+	}
+	if warm.Trace.EvaluateNS <= 0 {
+		t.Errorf("every request evaluates its own demand, got %+v", warm.Trace)
+	}
+
+	plain, err := NewRouter(agent, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	d, err := plain.Route(ctx, testDemand(g, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Trace != nil {
+		t.Error("tracing must be off by default")
+	}
+}
+
+// TestEngineMetricsCumulativeAcrossRebuilds: the engine's registry survives
+// topology rebuilds and model swaps — counters keep accumulating where the
+// per-snapshot router atomics restart.
+func TestEngineMetricsCumulativeAcrossRebuilds(t *testing.T) {
+	g := Abilene()
+	agent := testRouterAgent(t)
+	engine, err := NewEngine(agent, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	reg := engine.Metrics()
+	if reg == nil {
+		t.Fatal("engine must always carry a registry")
+	}
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := engine.Route(ctx, testDemand(g, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := engine.Apply(ctx, LinkDown{From: 0, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := engine.Route(ctx, testDemand(g, int64(10+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("gddr_router_requests_total", "").Value(); got != 5 {
+		t.Errorf("requests_total = %d, want 5 (cumulative across the rebuild)", got)
+	}
+	if got := reg.Counter("gddr_engine_events_applied_total", "").Value(); got != 1 {
+		t.Errorf("events_applied_total = %d, want 1", got)
+	}
+	apply := reg.Histogram("gddr_engine_event_apply_seconds", "", metrics.LatencyBuckets())
+	if apply.Count() != 1 {
+		t.Errorf("event-apply histogram has %d observations, want 1", apply.Count())
+	}
+	rebuild := reg.Histogram("gddr_engine_snapshot_rebuild_seconds", "", metrics.LatencyBuckets())
+	if rebuild.Count() < 1 {
+		t.Error("snapshot rebuild was not timed")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE gddr_router_route_latency_seconds histogram",
+		"gddr_router_route_latency_seconds_count 5",
+		"gddr_engine_topology_version 2",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestSharedRegistryConcurrent hammers one registry from serving, topology
+// mutation, and training at the same time — the cross-subsystem race test
+// (run under -race in CI).
+func TestSharedRegistryConcurrent(t *testing.T) {
+	g := Abilene()
+	agent := testRouterAgent(t)
+	reg := metrics.NewRegistry()
+	engine, err := NewEngine(agent, g, WithMetricsRegistry(reg), WithTracing(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	seqs, err := traffic.Sequences(1, g.NumNodes(), 8, 4, traffic.DefaultBimodal(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenario := NewScenario(g, seqs)
+	trainee, err := NewAgent(GNNPolicy, scenario,
+		WithMemory(2), WithGNNSize(8, 1), WithTotalSteps(8), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := engine.Route(ctx, testDemand(g, int64(i%3))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if err := engine.Apply(ctx, CapacityChange{From: 0, To: 1, Capacity: float64(5000 + i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := trainee.Train(ctx, scenario, NewOptimalCache()); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"gddr_router_requests_total 20",
+		"gddr_engine_events_applied_total 3",
+		"# TYPE gddr_train_update_seconds histogram",
+		"# TYPE gddr_lp_solve_seconds histogram",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("shared exposition missing %q", want)
+		}
+	}
+	if got := reg.Counter("gddr_train_steps_total", "").Value(); got != 8 {
+		t.Errorf("train_steps_total = %d, want 8", got)
+	}
+}

@@ -3,6 +3,8 @@ package gddr
 import (
 	"runtime"
 	"time"
+
+	"gddr/internal/metrics"
 )
 
 // RouterOption configures NewRouter and NewEngine: the serving-side option
@@ -27,6 +29,16 @@ type routerConfig struct {
 	// baseline the cache speedup gate and the golden decision test compare
 	// against.
 	noCache bool
+	// metrics is the registry serving instruments register in. Nil selects a
+	// private per-router registry; the Engine always sets it so counters and
+	// histograms stay cumulative across snapshot rebuilds.
+	metrics *metrics.Registry
+	// tracing attaches a per-request timing breakdown to every Decision.
+	tracing bool
+	// noMetrics disables instrumentation entirely. Benchmark only: the bare
+	// path is the baseline the instrumentation-overhead CI gate compares
+	// against.
+	noMetrics bool
 }
 
 // WithRouterWorkers sets the number of serving goroutines (default
@@ -57,6 +69,24 @@ func WithWarmHistory(dms ...*DemandMatrix) RouterOption {
 // the fan-out overhead outweighs the win.
 func WithEvalWorkers(n int) RouterOption {
 	return func(c *routerConfig) { c.evalWorkers = n }
+}
+
+// WithMetricsRegistry makes the router (or engine) register its serving
+// instruments — request/batch/forward-pass counters, route-latency,
+// queue-wait, and batch-size histograms — in reg instead of a private
+// registry, so one registry can expose every subsystem of a process on a
+// single /metrics endpoint. Instruments are registered idempotently by
+// name: routers sharing a registry share counters.
+func WithMetricsRegistry(reg *metrics.Registry) RouterOption {
+	return func(c *routerConfig) { c.metrics = reg }
+}
+
+// WithTracing attaches a per-request RouteTrace to every Decision: the
+// queue-wait, observe, forward, strategy, and evaluate timings plus which
+// fast-path caches answered. Off by default; the fast path pays no timing
+// cost while disabled.
+func WithTracing(on bool) RouterOption {
+	return func(c *routerConfig) { c.tracing = on }
 }
 
 // WithBatchWindow makes a serving worker that has picked up a request wait
@@ -132,6 +162,7 @@ type settings struct {
 	exp      ExperimentOptions
 	progress ProgressFunc
 	workers  int
+	metrics  *metrics.Registry
 	cfgOnly  []string
 }
 
@@ -344,4 +375,13 @@ func WithProgress(fn ProgressFunc) Option {
 // worker pool (Prewarm). Zero or negative selects GOMAXPROCS.
 func WithWorkers(n int) Option {
 	return func(s *settings) { s.workers = n }
+}
+
+// WithMetrics installs a metrics registry on the operation: NewAgent
+// records per-update training metrics (steps, episode reward, policy and
+// value loss, update and checkpoint-write latency) into it during Train,
+// and Prewarm instruments the LP cache (solve latency, hit/miss counters)
+// with it. Serving uses the RouterOption WithMetricsRegistry instead.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *settings) { s.metrics = reg }
 }

@@ -25,6 +25,9 @@ func Prewarm(ctx context.Context, s *Scenario, cache *OptimalCache, opts ...Opti
 		return 0, fmt.Errorf("gddr: prewarm needs a cache to fill")
 	}
 	set := newSettings(GNNPolicy).apply(opts)
+	if set.metrics != nil {
+		cache.Instrument(set.metrics)
+	}
 	workers := set.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

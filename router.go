@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gddr/internal/env"
+	"gddr/internal/metrics"
 	"gddr/internal/policy"
 	"gddr/internal/rl"
 	"gddr/internal/routing"
@@ -49,6 +50,40 @@ type Decision struct {
 	Utilization []float64 `json:"utilization"`
 	// MaxUtilization is the maximum link utilisation, the paper's objective.
 	MaxUtilization float64 `json:"max_utilization"`
+	// Trace is the per-request timing breakdown, attached only when the
+	// router was built with WithTracing.
+	Trace *RouteTrace `json:"trace,omitempty"`
+}
+
+// RouteTrace is the opt-in (WithTracing) per-request timing breakdown: how
+// long the request waited for a serving worker, what the batch it joined
+// spent in each serving stage, and which fast-path caches answered. The
+// observe/forward/strategy stages are shared by the whole batch (one
+// observation and forward pass serve every member); queue-wait and evaluate
+// are this request's own. A policy-cache hit zeroes observe and forward; a
+// strategy-cache hit zeroes strategy — this is how the ~4µs cached and
+// ~340µs uncached paths are individually attributable.
+type RouteTrace struct {
+	// BatchSize is the number of requests served by this request's batch.
+	BatchSize int `json:"batch_size"`
+	// QueueWaitNS is the time from Route submission to batch pickup.
+	QueueWaitNS int64 `json:"queue_wait_ns"`
+	// ObserveNS is the demand-history observation build (0 on a policy-cache
+	// hit).
+	ObserveNS int64 `json:"observe_ns"`
+	// ForwardNS covers the policy forward pass(es) (0 on a policy-cache hit).
+	ForwardNS int64 `json:"forward_ns"`
+	// StrategyNS is the softmin routing-strategy build (0 on a strategy-cache
+	// hit).
+	StrategyNS int64 `json:"strategy_ns"`
+	// EvaluateNS is this request's demand propagation and Decision assembly.
+	EvaluateNS int64 `json:"evaluate_ns"`
+	// PolicyCacheHit reports whether the batch reused the cached policy
+	// output (no observation, no forward pass).
+	PolicyCacheHit bool `json:"policy_cache_hit"`
+	// StrategyCacheHit reports whether the batch reused the cached routing
+	// strategy.
+	StrategyCacheHit bool `json:"strategy_cache_hit"`
 }
 
 // RouterStats counts serving activity since the router started.
@@ -131,6 +166,44 @@ type Router struct {
 	policyCacheHits atomic.Int64
 	strategyHits    atomic.Int64
 	strategyMisses  atomic.Int64
+
+	// registry/met are the observability surface: the counters above stay
+	// the per-router Stats() source of truth (the Engine folds them across
+	// snapshots), while met mirrors them into registry instruments — which a
+	// shared registry keeps cumulative across Engine snapshot rebuilds — and
+	// adds the latency/queue-wait/batch-size histograms. met is nil only
+	// under the benchmark-only noMetrics config.
+	registry *metrics.Registry
+	met      *routerMetrics
+	tracing  bool
+}
+
+// routerMetrics bundles the router's registry instruments. Names follow the
+// gddr_<subsystem>_<name>_<unit> contract pinned in DESIGN.md.
+type routerMetrics struct {
+	requests        *metrics.Counter
+	batches         *metrics.Counter
+	forwardPasses   *metrics.Counter
+	policyCacheHits *metrics.Counter
+	strategyHits    *metrics.Counter
+	strategyMisses  *metrics.Counter
+	routeLatency    *metrics.Histogram
+	queueWait       *metrics.Histogram
+	batchSize       *metrics.Histogram
+}
+
+func newRouterMetrics(reg *metrics.Registry) *routerMetrics {
+	return &routerMetrics{
+		requests:        reg.Counter("gddr_router_requests_total", "Demand matrices routed."),
+		batches:         reg.Counter("gddr_router_batches_total", "Request batches served; requests/batches is the mean batch size."),
+		forwardPasses:   reg.Counter("gddr_router_forward_passes_total", "Policy forward passes run (cache hits run none)."),
+		policyCacheHits: reg.Counter("gddr_router_policy_cache_hits_total", "Batches answered from the policy-output cache."),
+		strategyHits:    reg.Counter("gddr_router_strategy_cache_hits_total", "Batches that reused the cached routing strategy."),
+		strategyMisses:  reg.Counter("gddr_router_strategy_cache_misses_total", "Batches that built a fresh routing strategy."),
+		routeLatency:    reg.Histogram("gddr_router_route_latency_seconds", "End-to-end Route latency (queue wait included).", metrics.LatencyBuckets()),
+		queueWait:       reg.Histogram("gddr_router_queue_wait_seconds", "Time a request waited for a serving worker.", metrics.LatencyBuckets()),
+		batchSize:       reg.Histogram("gddr_router_batch_size", "Requests sharing one forward pass.", metrics.LinearBuckets(1, 1, 16)),
+	}
 }
 
 // policyOutput is one policy-output cache entry: the deterministic
@@ -164,9 +237,10 @@ func grow(buf []float64, n int) []float64 {
 }
 
 type routeRequest struct {
-	ctx  context.Context
-	dm   *DemandMatrix
-	resp chan routeResponse
+	ctx      context.Context
+	dm       *DemandMatrix
+	enqueued time.Time // set only when instrumented (met != nil or tracing)
+	resp     chan routeResponse
 }
 
 type routeResponse struct {
@@ -214,6 +288,14 @@ func newRouter(agent *Agent, g *Graph, cfg routerConfig) (*Router, error) {
 	}
 	r.observers.New = func() any { return new(env.Observer) }
 	r.scratch.New = func() any { return new(evalScratch) }
+	r.tracing = cfg.tracing
+	if !cfg.noMetrics {
+		r.registry = cfg.metrics
+		if r.registry == nil {
+			r.registry = metrics.NewRegistry()
+		}
+		r.met = newRouterMetrics(r.registry)
+	}
 	for _, dm := range cfg.history {
 		if dm == nil || dm.N != g.NumNodes() {
 			return nil, fmt.Errorf("gddr: warm-history matrix does not match the %d-node topology", g.NumNodes())
@@ -222,14 +304,13 @@ func newRouter(agent *Agent, g *Graph, cfg routerConfig) (*Router, error) {
 	}
 	// Probe: one decision on an empty demand matrix catches policies whose
 	// shape is bound to a different topology before serving starts. decide
-	// bypasses the caches, so the probe leaves them cold and the serving
-	// counters honest (a cold-start batch would otherwise hit the probe's
-	// zero-padded window and skip its first real forward pass).
+	// bypasses the caches and returns its forward-pass count to the caller,
+	// so the probe leaves the caches cold and the serving counters honest
+	// (the probe's passes are simply never added).
 	if !cfg.skipProbe {
-		if _, _, err := r.decide(r.snapshotHistory(r.zero)); err != nil {
+		if _, _, _, err := r.decide(r.snapshotHistory(r.zero), nil); err != nil {
 			return nil, fmt.Errorf("gddr: agent incompatible with topology: %w", err)
 		}
-		r.forwardPasses.Store(0) // the probe does not count as serving activity
 	}
 	r.wg.Add(cfg.workers)
 	for w := 0; w < cfg.workers; w++ {
@@ -259,6 +340,9 @@ func (r *Router) Route(ctx context.Context, dm *DemandMatrix) (*Decision, error)
 		return nil, fmt.Errorf("gddr: demand matrix size %d != %d topology nodes", dm.N, r.g.NumNodes())
 	}
 	req := &routeRequest{ctx: ctx, dm: dm, resp: make(chan routeResponse, 1)}
+	if r.met != nil || r.tracing {
+		req.enqueued = time.Now()
+	}
 	select {
 	case r.reqCh <- req:
 	case <-r.quit:
@@ -289,6 +373,12 @@ func (r *Router) Stats() RouterStats {
 // Graph returns the frozen topology the router serves. The graph is shared,
 // not copied; it must not be modified.
 func (r *Router) Graph() *Graph { return r.g }
+
+// Metrics returns the registry the router's instruments live in: the
+// private per-router one by default, or the registry passed with
+// WithMetricsRegistry. Expose it with metrics.Registry.WritePrometheus (the
+// gddr-serve /metrics endpoint) or snapshot it with Snapshot/WriteJSON.
+func (r *Router) Metrics() *metrics.Registry { return r.registry }
 
 // Close stops the serving workers and waits for them to exit. Route calls
 // not yet accepted by a worker return ErrClosed; a request already being
@@ -386,6 +476,16 @@ func (r *Router) snapshotHistory(fallback *DemandMatrix) []*DemandMatrix {
 	return env.HistoryWindow(r.history, r.ecfg.Memory, fallback)
 }
 
+// batchTrace collects the shared per-batch stage timings when tracing is
+// enabled; nil otherwise, in which case the stages pay no timing cost.
+type batchTrace struct {
+	observeNS        int64
+	forwardNS        int64
+	strategyNS       int64
+	policyCacheHit   bool
+	strategyCacheHit bool
+}
+
 // serve answers one batch: one shared observation and forward pass, then a
 // per-request routing evaluation.
 func (r *Router) serve(batch []*routeRequest) {
@@ -403,6 +503,18 @@ func (r *Router) serve(batch []*routeRequest) {
 	}
 	r.batches.Add(1)
 	r.requests.Add(int64(len(live)))
+	var picked time.Time
+	if r.met != nil || r.tracing {
+		picked = time.Now()
+	}
+	if r.met != nil {
+		r.met.batches.Inc()
+		r.met.requests.Add(int64(len(live)))
+		r.met.batchSize.Observe(float64(len(live)))
+		for _, req := range live {
+			r.met.queueWait.Observe(picked.Sub(req.enqueued).Seconds())
+		}
+	}
 
 	// All requests of the batch observe the pre-batch history (matching the
 	// training-time contract that a decision for time t sees demands up to
@@ -417,7 +529,11 @@ func (r *Router) serve(batch []*routeRequest) {
 	}
 	r.mu.Unlock()
 
-	weights, gamma, err := r.decideCached(hist)
+	var bt *batchTrace
+	if r.tracing {
+		bt = &batchTrace{}
+	}
+	weights, gamma, err := r.decideCached(hist, bt)
 	if err != nil {
 		for _, req := range live {
 			req.resp <- routeResponse{err: err}
@@ -429,7 +545,7 @@ func (r *Router) serve(batch []*routeRequest) {
 	// are shared across the batch — and, via the strategy cache, across
 	// every batch for which the policy keeps emitting these weights; each
 	// request pays only for propagating its own demand through them.
-	strat, err := r.strategyFor(weights, gamma)
+	strat, err := r.strategyFor(weights, gamma, bt)
 	if err != nil {
 		for _, req := range live {
 			req.resp <- routeResponse{err: err}
@@ -437,7 +553,26 @@ func (r *Router) serve(batch []*routeRequest) {
 		return
 	}
 	for _, req := range live {
+		var evalStart time.Time
+		if bt != nil {
+			evalStart = time.Now()
+		}
 		d, err := r.evaluate(req.dm, strat)
+		if d != nil && bt != nil {
+			d.Trace = &RouteTrace{
+				BatchSize:        len(live),
+				QueueWaitNS:      picked.Sub(req.enqueued).Nanoseconds(),
+				ObserveNS:        bt.observeNS,
+				ForwardNS:        bt.forwardNS,
+				StrategyNS:       bt.strategyNS,
+				EvaluateNS:       time.Since(evalStart).Nanoseconds(),
+				PolicyCacheHit:   bt.policyCacheHit,
+				StrategyCacheHit: bt.strategyCacheHit,
+			}
+		}
+		if r.met != nil {
+			r.met.routeLatency.Observe(time.Since(req.enqueued).Seconds())
+		}
 		req.resp <- routeResponse{d: d, err: err}
 	}
 }
@@ -449,18 +584,28 @@ func (r *Router) serve(batch []*routeRequest) {
 // gamma) is returned without building an observation or running a forward
 // pass. The returned slices are shared with the cache and must be treated
 // as read-only — every consumer copies before handing them to callers.
-func (r *Router) decideCached(hist []*DemandMatrix) ([]float64, float64, error) {
+func (r *Router) decideCached(hist []*DemandMatrix, bt *batchTrace) ([]float64, float64, error) {
 	if !r.noCache {
 		r.cacheMu.Lock()
 		if c := r.lastOut; c != nil && windowsEqual(c.window, hist) {
 			weights, gamma := c.weights, c.gamma
 			r.cacheMu.Unlock()
 			r.policyCacheHits.Add(1)
+			if r.met != nil {
+				r.met.policyCacheHits.Inc()
+			}
+			if bt != nil {
+				bt.policyCacheHit = true
+			}
 			return weights, gamma, nil
 		}
 		r.cacheMu.Unlock()
 	}
-	weights, gamma, err := r.decide(hist)
+	weights, gamma, passes, err := r.decide(hist, bt)
+	r.forwardPasses.Add(int64(passes))
+	if r.met != nil {
+		r.met.forwardPasses.Add(int64(passes))
+	}
 	if err != nil {
 		return nil, 0, err
 	}
@@ -491,40 +636,79 @@ func windowsEqual(a, b []*DemandMatrix) bool {
 // the cached one when the policy output is unchanged. With caching off it
 // builds a fresh per-batch strategy, which still shares ratios within the
 // batch (the pre-cache behaviour).
-func (r *Router) strategyFor(weights []float64, gamma float64) (*routing.Strategy, error) {
+func (r *Router) strategyFor(weights []float64, gamma float64, bt *batchTrace) (*routing.Strategy, error) {
 	if r.noCache {
 		r.strategyMisses.Add(1)
-		return routing.NewStrategy(r.g, weights, gamma)
+		if r.met != nil {
+			r.met.strategyMisses.Inc()
+		}
+		return r.buildStrategy(weights, gamma, bt)
 	}
 	r.cacheMu.Lock()
 	if s := r.strategy; s != nil && s.Matches(weights, gamma) {
 		r.cacheMu.Unlock()
 		r.strategyHits.Add(1)
+		if r.met != nil {
+			r.met.strategyHits.Inc()
+		}
+		if bt != nil {
+			bt.strategyCacheHit = true
+		}
 		return s, nil
 	}
 	r.cacheMu.Unlock()
-	s, err := routing.NewStrategy(r.g, weights, gamma)
+	s, err := r.buildStrategy(weights, gamma, bt)
 	if err != nil {
 		return nil, err
 	}
 	r.strategyMisses.Add(1)
+	if r.met != nil {
+		r.met.strategyMisses.Inc()
+	}
 	r.cacheMu.Lock()
 	r.strategy = s
 	r.cacheMu.Unlock()
 	return s, nil
 }
 
+// buildStrategy constructs a fresh routing strategy, timing it into the
+// batch trace when tracing.
+func (r *Router) buildStrategy(weights []float64, gamma float64, bt *batchTrace) (*routing.Strategy, error) {
+	var start time.Time
+	if bt != nil {
+		start = time.Now()
+	}
+	s, err := routing.NewStrategy(r.g, weights, gamma)
+	if bt != nil {
+		bt.strategyNS = time.Since(start).Nanoseconds()
+	}
+	return s, err
+}
+
 // decide runs the policy on the demand history and returns the edge
-// weights and softmin spread of the resulting routing strategy. The
-// observation is built into a pooled Observer's buffers: MeanAction copies
-// what it needs, so the buffers are free for reuse when decide returns.
-func (r *Router) decide(hist []*DemandMatrix) ([]float64, float64, error) {
+// weights, softmin spread, and number of forward passes run (counted by the
+// caller, so the construction-time probe never pollutes serving counters).
+// The observation is built into a pooled Observer's buffers: MeanAction
+// copies what it needs, so the buffers are free for reuse when decide
+// returns. With bt non-nil the observation build and forward passes are
+// timed into it.
+func (r *Router) decide(hist []*DemandMatrix, bt *batchTrace) ([]float64, float64, int, error) {
 	ob := r.observers.Get().(*env.Observer)
 	defer r.observers.Put(ob)
+	var stageStart time.Time
+	if bt != nil {
+		stageStart = time.Now()
+	}
 	obs, err := ob.Observe(r.g, hist)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
+	if bt != nil {
+		now := time.Now()
+		bt.observeNS = now.Sub(stageStart).Nanoseconds()
+		stageStart = now
+	}
+	passes := 0
 	ne := r.g.NumEdges()
 	if r.agent.Kind == policy.GNNIterativeKind {
 		// The iterative policy sets one edge per forward pass and emits γ
@@ -535,12 +719,12 @@ func (r *Router) decide(hist []*DemandMatrix) ([]float64, float64, error) {
 		for ei := 0; ei < ne; ei++ {
 			obs.SetIterativeState(pending, set, ei)
 			action, err := rl.MeanAction(r.agent.policy, obs)
-			r.forwardPasses.Add(1)
+			passes++
 			if err != nil {
-				return nil, 0, err
+				return nil, 0, passes, err
 			}
 			if len(action) != 2 {
-				return nil, 0, fmt.Errorf("gddr: iterative policy emitted %d action values, want 2", len(action))
+				return nil, 0, passes, fmt.Errorf("gddr: iterative policy emitted %d action values, want 2", len(action))
 			}
 			// Clamp to [-1,1] exactly as the training environment does
 			// before storing pending values, so the per-edge observations
@@ -555,21 +739,27 @@ func (r *Router) decide(hist []*DemandMatrix) ([]float64, float64, error) {
 		for ei, a := range pending {
 			weights[ei] = env.WeightFromAction(r.base[ei], r.ecfg.WeightScale, a)
 		}
-		return weights, gamma, nil
+		if bt != nil {
+			bt.forwardNS = time.Since(stageStart).Nanoseconds()
+		}
+		return weights, gamma, passes, nil
 	}
 	action, err := rl.MeanAction(r.agent.policy, obs)
-	r.forwardPasses.Add(1)
+	passes++
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, passes, err
 	}
 	if len(action) != ne {
-		return nil, 0, fmt.Errorf("gddr: policy emitted %d action values for %d edges", len(action), ne)
+		return nil, 0, passes, fmt.Errorf("gddr: policy emitted %d action values for %d edges", len(action), ne)
 	}
 	weights := make([]float64, ne)
 	for ei, a := range action {
 		weights[ei] = env.WeightFromAction(r.base[ei], r.ecfg.WeightScale, a)
 	}
-	return weights, r.ecfg.Gamma, nil
+	if bt != nil {
+		bt.forwardNS = time.Since(stageStart).Nanoseconds()
+	}
+	return weights, r.ecfg.Gamma, passes, nil
 }
 
 // evaluate derives the full Decision for dm under the batch's routing

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"gddr/internal/env"
+	"gddr/internal/metrics"
 	"gddr/internal/nn"
 	"gddr/internal/policy"
 	"gddr/internal/rl"
@@ -107,11 +109,52 @@ type Agent struct {
 	policy   policy.Policy
 	trainer  rl.Algorithm
 	progress ProgressFunc
+	registry *metrics.Registry // nil unless WithMetrics was given
+	met      *trainMetrics
 
 	curve   []EpisodeStat  // cumulative learning curve across Train calls
 	pending *rl.TrainState // checkpoint state awaiting the next Train call
 	digest  string         // fingerprint of the scenario last trained on
 }
+
+// trainMetrics holds the training-loop instruments. All names follow the
+// gddr_train_* contract (see DESIGN.md).
+type trainMetrics struct {
+	steps          *metrics.Counter
+	updates        *metrics.Counter
+	episodes       *metrics.Counter
+	episodeReward  *metrics.Gauge
+	episodeRatio   *metrics.Gauge
+	stepsPerSecond *metrics.Gauge
+	policyLoss     *metrics.Gauge
+	valueLoss      *metrics.Gauge
+	collectSeconds *metrics.Histogram
+	updateSeconds  *metrics.Histogram
+	ckptSeconds    *metrics.Histogram
+}
+
+func newTrainMetrics(reg *metrics.Registry) *trainMetrics {
+	// Collect/update spans run milliseconds to minutes; start the latency
+	// buckets at 1ms instead of the serving default's 1µs.
+	spanBuckets := metrics.ExpBuckets(1e-3, 2, 20)
+	return &trainMetrics{
+		steps:          reg.Counter("gddr_train_steps_total", "Cumulative environment steps trained."),
+		updates:        reg.Counter("gddr_train_updates_total", "Completed gradient updates."),
+		episodes:       reg.Counter("gddr_train_episodes_total", "Finished training episodes."),
+		episodeReward:  reg.Gauge("gddr_train_episode_reward", "Total reward of the last finished episode."),
+		episodeRatio:   reg.Gauge("gddr_train_episode_mean_ratio", "Mean U_agent/U_opt of the last finished episode."),
+		stepsPerSecond: reg.Gauge("gddr_train_steps_per_second", "Environment-step throughput of the last update (collect + update wall clock)."),
+		policyLoss:     reg.Gauge("gddr_train_policy_loss", "Policy (surrogate) loss of the last minibatch."),
+		valueLoss:      reg.Gauge("gddr_train_value_loss", "Value loss of the last minibatch."),
+		collectSeconds: reg.Histogram("gddr_train_collect_seconds", "Rollout collection wall-clock per update.", spanBuckets),
+		updateSeconds:  reg.Histogram("gddr_train_update_seconds", "Gradient update wall-clock per update.", spanBuckets),
+		ckptSeconds:    reg.Histogram("gddr_train_checkpoint_write_seconds", "Checkpoint write latency.", spanBuckets),
+	}
+}
+
+// Metrics returns the registry the agent records training telemetry into,
+// or nil when the agent was built without WithMetrics.
+func (a *Agent) Metrics() *metrics.Registry { return a.registry }
 
 // NewAgent constructs an untrained agent of the given architecture, with
 // options layered over DefaultTrainConfig(kind) — e.g.
@@ -172,13 +215,18 @@ func NewAgent(kind PolicyKind, scenario *Scenario, opts ...Option) (*Agent, erro
 	if err != nil {
 		return nil, err
 	}
-	return &Agent{
+	a := &Agent{
 		Kind:     cfg.Policy,
 		Config:   cfg,
 		policy:   pol,
 		trainer:  trainer,
 		progress: s.progress,
-	}, nil
+		registry: s.metrics,
+	}
+	if a.registry != nil {
+		a.met = newTrainMetrics(a.registry)
+	}
+	return a, nil
 }
 
 func countItems(s *Scenario) int {
@@ -261,6 +309,9 @@ func (a *Agent) Train(ctx context.Context, scenario *Scenario, cache *OptimalCac
 	if cache == nil {
 		cache = NewOptimalCache()
 	}
+	if a.registry != nil {
+		cache.Instrument(a.registry)
+	}
 	menv, err := a.trainEnv(ctx, scenario, cache)
 	if err != nil {
 		return nil, err
@@ -279,6 +330,11 @@ func (a *Agent) Train(ctx context.Context, scenario *Scenario, cache *OptimalCac
 	hooks := rl.Hooks{
 		OnEpisode: func(st rl.EpisodeStat) {
 			a.curve = append(a.curve, st)
+			if a.met != nil {
+				a.met.episodes.Inc()
+				a.met.episodeReward.Set(st.TotalReward)
+				a.met.episodeRatio.Set(st.MeanRatio)
+			}
 			if a.progress != nil {
 				a.progress(Progress{
 					Stage:   "train",
@@ -289,13 +345,31 @@ func (a *Agent) Train(ctx context.Context, scenario *Scenario, cache *OptimalCac
 			}
 		},
 	}
+	if a.met != nil {
+		hooks.OnUpdateStat = func(us rl.UpdateStat) {
+			a.met.steps.Add(int64(us.Steps))
+			a.met.updates.Inc()
+			a.met.policyLoss.Set(us.PolicyLoss)
+			a.met.valueLoss.Set(us.ValueLoss)
+			a.met.collectSeconds.Observe(us.CollectSeconds)
+			a.met.updateSeconds.Observe(us.UpdateSeconds)
+			if total := us.CollectSeconds + us.UpdateSeconds; total > 0 {
+				a.met.stepsPerSecond.Set(float64(us.Steps) / total)
+			}
+		}
+	}
 	if a.Config.CheckpointEvery > 0 {
 		hooks.OnUpdate = func(step int) error {
 			if step-lastCkpt < a.Config.CheckpointEvery {
 				return nil
 			}
 			lastCkpt = step
-			return a.WriteCheckpointFile(a.Config.CheckpointPath)
+			start := time.Now()
+			werr := a.WriteCheckpointFile(a.Config.CheckpointPath)
+			if a.met != nil {
+				a.met.ckptSeconds.Observe(time.Since(start).Seconds())
+			}
+			return werr
 		}
 	}
 	err = a.trainer.TrainWorkers(ctx, menv, a.Config.TotalSteps, workers, hooks)

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces context discipline (the PR 2 contract: cancellation is
+// honoured everywhere): a function that accepts a context.Context must not
+// sever the cancellation chain by minting a fresh root context, and must
+// actually forward its ctx when it calls context-accepting callees.
+//
+// Two rules:
+//
+//  1. No context.Background()/context.TODO() calls inside a function that
+//     has a Context parameter. The one sanctioned idiom is the nil-guard
+//     `if ctx == nil { ctx = context.Background() }` that makes an API
+//     nil-tolerant — it substitutes a root only when the caller passed
+//     nothing to sever.
+//  2. A named, non-blank Context parameter that is never referenced while
+//     the body calls context-accepting callees means the callees run on
+//     some other context; the parameter is decorative and cancellation is
+//     broken.
+//
+// Closures are attributed to the innermost function literal or declaration
+// that declares its own Context parameter; a closure without one inherits
+// the enclosing function's ctx and is checked as part of it.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "functions accepting a context.Context must forward it, not mint context.Background()/TODO()",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				p.checkCtxFunc(fn.Type, fn.Body, fn.Name.Pos(), fn.Name.Name)
+			case *ast.FuncLit:
+				p.checkCtxFunc(fn.Type, fn.Body, fn.Pos(), "function literal")
+			}
+			return true
+		})
+	}
+}
+
+// ctxParamVars returns the *types.Var of every named context.Context
+// parameter of the function type.
+func (p *Pass) ctxParamVars(ft *ast.FuncType) []*types.Var {
+	if ft.Params == nil {
+		return nil
+	}
+	var vars []*types.Var
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj, ok := p.Pkg.Info.Defs[name].(*types.Var)
+			if ok && isContextType(obj.Type()) {
+				vars = append(vars, obj)
+			}
+		}
+	}
+	return vars
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isContextRoot reports whether the call mints a fresh root context, and
+// which constructor it used.
+func (p *Pass) isContextRoot(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if p.pkgNameOf(sel.X) != "context" {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Background", "TODO":
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+func (p *Pass) checkCtxFunc(ft *ast.FuncType, body *ast.BlockStmt, pos token.Pos, name string) {
+	if body == nil {
+		return
+	}
+	ctxVars := p.ctxParamVars(ft)
+	if len(ctxVars) == 0 {
+		return
+	}
+	isCtxVar := func(e ast.Expr) *types.Var {
+		ident, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := p.Pkg.Info.Uses[ident]
+		for _, v := range ctxVars {
+			if obj == v {
+				return v
+			}
+		}
+		return nil
+	}
+
+	// Pass 1: sanction root-context calls inside the nil-guard idiom
+	// `if ctx == nil { ctx = context.Background() }`.
+	sanctioned := map[token.Pos]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			return true
+		}
+		var guarded *types.Var
+		switch {
+		case isNil(cond.Y):
+			guarded = isCtxVar(cond.X)
+		case isNil(cond.X):
+			guarded = isCtxVar(cond.Y)
+		}
+		if guarded == nil {
+			return true
+		}
+		for _, stmt := range ifStmt.Body.List {
+			assign, ok := stmt.(*ast.AssignStmt)
+			if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				continue
+			}
+			if isCtxVar(assign.Lhs[0]) != guarded {
+				continue
+			}
+			if call, ok := assign.Rhs[0].(*ast.CallExpr); ok {
+				if _, root := p.isContextRoot(call); root {
+					sanctioned[call.Pos()] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: walk the body — skipping nested functions that declare their
+	// own Context parameter, which own their subtree — flagging fresh root
+	// contexts, and tracking whether ctx is ever referenced and whether any
+	// callee accepts a Context.
+	used := false
+	ctxCallee := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if len(p.ctxParamVars(n.Type)) > 0 {
+				return false
+			}
+		case *ast.Ident:
+			obj := p.Pkg.Info.Uses[n]
+			for _, v := range ctxVars {
+				if obj == v {
+					used = true
+				}
+			}
+		case *ast.CallExpr:
+			if ctor, root := p.isContextRoot(n); root {
+				if !sanctioned[n.Pos()] {
+					p.Reportf(n.Pos(), "%s accepts a Context but mints context.%s(), severing cancellation; forward its ctx parameter instead", name, ctor)
+				}
+				return true
+			}
+			if sig, ok := p.Pkg.Info.TypeOf(n.Fun).(*types.Signature); ok {
+				for i := 0; i < sig.Params().Len(); i++ {
+					if isContextType(sig.Params().At(i).Type()) {
+						ctxCallee = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if !used && ctxCallee {
+		p.Reportf(pos, "%s never uses its Context parameter but calls context-accepting callees; forward ctx so cancellation propagates", name)
+	}
+}
+
+func isNil(e ast.Expr) bool {
+	ident, ok := e.(*ast.Ident)
+	return ok && ident.Name == "nil"
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the DESIGN.md training-determinism contract inside
+// the deterministic packages (Config.DeterministicPkgs/Files): results must
+// be a pure function of the (seed, workers) pair, and every random stream
+// must be serialisable so checkpoint/resume stays bit-exact.
+//
+// In non-test files it forbids:
+//
+//   - math/rand.NewSource (and every other non-sanctioned math/rand
+//     member): the standard Source hides its state, which breaks
+//     checkpointing. rand.New over an internal/rng Source is the sanctioned
+//     way to reach the math/rand draw helpers.
+//   - global draws (rand.Intn, rand.Float64, rand.Shuffle, ...): they pull
+//     from the unseeded process-wide source.
+//   - time.Now/Since/Until: wall-clock reads. Metrics timing is sanctioned
+//     via //gddr:allow determinism <reason>.
+//   - floating-point accumulation inside map iteration: map order is
+//     randomised per run, and float arithmetic is not associative.
+//
+// Test files are held only to the global-draw rule: an explicitly seeded
+// local source is already reproducible, and tests never checkpoint.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "deterministic packages must use serialisable internal/rng streams, avoid wall-clock reads, and avoid map-order float accumulation",
+	Run:  runDeterminism,
+}
+
+// randSanctioned are the math/rand members usable without breaking the
+// serialisable-stream contract: types, and constructors that wrap an
+// explicit caller-provided source.
+var randSanctioned = map[string]bool{
+	"New":      true, // rand.New(src) over an internal/rng Source
+	"Rand":     true,
+	"Source":   true,
+	"Source64": true,
+	"NewZipf":  true, // draws through the *Rand it is given
+	"Zipf":     true,
+}
+
+func runDeterminism(p *Pass) {
+	fileScope := p.Cfg.deterministicFileScope(p.Pkg.BasePath)
+	pkgScoped := contains(p.Cfg.DeterministicPkgs, p.Pkg.BasePath)
+	if !pkgScoped && fileScope == nil {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		name := p.FileName(f)
+		if !pkgScoped && !contains(fileScope, name) {
+			continue
+		}
+		isTest := p.IsTestFile(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				p.checkDeterminismSelector(n, isTest)
+			case *ast.RangeStmt:
+				if !isTest {
+					p.checkMapAccumulation(n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkDeterminismSelector(sel *ast.SelectorExpr, isTest bool) {
+	member := sel.Sel.Name
+	switch p.pkgNameOf(sel.X) {
+	case "math/rand", "math/rand/v2":
+		if randSanctioned[member] {
+			return
+		}
+		if member == "NewSource" {
+			if isTest {
+				return // an explicitly seeded test source is deterministic
+			}
+			p.Reportf(sel.Pos(), "rand.NewSource hides its stream state, breaking checkpoint/resume; seed a serialisable internal/rng.Source instead")
+			return
+		}
+		p.Reportf(sel.Pos(), "global rand.%s draws from the process-wide source; draw through a *rand.Rand layered over an internal/rng stream", member)
+	case "time":
+		if isTest {
+			return
+		}
+		switch member {
+		case "Now", "Since", "Until":
+			p.Reportf(sel.Pos(), "time.%s reads the wall clock inside a deterministic package; results must be a pure function of (seed, workers)", member)
+		}
+	}
+}
+
+// checkMapAccumulation flags floating-point accumulation whose order
+// follows a map iteration: `for _, v := range m { sum += v }` produces
+// run-dependent low bits because map order is randomised and float addition
+// is not associative. Integer accumulation is exact and therefore
+// order-independent, so only float targets are flagged.
+func (p *Pass) checkMapAccumulation(rs *ast.RangeStmt) {
+	t := p.Pkg.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch a.Tok.String() {
+		case "+=", "-=", "*=", "/=":
+			if len(a.Lhs) == 1 && p.isFloat(a.Lhs[0]) {
+				p.Reportf(a.Pos(), "float accumulation (%s) inside map iteration is order-dependent; iterate a sorted key slice instead", a.Tok)
+			}
+		case "=":
+			if len(a.Lhs) != 1 || len(a.Rhs) != 1 || !p.isFloat(a.Lhs[0]) {
+				return true
+			}
+			be, ok := a.Rhs[0].(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op.String() {
+			case "+", "-", "*", "/":
+				lhs := types.ExprString(a.Lhs[0])
+				if types.ExprString(be.X) == lhs || types.ExprString(be.Y) == lhs {
+					p.Reportf(a.Pos(), "float accumulation (x = x %s ...) inside map iteration is order-dependent; iterate a sorted key slice instead", be.Op)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (p *Pass) isFloat(e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

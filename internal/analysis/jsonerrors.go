@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// JSONErrors enforces the gateway's error contract (PR 4: every 4xx/5xx
+// response is {"error": ...} JSON) inside the serve packages
+// (Config.ServePkgs): handlers must not write error statuses through bare
+// http.Error or WriteHeader with a 4xx/5xx constant — those emit text/plain
+// and bypass statusFor's error mapping. The sanctioned writers are the
+// contract helpers (Config.ServeHelpers, e.g. writeJSON/writeError) and
+// methods on response-writer wrappers (types embedding http.ResponseWriter,
+// which must be able to forward WriteHeader).
+var JSONErrors = &Analyzer{
+	Name: "jsonerrors",
+	Doc:  "gateway handlers must write error statuses through the JSON error-contract helpers, not bare http.Error/WriteHeader",
+	Run:  runJSONErrors,
+}
+
+func runJSONErrors(p *Pass) {
+	if !contains(p.Cfg.ServePkgs, p.Pkg.BasePath) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || p.isSanctionedWriter(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				p.checkErrorWrite(call)
+				return true
+			})
+		}
+	}
+}
+
+// isSanctionedWriter reports whether the function is allowed to write raw
+// statuses: a named contract helper, or a method on a wrapper type that
+// embeds http.ResponseWriter (wrappers must forward WriteHeader).
+func (p *Pass) isSanctionedWriter(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil {
+		return contains(p.Cfg.ServeHelpers, fn.Name.Name)
+	}
+	if len(fn.Recv.List) != 1 {
+		return false
+	}
+	t := p.Pkg.Info.TypeOf(fn.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !field.Embedded() {
+			continue
+		}
+		if named, ok := field.Type().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p *Pass) checkErrorWrite(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Bare http.Error: always text/plain, always outside the contract.
+	if fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+		if fn.Name() == "Error" && fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && sig(fn) != nil && sig(fn).Recv() == nil {
+			p.Reportf(call.Pos(), "bare http.Error emits text/plain, bypassing the JSON error contract; use writeError (with statusFor) instead")
+			return
+		}
+	}
+	// WriteHeader with a constant 4xx/5xx status.
+	if sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+		return
+	}
+	tv := p.Pkg.Info.Types[call.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return
+	}
+	status, ok := constant.Int64Val(tv.Value)
+	if !ok || status < 400 {
+		return
+	}
+	p.Reportf(call.Pos(), "WriteHeader(%d) writes an error status outside the JSON error contract; use writeError (with statusFor) instead", status)
+}
+
+func sig(fn *types.Func) *types.Signature {
+	s, _ := fn.Type().(*types.Signature)
+	return s
+}

@@ -1,0 +1,392 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked lint unit: a package's library files plus its
+// in-package test files (external _test packages load as their own unit
+// with IsXTest set).
+type Package struct {
+	// ImportPath is the unit's import path; external test packages carry a
+	// "_test" suffix.
+	ImportPath string
+	// BasePath is ImportPath without the external-test suffix — the path
+	// analyzer scoping is expressed in.
+	BasePath string
+	IsXTest  bool
+	Dir      string
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+	// Sources retains the raw bytes of each file (keyed by full path) for
+	// line-oriented directive handling.
+	Sources map[string][]byte
+}
+
+// Loader loads and type-checks the packages of a single module using only
+// the standard library: module-internal imports resolve recursively from
+// source, and standard-library imports go through go/importer's source
+// compiler (shared and cached across packages).
+type Loader struct {
+	moduleDir  string
+	modulePath string
+	fset       *token.FileSet
+	std        types.Importer
+	pure       map[string]*types.Package // import cache: library files only
+	augmented  map[string]*types.Package // library + in-package test files
+	loading    map[string]bool
+	parsed     map[string]*dirFiles
+	sources    map[string][]byte
+}
+
+// dirFiles is a directory's parse result, split by unit.
+type dirFiles struct {
+	lib, test, xtest []*ast.File
+}
+
+// NewLoader creates a loader for the module rooted at moduleDir (the
+// directory containing go.mod).
+func NewLoader(moduleDir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	modulePath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modulePath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modulePath == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", moduleDir)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		moduleDir:  moduleDir,
+		modulePath: modulePath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pure:       make(map[string]*types.Package),
+		augmented:  make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+		parsed:     make(map[string]*dirFiles),
+		sources:    make(map[string][]byte),
+	}, nil
+}
+
+// ModulePath returns the module's import path prefix.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// Load resolves the patterns ("./...", "./dir/...", "./dir", ".") against
+// the module and returns every matched package as a type-checked lint unit,
+// in deterministic path order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := l.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	selected := make(map[string]bool)
+	for _, pat := range patterns {
+		matched := false
+		for _, dir := range dirs {
+			if matchPattern(pat, dir) {
+				selected[dir] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("analysis: pattern %q matched no packages", pat)
+		}
+	}
+	var order []string
+	for dir := range selected {
+		order = append(order, dir)
+	}
+	sort.Strings(order)
+	var pkgs []*Package
+	for _, rel := range order {
+		units, err := l.loadDir(rel)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	return pkgs, nil
+}
+
+// matchPattern implements the go-command subset the driver needs: ".",
+// "./...", "./x", "./x/..." (and the same forms without the "./" prefix).
+func matchPattern(pat, relDir string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	if pat == "" || pat == "." {
+		return relDir == "."
+	}
+	if pat == "..." {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+		return relDir == prefix || strings.HasPrefix(relDir, prefix+"/")
+	}
+	return relDir == pat
+}
+
+// packageDirs walks the module for directories containing Go files,
+// skipping testdata, vendor, hidden and underscore-prefixed directories.
+func (l *Loader) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.moduleDir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && goFileIncluded(e.Name()) {
+				rel, err := filepath.Rel(l.moduleDir, path)
+				if err != nil {
+					return err
+				}
+				dirs = append(dirs, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func goFileIncluded(name string) bool {
+	return !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// importPathFor maps a module-relative directory to its import path.
+func (l *Loader) importPathFor(relDir string) string {
+	if relDir == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + relDir
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(importPath string) string {
+	if importPath == l.modulePath {
+		return l.moduleDir
+	}
+	return filepath.Join(l.moduleDir, strings.TrimPrefix(importPath, l.modulePath+"/"))
+}
+
+func (l *Loader) isModuleLocal(path string) bool {
+	return path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/")
+}
+
+// parseDir parses (once) every buildable Go file of the directory, split
+// into library, in-package test, and external test files.
+func (l *Loader) parseDir(dir string) (*dirFiles, error) {
+	if df, ok := l.parsed[dir]; ok {
+		return df, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	df := &dirFiles{}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || !goFileIncluded(name) {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			continue // excluded by build constraints (or unreadable: surfaces later)
+		}
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		l.sources[full] = src
+		switch {
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			df.xtest = append(df.xtest, f)
+		case strings.HasSuffix(name, "_test.go"):
+			df.test = append(df.test, f)
+		default:
+			df.lib = append(df.lib, f)
+		}
+	}
+	l.parsed[dir] = df
+	return df, nil
+}
+
+// Import implements types.Importer for the pure (no test files) view of
+// module packages, delegating everything else to the standard-library
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.isModuleLocal(path) {
+		return l.importPure(path)
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) importPure(path string) (*types.Package, error) {
+	if pkg, ok := l.pure[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	df, err := l.parseDir(l.dirFor(path))
+	if err != nil {
+		return nil, err
+	}
+	if len(df.lib) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", path)
+	}
+	pkg, err := l.check(path, df.lib, nil, l)
+	if err != nil {
+		return nil, err
+	}
+	l.pure[path] = pkg
+	return pkg, nil
+}
+
+// xtestImporter resolves the package under test to its augmented (test
+// helpers included) form, the way the go tool links external test binaries.
+type xtestImporter struct {
+	*Loader
+	underTest string
+	augmented *types.Package
+}
+
+func (x *xtestImporter) Import(path string) (*types.Package, error) {
+	if path == x.underTest {
+		return x.augmented, nil
+	}
+	return x.Loader.Import(path)
+}
+
+// check type-checks one unit and surfaces every type error at once.
+func (l *Loader) check(path string, files []*ast.File, info *types.Info, imp types.Importer) (*types.Package, error) {
+	var errs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			errs = append(errs, err.Error())
+		},
+	}
+	pkg, _ := conf.Check(path, l.fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s:\n\t%s", path, strings.Join(errs, "\n\t"))
+	}
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// loadDir builds the lint units of one module-relative directory: the
+// package (with its in-package test files) and, when present, the external
+// test package.
+func (l *Loader) loadDir(relDir string) ([]*Package, error) {
+	dir := l.dirFor(l.importPathFor(relDir))
+	importPath := l.importPathFor(relDir)
+	df, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(df.lib) == 0 && len(df.test) == 0 && len(df.xtest) == 0 {
+		return nil, nil
+	}
+	var units []*Package
+	sourcesFor := func(files []*ast.File) map[string][]byte {
+		out := make(map[string][]byte, len(files))
+		for _, f := range files {
+			name := l.fset.Position(f.Pos()).Filename
+			out[name] = l.sources[name]
+		}
+		return out
+	}
+	if len(df.lib) > 0 || len(df.test) > 0 {
+		files := append(append([]*ast.File{}, df.lib...), df.test...)
+		info := newInfo()
+		pkg, err := l.check(importPath, files, info, l)
+		if err != nil {
+			return nil, err
+		}
+		l.augmented[importPath] = pkg
+		units = append(units, &Package{
+			ImportPath: importPath,
+			BasePath:   importPath,
+			Dir:        dir,
+			Fset:       l.fset,
+			Files:      files,
+			Types:      pkg,
+			Info:       info,
+			Sources:    sourcesFor(files),
+		})
+	}
+	if len(df.xtest) > 0 {
+		imp := types.Importer(l)
+		if aug, ok := l.augmented[importPath]; ok {
+			imp = &xtestImporter{Loader: l, underTest: importPath, augmented: aug}
+		}
+		info := newInfo()
+		pkg, err := l.check(importPath+"_test", df.xtest, info, imp)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Package{
+			ImportPath: importPath + "_test",
+			BasePath:   importPath,
+			IsXTest:    true,
+			Dir:        dir,
+			Fset:       l.fset,
+			Files:      df.xtest,
+			Types:      pkg,
+			Info:       info,
+			Sources:    sourcesFor(df.xtest),
+		})
+	}
+	return units, nil
+}

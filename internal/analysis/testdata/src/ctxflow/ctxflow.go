@@ -1,0 +1,58 @@
+// Package ctxflow exercises the ctxflow analyzer.
+package ctxflow
+
+import "context"
+
+func lookup(ctx context.Context, q string) string {
+	if ctx.Err() != nil {
+		return ""
+	}
+	return q
+}
+
+func forwards(ctx context.Context, q string) string {
+	return lookup(ctx, q) // forwarding ctx is the contract
+}
+
+func nilTolerant(ctx context.Context, q string) string {
+	if ctx == nil {
+		ctx = context.Background() // the sanctioned nil-guard idiom
+	}
+	return lookup(ctx, q)
+}
+
+func severed(ctx context.Context, q string) string {
+	_ = ctx.Err()
+	return lookup(context.Background(), q) // want "severed accepts a Context but mints context\.Background\(\)"
+}
+
+func stalled(ctx context.Context, q string) string {
+	_ = ctx.Err()
+	return lookup(context.TODO(), q) // want "stalled accepts a Context but mints context\.TODO\(\)"
+}
+
+func decorative(ctx context.Context, q string) string { // want "decorative never uses its Context parameter"
+	return lookup(stored(), q)
+}
+
+func stored() context.Context {
+	return context.Background() // no Context parameter: roots are legal here
+}
+
+func closureInherits(ctx context.Context) func() string {
+	_ = ctx.Err()
+	return func() string {
+		return lookup(context.Background(), "x") // want "closureInherits accepts a Context but mints context\.Background\(\)"
+	}
+}
+
+func closureOwns(ctx context.Context) string {
+	run := func(ctx context.Context) string { return lookup(ctx, "y") }
+	return run(ctx)
+}
+
+func allowedRoot(ctx context.Context, q string) string {
+	_ = ctx.Err()
+	//gddr:allow ctxflow detached audit write must survive request cancellation
+	return lookup(context.Background(), q)
+}

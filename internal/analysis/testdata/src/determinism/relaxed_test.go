@@ -1,0 +1,18 @@
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Test files are held only to the global-draw rule: an explicitly seeded
+// local source is already reproducible, and tests never checkpoint, so
+// rand.NewSource and wall-clock reads are fine here.
+func seededHelper() (int64, time.Time) {
+	r := rand.New(rand.NewSource(99))
+	return r.Int63(), time.Now()
+}
+
+func globalDrawInTest() int {
+	return rand.Intn(3) // want "global rand\.Intn draws from the process-wide source"
+}

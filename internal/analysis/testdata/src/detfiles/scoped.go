@@ -1,0 +1,12 @@
+// Package detfiles exercises Config.DeterministicFiles: the determinism
+// contract scoped to individual files of an otherwise-exempt package — the
+// train.go pattern, where the root package's training file is deterministic
+// but its serving files legitimately time requests.
+package detfiles
+
+import "time"
+
+// scoped.go is inside the configured file scope.
+func stamp() time.Time {
+	return time.Now() // want "time\.Now reads the wall clock"
+}

@@ -1,0 +1,55 @@
+// Package jsonerrors exercises the jsonerrors analyzer: it mirrors the
+// cmd/gddr-serve shape — contract helpers, a response-writer wrapper, and
+// handlers that must route error statuses through the helpers.
+package jsonerrors
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// writeJSON and writeError are the fixture's contract helpers
+// (Config.ServeHelpers): raw status writes are their job.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// statusWriter embeds http.ResponseWriter: wrapper methods must be able to
+// forward raw statuses.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) reject() {
+	w.WriteHeader(http.StatusServiceUnavailable) // wrapper method: sanctioned
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method != http.MethodPost:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed) // want "bare http\.Error emits text/plain"
+	case r.ContentLength == 0:
+		w.WriteHeader(http.StatusBadRequest) // want "WriteHeader\(400\) writes an error status outside the JSON error contract"
+	case r.URL.Path == "/legacy":
+		//gddr:allow jsonerrors raw probe endpoint predates the contract
+		w.WriteHeader(503)
+	default:
+		writeError(w, http.StatusConflict, "boom") // the contract path
+	}
+}
+
+func ok(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent) // success statuses are not error writes
+}

@@ -1,0 +1,24 @@
+// Package metricnames exercises the metricnames analyzer against the
+// structural metrics stand-in.
+package metricnames
+
+import "metrics"
+
+const unitSuffix = "seconds"
+
+func register(reg *metrics.Registry, dynamic string) {
+	reg.Counter("gddr_router_requests_total", "the grammar: namespace, subsystem, name, unit")
+	reg.Histogram("gddr_lp_solve_"+unitSuffix, "constant folding reaches concatenated names", nil)
+	reg.Counter(dynamic, "dynamic names are the runtime grammar test's job")
+
+	reg.Counter("gddr_router_requests", "")                                         // want "counter .* must end in _total"
+	reg.Gauge("gddr_train_policy_loss_total", "")                                   // want "must not end in _total \(reserved for counters\)"
+	reg.GaugeFunc("gddr_engine_queue_depth_total", "", func() float64 { return 0 }) // want "must not end in _total"
+	reg.Histogram("gddr_router_latency_ms", "", nil)                                // want "non-base unit \"ms\""
+	reg.Counter("foo_router_requests_total", "")                                    // want "must carry the gddr_ namespace prefix"
+	reg.Gauge("gddr_frobnicator_depth", "")                                         // want "unknown subsystem \"frobnicator\""
+	reg.Histogram("GDDR_Router_Latency_Seconds", "", nil)                           // want "does not match gddr_<subsystem>_<name>_<unit>"
+
+	//gddr:allow metricnames legacy dashboard name, renamed in the next major
+	reg.Gauge("gddr_queue_depth", "")
+}

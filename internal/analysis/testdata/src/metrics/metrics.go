@@ -1,0 +1,29 @@
+// Package metrics is a structural stand-in for gddr/internal/metrics: the
+// metricnames analyzer matches registration calls by package name ("metrics")
+// and receiver type name ("Registry"), so fixtures can exercise it without
+// importing the real module.
+package metrics
+
+// Registry mirrors the registration surface of the real registry.
+type Registry struct{}
+
+// Counter is a stand-in instrument.
+type Counter struct{}
+
+// Gauge is a stand-in instrument.
+type Gauge struct{}
+
+// Histogram is a stand-in instrument.
+type Histogram struct{}
+
+// Counter registers a counter.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// GaugeFunc registers a callback-backed gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {}
+
+// Histogram registers a histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram { return &Histogram{} }

@@ -224,6 +224,7 @@ func (c *OptimalCache) get(ctx context.Context, g *graph.Graph, dm *traffic.Dema
 	}
 	var opt float64
 	var err error
+	//gddr:allow determinism LP solve wall-clock feeds the latency histogram only, never the optimum
 	solveStart := time.Now()
 	switch obj {
 	case MeanUtilization:
@@ -232,6 +233,7 @@ func (c *OptimalCache) get(ctx context.Context, g *graph.Graph, dm *traffic.Dema
 		opt, _, err = lp.OptimalMaxUtilization(g, dm)
 	}
 	if metSolve != nil {
+		//gddr:allow determinism LP solve wall-clock feeds the latency histogram only, never the optimum
 		metSolve.Observe(time.Since(solveStart).Seconds())
 	}
 	if err != nil {

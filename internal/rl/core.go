@@ -235,11 +235,13 @@ func (c *core) run(ctx context.Context, e env.Interface, totalSteps, workers, ro
 		if rem := totalSteps - c.timesteps; rem < steps {
 			steps = rem
 		}
+		//gddr:allow determinism collect wall-clock feeds UpdateStat metrics only, never training results
 		collectStart := time.Now()
 		ro, err := c.col.collect(steps, c.sample, c.value, g, c.timesteps, c.episodes)
 		if err != nil {
 			return err
 		}
+		//gddr:allow determinism collect wall-clock feeds UpdateStat metrics only, never training results
 		collectSeconds := time.Since(collectStart).Seconds()
 		c.timesteps += steps
 		c.episodes += len(ro.stats)
@@ -248,10 +250,12 @@ func (c *core) run(ctx context.Context, e env.Interface, totalSteps, workers, ro
 				hooks.OnEpisode(st)
 			}
 		}
+		//gddr:allow determinism update wall-clock feeds UpdateStat metrics only, never training results
 		updateStart := time.Now()
 		if err := update(ro.samples); err != nil {
 			return err
 		}
+		//gddr:allow determinism update wall-clock feeds UpdateStat metrics only, never training results
 		updateSeconds := time.Since(updateStart).Seconds()
 		if err := nn.CheckFinite(c.Params()); err != nil {
 			return fmt.Errorf("rl: after update at step %d: %w", c.timesteps, err)

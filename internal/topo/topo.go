@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"gddr/internal/graph"
+	"gddr/internal/rng"
 )
 
 // Capacity units are Mbit/s-like abstract units; only ratios matter because
@@ -179,7 +180,7 @@ func Names() []string {
 // 5–22 nodes. It mixes the embedded real topologies in that range with
 // deterministic synthetic graphs derived from the seed.
 func EvaluationSet(seed int64) ([]*graph.Graph, error) {
-	rng := rand.New(rand.NewSource(seed))
+	rnd := rand.New(rng.New(seed))
 	graphs := []*graph.Graph{NSFNet(), B4(), Geant()}
 	ring, err := graph.Ring(8, oc192)
 	if err != nil {
@@ -191,7 +192,7 @@ func EvaluationSet(seed int64) ([]*graph.Graph, error) {
 	}
 	graphs = append(graphs, ring, grid)
 	for _, n := range []int{6, 9, 14, 18} {
-		g, err := graph.RandomConnected(n, 3.0, oc48, oc192, rng)
+		g, err := graph.RandomConnected(n, 3.0, oc48, oc192, rnd)
 		if err != nil {
 			return nil, err
 		}

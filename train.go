@@ -12,6 +12,7 @@ import (
 	"gddr/internal/nn"
 	"gddr/internal/policy"
 	"gddr/internal/rl"
+	"gddr/internal/rng"
 	"gddr/internal/routing"
 )
 
@@ -179,7 +180,9 @@ func NewAgent(kind PolicyKind, scenario *Scenario, opts ...Option) (*Agent, erro
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("gddr: rollout workers must be >= 0, got %d", cfg.Workers)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Parameter initialisation draws from a serialisable rng stream so the
+	// whole run — init included — is a pure function of cfg.Seed.
+	rnd := rand.New(rng.New(cfg.Seed))
 	var pol policy.Policy
 	var err error
 	switch cfg.Policy {
@@ -188,15 +191,15 @@ func NewAgent(kind PolicyKind, scenario *Scenario, opts ...Option) (*Agent, erro
 			return nil, fmt.Errorf("gddr: the MLP policy requires exactly one topology (got %d); it cannot generalise", countItems(scenario))
 		}
 		g := scenario.Items[0].Graph
-		pol, err = policy.NewMLP(cfg.Memory, g.NumNodes(), g.NumEdges(), cfg.MLPHidden, rng)
+		pol, err = policy.NewMLP(cfg.Memory, g.NumNodes(), g.NumEdges(), cfg.MLPHidden, rnd)
 	case policy.GNNKind:
 		gcfg := cfg.GNN
 		gcfg.Memory = cfg.Memory
-		pol, err = policy.NewGNN(gcfg, rng)
+		pol, err = policy.NewGNN(gcfg, rnd)
 	case policy.GNNIterativeKind:
 		gcfg := cfg.GNN
 		gcfg.Memory = cfg.Memory
-		pol, err = policy.NewGNNIterative(gcfg, rng)
+		pol, err = policy.NewGNNIterative(gcfg, rnd)
 	default:
 		return nil, fmt.Errorf("gddr: unknown policy kind %v", cfg.Policy)
 	}
@@ -364,9 +367,11 @@ func (a *Agent) Train(ctx context.Context, scenario *Scenario, cache *OptimalCac
 				return nil
 			}
 			lastCkpt = step
+			//gddr:allow determinism wall-clock spent writing the checkpoint feeds metrics only, never results
 			start := time.Now()
 			werr := a.WriteCheckpointFile(a.Config.CheckpointPath)
 			if a.met != nil {
+				//gddr:allow determinism checkpoint-write latency histogram, observability only
 				a.met.ckptSeconds.Observe(time.Since(start).Seconds())
 			}
 			return werr

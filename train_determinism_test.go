@@ -1,0 +1,44 @@
+package gddr
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestTrainTwiceByteIdenticalCheckpoint is the determinism contract stated
+// as bytes: two independent runs of the same (config, scenario, seed,
+// workers) — agent construction included, since parameter initialisation
+// draws from the same serialisable rng stream as everything else — must
+// produce byte-identical checkpoints. This is the regression test for the
+// gddr-lint determinism check's reason to exist: one stray global-rand call
+// or hidden-state rand.NewSource anywhere on the training path shows up
+// here as a byte diff.
+func TestTrainTwiceByteIdenticalCheckpoint(t *testing.T) {
+	run := func() []byte {
+		t.Helper()
+		scenario := multiScenario(t, 11)
+		agent, err := NewAgent(GNNPolicy, scenario, WithConfig(ckptConfig(32)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := agent.Train(context.Background(), scenario, nil); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := agent.SaveCheckpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := run()
+	second := run()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two identical runs produced different checkpoints (%d vs %d bytes): the training path read a non-deterministic source", len(first), len(second))
+	}
+	// The parameters inside the checkpoint are the trained weights; a
+	// sanity check that the run actually trained.
+	if len(first) == 0 {
+		t.Fatal("empty checkpoint")
+	}
+}

@@ -1,24 +1,35 @@
-// Command gddr-serve runs the Engine as a long-running HTTP/JSON routing
-// service: the network-operations gateway over the GDDR serving API. It
-// loads (or cold-starts) an agent on an embedded topology and exposes
+// Command gddr-serve runs a Fleet of serving Engines as a long-running
+// HTTP/JSON routing service: the network-operations gateway over the GDDR
+// serving API. It boots one tenant per (topology, model) pair — a single
+// default tenant from the flags, or many from -fleet fleet.json — and
+// exposes per-tenant routes plus un-prefixed aliases for the default
+// tenant:
 //
-//	POST /route           {"demands": [[...], ...]}    -> routing decision
-//	POST /topology/event  {"type":"link_down", ...}    -> apply a topology event
-//	POST /model/swap      <checkpoint JSON>            -> hot-swap the model
-//	GET  /stats                                        -> cumulative serving stats + uptime
-//	GET  /healthz                                      -> liveness + topology version
-//	GET  /metrics                                      -> Prometheus text exposition
+//	POST /t/{id}/route           {"demands": [[...], ...]}    -> routing decision
+//	POST /t/{id}/topology/event  {"type":"link_down", ...}    -> apply a topology event
+//	POST /t/{id}/model/swap      <checkpoint JSON>            -> hot-swap the model
+//	GET  /t/{id}/stats                                        -> tenant serving stats
+//	GET  /t/{id}/metrics                                      -> tenant engine metrics
+//	POST /tenants                {"id": ..., "config": ...}   -> create a tenant
+//	GET  /tenants                                             -> list tenants
+//	DELETE /tenants/{id}                                      -> delete a tenant
+//	POST /route, /topology/event, /model/swap                 -> default-tenant aliases
+//	GET  /stats, /healthz                                     -> default-tenant aliases
+//	GET  /metrics                                             -> fleet + default tenant metrics
 //
-// Logging is structured (log/slog); -log-format selects text or JSON lines.
-// -pprof additionally mounts net/http/pprof under /debug/pprof/ and -trace
-// attaches a per-request timing breakdown to every routing decision.
+// Admission control is per tenant: saturating one tenant's queue or rate
+// limit returns JSON 429s with a Retry-After header while sibling tenants
+// keep serving. Logging is structured (log/slog); -log-format selects text
+// or JSON lines. -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ and -trace attaches a per-request timing breakdown to
+// every routing decision.
 //
 // Example session:
 //
-//	gddr-serve -addr :8080 -topology abilene -model model.json &
-//	curl -s localhost:8080/route -d '{"demands": [[0,100,...], ...]}'
-//	curl -s localhost:8080/topology/event -d '{"type":"link_down","from":2,"to":9}'
-//	curl -s localhost:8080/model/swap --data-binary @retrained.json
+//	gddr-serve -addr :8080 -fleet fleet.json &
+//	curl -s localhost:8080/t/prod/route -d '{"demands": [[0,100,...], ...]}'
+//	curl -s localhost:8080/tenants
+//	curl -s -X POST localhost:8080/tenants -d '{"id":"canary","config":{"topology":"nsfnet"}}'
 //	curl -s localhost:8080/metrics
 package main
 
@@ -40,8 +51,6 @@ import (
 
 	"gddr"
 	"gddr/internal/metrics"
-	"gddr/internal/policy"
-	"gddr/internal/topo"
 )
 
 func main() {
@@ -54,13 +63,15 @@ func main() {
 func run() error {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
-		topoName   = flag.String("topology", "abilene", "embedded topology to serve")
+		fleetPath  = flag.String("fleet", "", "fleet config JSON booting multiple tenants (overrides the single-tenant flags)")
+		topoName   = flag.String("topology", "abilene", "embedded topology the default tenant serves")
 		modelPath  = flag.String("model", "", "saved model JSON (empty: capacity-aware cold start)")
 		policyName = flag.String("policy", "gnn", "architecture the model was trained with")
 		memory     = flag.Int("memory", 3, "demand history length (must match training)")
 		hidden     = flag.Int("gnn-hidden", 16, "GNN latent width (must match training)")
 		msgSteps   = flag.Int("gnn-steps", 2, "GNN message-passing steps (must match training)")
-		workers    = flag.Int("workers", 0, "serving goroutines (0: GOMAXPROCS)")
+		replicas   = flag.Int("replicas", 1, "read replicas serving the default tenant")
+		workers    = flag.Int("workers", 0, "serving goroutines per replica (0: GOMAXPROCS)")
 		maxBatch   = flag.Int("max-batch", 16, "max requests sharing one forward pass")
 		logFormat  = flag.String("log-format", "text", "log line format: text or json")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -82,54 +93,69 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	kind, err := policy.ParseKind(*policyName)
-	if err != nil {
-		return err
-	}
-	g, err := topo.Named(*topoName)
-	if err != nil {
-		return err
-	}
-	// The MLP constructor sizes itself from a scenario's topology; GNN
-	// agents ignore the scenario.
-	scen := &gddr.Scenario{Items: []gddr.ScenarioItem{{Graph: g}}}
-	agent, err := gddr.NewAgent(kind, scen,
-		gddr.WithMemory(*memory),
-		gddr.WithGNNSize(*hidden, *msgSteps))
-	if err != nil {
-		return err
-	}
-	if *modelPath != "" {
-		f, err := os.Open(*modelPath)
+	fleet := gddr.NewFleet(gddr.WithFleetRouterOptions(gddr.WithTracing(*traceOn)))
+	defer fleet.Close()
+
+	defaultID := "default"
+	if *fleetPath != "" {
+		f, err := os.Open(*fleetPath)
 		if err != nil {
 			return err
 		}
-		err = agent.Load(f)
+		file, err := gddr.ParseFleetFile(f)
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("loading %s: %w", *modelPath, err)
+			return err
+		}
+		if err := fleet.Boot(file); err != nil {
+			return err
+		}
+		defaultID = file.Default
+	} else {
+		cfg := gddr.TenantConfig{
+			Topology:   *topoName,
+			Policy:     *policyName,
+			Checkpoint: *modelPath,
+			Memory:     *memory,
+			GNNHidden:  *hidden,
+			GNNSteps:   *msgSteps,
+			Replicas:   *replicas,
+			Workers:    *workers,
+			MaxBatch:   *maxBatch,
+		}
+		if _, err := fleet.Create(defaultID, cfg); err != nil {
+			return err
 		}
 	}
-
-	var opts []gddr.RouterOption
-	if *workers > 0 {
-		opts = append(opts, gddr.WithRouterWorkers(*workers))
+	for _, id := range fleet.List() {
+		t, err := fleet.Tenant(id)
+		if err != nil {
+			continue
+		}
+		snap := t.Snapshot()
+		slog.Info("tenant up", "tenant", id, "topology", t.Config().Topology,
+			"nodes", snap.Nodes, "edges", snap.Edges, "replicas", snap.Replicas,
+			"default", id == defaultID)
 	}
-	opts = append(opts, gddr.WithMaxBatch(*maxBatch), gddr.WithTracing(*traceOn))
-	engine, err := gddr.NewEngine(agent, g, opts...)
-	if err != nil {
-		return err
-	}
-	defer engine.Close()
 
 	start := time.Now()
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /route", handleRoute(engine))
-	mux.HandleFunc("POST /topology/event", handleEvent(engine))
-	mux.HandleFunc("POST /model/swap", handleSwap(engine))
-	mux.HandleFunc("GET /stats", handleStats(engine, start))
-	mux.HandleFunc("GET /healthz", handleHealthz(engine, start))
-	mux.HandleFunc("GET /metrics", handleMetrics(engine))
+	mux.HandleFunc("POST /t/{id}/route", handleRoute(fleet, ""))
+	mux.HandleFunc("POST /t/{id}/topology/event", handleEvent(fleet, ""))
+	mux.HandleFunc("POST /t/{id}/model/swap", handleSwap(fleet, ""))
+	mux.HandleFunc("GET /t/{id}/stats", handleStats(fleet, "", start))
+	mux.HandleFunc("GET /t/{id}/metrics", handleTenantMetrics(fleet))
+	mux.HandleFunc("POST /tenants", handleTenantCreate(fleet))
+	mux.HandleFunc("GET /tenants", handleTenantList(fleet, defaultID))
+	mux.HandleFunc("DELETE /tenants/{id}", handleTenantDelete(fleet))
+	// Un-prefixed aliases keep the single-tenant API of earlier releases
+	// working against the default tenant.
+	mux.HandleFunc("POST /route", handleRoute(fleet, defaultID))
+	mux.HandleFunc("POST /topology/event", handleEvent(fleet, defaultID))
+	mux.HandleFunc("POST /model/swap", handleSwap(fleet, defaultID))
+	mux.HandleFunc("GET /stats", handleStats(fleet, defaultID, start))
+	mux.HandleFunc("GET /healthz", handleHealthz(fleet, defaultID, start))
+	mux.HandleFunc("GET /metrics", handleMetrics(fleet, defaultID))
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -140,15 +166,16 @@ func run() error {
 
 	// The instrumentation middleware wraps OUTSIDE jsonErrors so it records
 	// the status the client actually receives, including mux rejections
-	// rewritten into the JSON error contract.
+	// rewritten into the JSON error contract. Gateway HTTP metrics live in
+	// the fleet registry, which /metrics always exposes.
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           instrument(engine.Metrics(), jsonErrors(mux)),
+		Handler:           instrument(fleet.Metrics(), jsonErrors(mux)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		slog.Info("serving", "topology", *topoName, "nodes", g.NumNodes(), "edges", g.NumEdges(), "addr", *addr, "pprof", *pprofOn, "trace", *traceOn)
+		slog.Info("serving", "tenants", fleet.Len(), "default", defaultID, "addr", *addr, "pprof", *pprofOn, "trace", *traceOn)
 		if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -164,9 +191,21 @@ func run() error {
 	return server.Shutdown(shutdownCtx)
 }
 
+// tenantFor resolves the handler's tenant: the {id} path value for /t/...
+// routes, or the fixed default-tenant alias.
+func tenantFor(fleet *gddr.Fleet, r *http.Request, alias string) (*gddr.Tenant, error) {
+	id := alias
+	if id == "" {
+		id = r.PathValue("id")
+	}
+	return fleet.Tenant(id)
+}
+
 // knownRoutes bounds the label cardinality of the HTTP metrics: every
 // request path collapses to one of the mounted routes (or "other"), so an
 // attacker probing random URLs cannot grow the registry without bound.
+// Tenant-scoped paths collapse their tenant segment to {id}; the tenant
+// dimension is carried by the gddr_fleet_* instruments instead.
 var knownRoutes = map[string]string{
 	"/route":          "/route",
 	"/topology/event": "/topology/event",
@@ -174,11 +213,32 @@ var knownRoutes = map[string]string{
 	"/stats":          "/stats",
 	"/healthz":        "/healthz",
 	"/metrics":        "/metrics",
+	"/tenants":        "/tenants",
+}
+
+// tenantRoutes are the suffixes mounted under /t/{id}/.
+var tenantRoutes = map[string]string{
+	"route":          "/t/{id}/route",
+	"topology/event": "/t/{id}/topology/event",
+	"model/swap":     "/t/{id}/model/swap",
+	"stats":          "/t/{id}/stats",
+	"metrics":        "/t/{id}/metrics",
 }
 
 func routeLabel(path string) string {
 	if r, ok := knownRoutes[path]; ok {
 		return r
+	}
+	if rest, ok := strings.CutPrefix(path, "/t/"); ok {
+		if _, suffix, ok := strings.Cut(rest, "/"); ok {
+			if r, ok := tenantRoutes[suffix]; ok {
+				return r
+			}
+		}
+		return "other"
+	}
+	if rest, ok := strings.CutPrefix(path, "/tenants/"); ok && rest != "" && !strings.Contains(rest, "/") {
+		return "/tenants/{id}"
 	}
 	if strings.HasPrefix(path, "/debug/pprof/") {
 		return "/debug/pprof/"
@@ -244,6 +304,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		// Shed requests failed fast without queueing; a short client
+		// back-off is enough for the admission window to move.
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
@@ -253,13 +318,21 @@ func writeError(w http.ResponseWriter, status int, err error) {
 const statusClientClosedRequest = 499
 
 // statusFor maps serving errors to HTTP statuses, consistently across every
-// handler: a closed engine is the service going away (503), a cancelled
-// request context is the client having hung up (499), a deadline is a
-// timeout (504), an oversized body is 413, and everything else surfaced by
-// the API keeps the handler's fallback (a bad or conflicting request).
+// handler: a shed request is 429 (retryable), a missing tenant is 404, a
+// duplicate tenant is 409, a closed engine is the service going away (503),
+// a cancelled request context is the client having hung up (499), a
+// deadline is a timeout (504), an oversized body is 413, and everything
+// else surfaced by the API keeps the handler's fallback (a bad or
+// conflicting request).
 func statusFor(err error, fallback int) int {
 	var tooLarge *http.MaxBytesError
 	switch {
+	case errors.Is(err, gddr.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, gddr.ErrNoTenant):
+		return http.StatusNotFound
+	case errors.Is(err, gddr.ErrTenantExists):
+		return http.StatusConflict
 	case errors.Is(err, gddr.ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):
@@ -351,8 +424,13 @@ type routeRequest struct {
 // the gateway's heap without bound.
 const maxBody = 16 << 20
 
-func handleRoute(engine *gddr.Engine) http.HandlerFunc {
+func handleRoute(fleet *gddr.Fleet, alias string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		tenant, err := tenantFor(fleet, r, alias)
+		if err != nil {
+			writeError(w, statusFor(err, http.StatusNotFound), err)
+			return
+		}
 		var req routeRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
 			writeError(w, statusFor(err, http.StatusBadRequest), fmt.Errorf("invalid route request: %w", err))
@@ -364,14 +442,15 @@ func handleRoute(engine *gddr.Engine) http.HandlerFunc {
 			return
 		}
 		start := time.Now()
-		d, err := engine.Route(r.Context(), dm)
+		d, err := tenant.Route(r.Context(), dm)
 		if err != nil {
 			writeError(w, statusFor(err, http.StatusBadRequest), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
+			"tenant":           tenant.ID(),
 			"decision":         d,
-			"topology_version": engine.Version(),
+			"topology_version": tenant.Version(),
 			"elapsed_us":       time.Since(start).Microseconds(),
 		})
 	}
@@ -395,8 +474,13 @@ func demandMatrix(rows [][]float64) (*gddr.DemandMatrix, error) {
 	return dm, nil
 }
 
-func handleEvent(engine *gddr.Engine) http.HandlerFunc {
+func handleEvent(fleet *gddr.Fleet, alias string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		tenant, err := tenantFor(fleet, r, alias)
+		if err != nil {
+			writeError(w, statusFor(err, http.StatusNotFound), err)
+			return
+		}
 		body, err := readBody(w, r)
 		if err != nil {
 			writeError(w, statusFor(err, http.StatusBadRequest), err)
@@ -407,65 +491,168 @@ func handleEvent(engine *gddr.Engine) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		if err := engine.Apply(r.Context(), event); err != nil {
+		if err := tenant.Apply(r.Context(), event); err != nil {
 			// A structurally valid event the current topology cannot absorb
 			// (unknown link, disconnecting removal) is a conflict, not a
 			// malformed request.
 			writeError(w, statusFor(err, http.StatusConflict), err)
 			return
 		}
-		g := engine.Graph()
+		snap := tenant.Snapshot()
 		writeJSON(w, http.StatusOK, map[string]any{
+			"tenant":           tenant.ID(),
 			"applied":          event.Kind(),
-			"topology_version": engine.Version(),
-			"nodes":            g.NumNodes(),
-			"edges":            g.NumEdges(),
+			"topology_version": snap.Version,
+			"nodes":            snap.Nodes,
+			"edges":            snap.Edges,
 		})
 	}
 }
 
-func handleSwap(engine *gddr.Engine) http.HandlerFunc {
+func handleSwap(fleet *gddr.Fleet, alias string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if err := engine.SwapCheckpoint(r.Context(), http.MaxBytesReader(w, r.Body, maxBody)); err != nil {
+		tenant, err := tenantFor(fleet, r, alias)
+		if err != nil {
+			writeError(w, statusFor(err, http.StatusNotFound), err)
+			return
+		}
+		if err := tenant.SwapCheckpoint(r.Context(), http.MaxBytesReader(w, r.Body, maxBody)); err != nil {
 			writeError(w, statusFor(err, http.StatusBadRequest), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
+			"tenant":           tenant.ID(),
 			"swapped":          true,
-			"topology_version": engine.Version(),
+			"topology_version": tenant.Version(),
 		})
 	}
 }
 
-func handleStats(engine *gddr.Engine, start time.Time) http.HandlerFunc {
+func handleStats(fleet *gddr.Fleet, alias string, start time.Time) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		tenant, err := tenantFor(fleet, r, alias)
+		if err != nil {
+			writeError(w, statusFor(err, http.StatusNotFound), err)
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"stats":          engine.Stats(),
+			"tenant":         tenant.ID(),
+			"stats":          tenant.Stats(),
+			"topology":       tenant.Snapshot(),
 			"uptime_seconds": time.Since(start).Seconds(),
 		})
 	}
 }
 
-func handleHealthz(engine *gddr.Engine, start time.Time) http.HandlerFunc {
+func handleHealthz(fleet *gddr.Fleet, defaultID string, start time.Time) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if engine.Version() == 0 {
+		tenant, err := fleet.Tenant(defaultID)
+		if err != nil || tenant.Version() == 0 {
 			writeError(w, http.StatusServiceUnavailable, gddr.ErrClosed)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":           "ok",
-			"topology_version": engine.Version(),
+			"tenants":          fleet.Len(),
+			"topology_version": tenant.Version(),
 			"uptime_seconds":   time.Since(start).Seconds(),
 		})
 	}
 }
 
-func handleMetrics(engine *gddr.Engine) http.HandlerFunc {
+// handleMetrics serves the gateway exposition: the fleet registry (tenant
+// counts, admission, HTTP) concatenated with the default tenant's engine
+// registry, so single-tenant deployments keep the exact exposition earlier
+// releases served. Sibling tenants' engine metrics live under
+// /t/{id}/metrics.
+func handleMetrics(fleet *gddr.Fleet, defaultID string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := engine.Metrics().WritePrometheus(w); err != nil {
+		if err := fleet.Metrics().WritePrometheus(w); err != nil {
+			slog.Error("writing metrics", "err", err)
+			return
+		}
+		if tenant, err := fleet.Tenant(defaultID); err == nil {
+			if err := tenant.Engine().Metrics().WritePrometheus(w); err != nil {
+				slog.Error("writing metrics", "err", err)
+			}
+		}
+	}
+}
+
+func handleTenantMetrics(fleet *gddr.Fleet) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tenant, err := fleet.Tenant(r.PathValue("id"))
+		if err != nil {
+			writeError(w, statusFor(err, http.StatusNotFound), err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := tenant.Engine().Metrics().WritePrometheus(w); err != nil {
 			slog.Error("writing metrics", "err", err)
 		}
+	}
+}
+
+// createTenantRequest is the POST /tenants body.
+type createTenantRequest struct {
+	ID     string            `json:"id"`
+	Config gddr.TenantConfig `json:"config"`
+}
+
+func handleTenantCreate(fleet *gddr.Fleet) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+		dec.DisallowUnknownFields()
+		var req createTenantRequest
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, statusFor(err, http.StatusBadRequest), fmt.Errorf("invalid tenant request: %w", err))
+			return
+		}
+		tenant, err := fleet.Create(req.ID, req.Config)
+		if err != nil {
+			writeError(w, statusFor(err, http.StatusBadRequest), err)
+			return
+		}
+		slog.Info("tenant created", "tenant", tenant.ID(), "topology", tenant.Config().Topology)
+		writeJSON(w, http.StatusCreated, map[string]any{
+			"tenant":   tenant.ID(),
+			"topology": tenant.Snapshot(),
+			"config":   tenant.Config(),
+		})
+	}
+}
+
+func handleTenantDelete(fleet *gddr.Fleet) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := fleet.Delete(id); err != nil {
+			writeError(w, statusFor(err, http.StatusNotFound), err)
+			return
+		}
+		slog.Info("tenant deleted", "tenant", id)
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+	}
+}
+
+func handleTenantList(fleet *gddr.Fleet, defaultID string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		type tenantInfo struct {
+			Topology string                `json:"topology"`
+			Snapshot gddr.TopologySnapshot `json:"snapshot"`
+		}
+		out := map[string]tenantInfo{}
+		for _, id := range fleet.List() {
+			t, err := fleet.Tenant(id)
+			if err != nil {
+				continue // deleted since List; the listing stays consistent
+			}
+			out[id] = tenantInfo{Topology: t.Config().Topology, Snapshot: t.Snapshot()}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"default": defaultID,
+			"tenants": out,
+		})
 	}
 }
 

@@ -19,11 +19,13 @@ import (
 // topology through typed events and the same trained policy immediately
 // routes on the mutated graph, while SwapAgent hot-reloads the model.
 //
-// Internally the engine keeps an immutable serving snapshot (a Router bound
-// to one frozen graph) behind an atomic pointer. Route reads the snapshot
-// lock-free; Apply and the swap operations build a fully-validated
-// replacement snapshot — mutated graph, consistently renumbered demand
-// history, probe-checked policy — then publish it and drain the old one.
+// Internally the engine keeps an immutable serving snapshot (one or more
+// replica Routers bound to one frozen graph and sharing one demand history
+// — see WithReplicas) behind an atomic pointer. Route reads the snapshot
+// lock-free and spreads across the replicas round-robin; Apply and the swap
+// operations build a fully-validated replacement snapshot — mutated graph,
+// consistently renumbered demand history, probe-checked policy, a fresh
+// replica set — then publish it atomically and drain the old one.
 // In-flight Route calls complete on the snapshot that accepted them; calls
 // that lose the race to a retiring snapshot transparently retry on the new
 // one, so callers never observe a swap as an error. A failed event or swap
@@ -35,6 +37,11 @@ type Engine struct {
 	closed bool
 
 	state atomic.Pointer[engineState]
+
+	// rr spreads Route calls across the current snapshot's read replicas
+	// round-robin; a single counter (rather than per-state) keeps the spread
+	// even across republishes.
+	rr atomic.Uint64
 
 	eventsApplied atomic.Int64
 	agentSwaps    atomic.Int64
@@ -73,13 +80,22 @@ func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
 	}
 }
 
-// engineState is one immutable serving snapshot. next is closed when the
-// snapshot is replaced (or the engine closes), waking Route callers that
-// hit the drain window of a swap.
+// engineState is one immutable serving snapshot: N replica routers cloned
+// from the same (agent, graph, history) state, sharing one demand history
+// so any replica's decisions observe the full traffic stream. The replica
+// set is published and replaced as a whole behind the engine's atomic state
+// pointer — no request can ever observe a half-published set. next is
+// closed when the snapshot is replaced (or the engine closes), waking Route
+// callers that hit the drain window of a swap. nodes/edges cache the
+// topology's shape at build time so Stats and Snapshot never touch the
+// graph on the read path.
 type engineState struct {
-	router  *Router
+	routers []*Router
+	hist    *demandHistory
 	agent   *Agent
 	version int64
+	nodes   int
+	edges   int
 	next    chan struct{}
 }
 
@@ -97,6 +113,38 @@ type EngineStats struct {
 	// Nodes and Edges describe the current topology.
 	Nodes int `json:"nodes"`
 	Edges int `json:"edges"`
+	// Replicas is the number of read replicas serving the current snapshot.
+	Replicas int `json:"replicas"`
+}
+
+// TopologySnapshot is the constant-time description of the serving
+// snapshot: the fields handlers would otherwise recompute from Graph().
+// They are cached when the snapshot is built, so reading them is one atomic
+// load — no lock, no graph traversal.
+type TopologySnapshot struct {
+	// Version is the topology version (0 after Close).
+	Version int64 `json:"version"`
+	// Nodes and Edges describe the topology currently served.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// Replicas is the number of read replicas serving the snapshot.
+	Replicas int `json:"replicas"`
+}
+
+// Snapshot returns the current topology version, shape, and replica count
+// in one atomic read. It is the cheap accessor behind /stats and
+// /t/{id}/stats; use Stats for the cumulative serving counters.
+func (e *Engine) Snapshot() TopologySnapshot {
+	st := e.state.Load()
+	if st == nil {
+		return TopologySnapshot{}
+	}
+	return TopologySnapshot{
+		Version:  st.version,
+		Nodes:    st.nodes,
+		Edges:    st.edges,
+		Replicas: len(st.routers),
+	}
 }
 
 // NewEngine builds a dynamic serving engine for agent on topology g. The
@@ -116,7 +164,7 @@ func NewEngine(agent *Agent, g *Graph, opts ...RouterOption) (*Engine, error) {
 	if cfg.metrics == nil {
 		cfg.metrics = metrics.NewRegistry()
 	}
-	r, err := newRouter(agent, g, cfg)
+	st, err := buildEngineState(agent, g, cfg, cfg.history, false, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -126,32 +174,72 @@ func NewEngine(agent *Agent, g *Graph, opts ...RouterOption) (*Engine, error) {
 		return float64(e.Version())
 	})
 	e.registry.GaugeFunc("gddr_engine_topology_nodes", "Nodes in the topology currently served.", func() float64 {
-		if st := e.state.Load(); st != nil {
-			return float64(st.router.Graph().NumNodes())
-		}
-		return 0
+		return float64(e.Snapshot().Nodes)
 	})
 	e.registry.GaugeFunc("gddr_engine_topology_edges", "Edges in the topology currently served.", func() float64 {
-		if st := e.state.Load(); st != nil {
-			return float64(st.router.Graph().NumEdges())
-		}
-		return 0
+		return float64(e.Snapshot().Edges)
 	})
-	e.state.Store(&engineState{router: r, agent: agent, version: 1, next: make(chan struct{})})
+	e.registry.GaugeFunc("gddr_engine_replicas", "Read replicas serving the current snapshot (0 after Close).", func() float64 {
+		return float64(e.Snapshot().Replicas)
+	})
+	e.state.Store(st)
 	return e, nil
+}
+
+// buildEngineState builds one serving snapshot: cfg.replicas routers around
+// (agent, g), all sharing a fresh demand history seeded with hist. The
+// first replica is probe-validated unless skipProbe (it stands for all of
+// them — every replica runs the same policy on the same graph); the rest
+// always skip the probe. On any failure the routers built so far are closed
+// and nothing is published.
+func buildEngineState(agent *Agent, g *Graph, cfg routerConfig, hist []*DemandMatrix, skipProbe bool, version int64) (*engineState, error) {
+	if agent == nil {
+		return nil, fmt.Errorf("gddr: engine needs an agent")
+	}
+	for _, dm := range hist {
+		if dm == nil || dm.N != g.NumNodes() {
+			return nil, fmt.Errorf("gddr: warm-history matrix does not match the %d-node topology", g.NumNodes())
+		}
+	}
+	shared := newDemandHistory(agent.envConfig().Memory)
+	shared.set(hist)
+	cfg.history = nil
+	cfg.hist = shared
+	routers := make([]*Router, cfg.replicas)
+	for i := range routers {
+		cfg.skipProbe = skipProbe || i > 0
+		r, err := newRouter(agent, g, cfg)
+		if err != nil {
+			for _, prev := range routers[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		routers[i] = r
+	}
+	return &engineState{
+		routers: routers,
+		hist:    shared,
+		agent:   agent,
+		version: version,
+		nodes:   g.NumNodes(),
+		edges:   g.NumEdges(),
+		next:    make(chan struct{}),
+	}, nil
 }
 
 // Metrics returns the registry every snapshot's serving instruments and the
 // engine's own event/swap metrics live in — the process's /metrics source.
 func (e *Engine) Metrics() *metrics.Registry { return e.registry }
 
-// Route computes the routing decision for dm on the current topology. It is
-// safe for concurrent use and never fails because of a concurrent Apply or
-// swap: a request that races with a snapshot retirement waits out the
-// drain (at most one in-flight batch) and retries on the replacement.
-// After Close it returns ErrClosed; a demand matrix sized for a stale
-// topology returns a size-mismatch error. As with Router.Route, dm joins
-// the demand history and must not be modified after the call.
+// Route computes the routing decision for dm on the current topology,
+// spreading calls round-robin across the snapshot's read replicas (see
+// WithReplicas). It is safe for concurrent use and never fails because of a
+// concurrent Apply or swap: a request that races with a snapshot retirement
+// waits out the drain (at most one in-flight batch) and retries on the
+// replacement. After Close it returns ErrClosed; a demand matrix sized for
+// a stale topology returns a size-mismatch error. As with Router.Route, dm
+// joins the demand history and must not be modified after the call.
 func (e *Engine) Route(ctx context.Context, dm *DemandMatrix) (*Decision, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -161,7 +249,8 @@ func (e *Engine) Route(ctx context.Context, dm *DemandMatrix) (*Decision, error)
 		if st == nil {
 			return nil, ErrClosed
 		}
-		d, err := st.router.Route(ctx, dm)
+		r := st.routers[int(e.rr.Add(1)-1)%len(st.routers)]
+		d, err := r.Route(ctx, dm)
 		if errors.Is(err, ErrClosed) {
 			select {
 			case <-st.next: // snapshot replaced (or engine closed); retry
@@ -274,7 +363,7 @@ func (e *Engine) SwapCheckpoint(ctx context.Context, r io.Reader) error {
 	st := e.state.Load()
 	// The MLP constructor sizes itself from a scenario's topology; hand it
 	// the topology currently being served.
-	scen := &Scenario{Items: []ScenarioItem{{Graph: st.router.Graph()}}}
+	scen := &Scenario{Items: []ScenarioItem{{Graph: st.routers[0].Graph()}}}
 	agent, err := NewAgent(st.agent.Kind, scen, WithConfig(st.agent.Config))
 	if err != nil {
 		return fmt.Errorf("gddr: rebuilding serving architecture: %w", err)
@@ -293,46 +382,50 @@ func (e *Engine) SwapCheckpoint(ctx context.Context, r io.Reader) error {
 // replaceLocked swaps the serving snapshot to (agent, transform(old)) with
 // validation before disruption and no lost observations:
 //
-//  1. The transition is validated and the replacement built and
-//     probe-checked against a provisional history, all while the old
-//     snapshot keeps serving — a rejected event or incompatible agent
-//     returns here with serving untouched.
-//  2. The old snapshot is drained, so its demand history is final; Route
-//     callers arriving in this window wait on old.next instead of failing.
+//  1. The transition is validated and the replacement — every read replica
+//     of it — built and probe-checked against a provisional history, all
+//     while the old snapshot keeps serving — a rejected event or
+//     incompatible agent returns here with serving untouched.
+//  2. The old snapshot's replicas are drained, so its demand history is
+//     final; Route callers arriving in this window wait on old.next
+//     instead of failing.
 //  3. The final history is re-transformed and carried into the replacement,
-//     which is then published. No demand matrix routed on the old snapshot
-//     is lost, and every post-return decision is computed on the new state.
+//     which is then published as a whole: the replica set swaps behind one
+//     atomic store, so no request can observe a mix of old and new
+//     replicas. No demand matrix routed on the old snapshot is lost, and
+//     every post-return decision is computed on the new state.
 //
 // skipProbe elides the probe forward pass for rebuilds around an
 // already-validated graph-size-agnostic agent. Callers hold e.mu.
 func (e *Engine) replaceLocked(old *engineState, agent *Agent, transform func(*Graph, []*DemandMatrix) (*Graph, []*DemandMatrix, error), skipProbe bool) error {
-	g := old.router.Graph()
-	g2, hist, err := transform(g, old.router.historySnapshot())
+	g := old.routers[0].Graph()
+	g2, hist, err := transform(g, old.hist.snapshot())
 	if err != nil {
 		return err
 	}
-	cfg := e.cfg
-	cfg.history = hist
-	cfg.skipProbe = skipProbe
 	rebuildStart := time.Now()
-	r, err := newRouter(agent, g2, cfg)
+	st, err := buildEngineState(agent, g2, e.cfg, hist, skipProbe, old.version+1)
 	if err != nil {
 		return err
 	}
 	drainStart := time.Now()
 	e.met.rebuildSeconds.Observe(drainStart.Sub(rebuildStart).Seconds())
-	old.router.Close()
+	for _, r := range old.routers {
+		r.Close()
+	}
 	e.met.drainSeconds.Observe(time.Since(drainStart).Seconds())
 	// Re-transform the now-final history (in-flight batches may have pushed
 	// matrices after the provisional snapshot). A transform that just
 	// succeeded on the same graph cannot fail on a longer history; if it
 	// somehow does, the provisional history stands.
-	if _, final, err := transform(g, old.router.historySnapshot()); err == nil {
-		r.setHistory(final)
+	if _, final, err := transform(g, old.hist.snapshot()); err == nil {
+		st.hist.set(final)
 	}
-	e.state.Store(&engineState{router: r, agent: agent, version: old.version + 1, next: make(chan struct{})})
+	e.state.Store(st)
 	close(old.next)
-	e.foldStatsLocked(old.router)
+	for _, r := range old.routers {
+		e.foldStatsLocked(r)
+	}
 	return nil
 }
 
@@ -356,7 +449,7 @@ func (e *Engine) Graph() *Graph {
 	if st == nil {
 		return nil
 	}
-	return st.router.Graph().Clone()
+	return st.routers[0].Graph().Clone()
 }
 
 // Version returns the current topology version: 1 at construction,
@@ -382,17 +475,19 @@ func (e *Engine) Stats() EngineStats {
 	st := e.state.Load()
 	e.mu.Unlock()
 	if st != nil {
-		s := st.router.Stats()
-		stats.Requests += s.Requests
-		stats.Batches += s.Batches
-		stats.ForwardPasses += s.ForwardPasses
-		stats.PolicyCacheHits += s.PolicyCacheHits
-		stats.StrategyHits += s.StrategyHits
-		stats.StrategyMisses += s.StrategyMisses
+		for _, r := range st.routers {
+			s := r.Stats()
+			stats.Requests += s.Requests
+			stats.Batches += s.Batches
+			stats.ForwardPasses += s.ForwardPasses
+			stats.PolicyCacheHits += s.PolicyCacheHits
+			stats.StrategyHits += s.StrategyHits
+			stats.StrategyMisses += s.StrategyMisses
+		}
 		stats.TopologyVersion = st.version
-		g := st.router.Graph()
-		stats.Nodes = g.NumNodes()
-		stats.Edges = g.NumEdges()
+		stats.Nodes = st.nodes
+		stats.Edges = st.edges
+		stats.Replicas = len(st.routers)
 	}
 	return stats
 }
@@ -409,8 +504,12 @@ func (e *Engine) Close() {
 	st := e.state.Load()
 	e.state.Store(nil)
 	if st != nil {
-		st.router.Close()
+		for _, r := range st.routers {
+			r.Close()
+		}
 		close(st.next) // wake waiters; they observe the nil state
-		e.foldStatsLocked(st.router)
+		for _, r := range st.routers {
+			e.foldStatsLocked(r)
+		}
 	}
 }

@@ -323,6 +323,9 @@ func TestCheckMetricName(t *testing.T) {
 		{"counter", "gddr_router_requests_total", ""},
 		{"histogram", "gddr_lp_solve_seconds", ""},
 		{"gauge", "gddr_engine_agent_generation", ""},
+		{"counter", "gddr_fleet_shed_total", ""},
+		{"histogram", "gddr_fleet_route_seconds", ""},
+		{"gauge", "gddr_fleet_tenants", ""},
 		{"counter", "gddr_router_requests", "must end in _total"},
 		{"gauge", "gddr_train_policy_loss_total", "must not end in _total"},
 		{"histogram", "gddr_router_latency_ms", `non-base unit "ms"`},

@@ -25,7 +25,7 @@ var MetricNames = &Analyzer{
 
 // MetricSubsystems are the approved <subsystem> segments: the layers that
 // own instruments (see DESIGN.md "Metric naming contract").
-var MetricSubsystems = []string{"engine", "http", "lp", "router", "train"}
+var MetricSubsystems = []string{"engine", "fleet", "http", "lp", "router", "train"}
 
 // registrationKinds maps Registry methods to the instrument kind their
 // name grammar is checked against.

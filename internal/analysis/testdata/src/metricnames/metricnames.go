@@ -10,6 +10,8 @@ func register(reg *metrics.Registry, dynamic string) {
 	reg.Counter("gddr_router_requests_total", "the grammar: namespace, subsystem, name, unit")
 	reg.Histogram("gddr_lp_solve_"+unitSuffix, "constant folding reaches concatenated names", nil)
 	reg.Counter(dynamic, "dynamic names are the runtime grammar test's job")
+	reg.Counter("gddr_fleet_shed_total", "the fleet control plane is an approved subsystem")
+	reg.Histogram("gddr_fleet_route_seconds", "", nil)
 
 	reg.Counter("gddr_router_requests", "")                                         // want "counter .* must end in _total"
 	reg.Gauge("gddr_train_policy_loss_total", "")                                   // want "must not end in _total \(reserved for counters\)"

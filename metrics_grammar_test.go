@@ -54,6 +54,20 @@ func TestMetricNameGrammar(t *testing.T) {
 	reg.Histogram("gddr_http_request_seconds", "HTTP request latency.", metrics.LatencyBuckets(),
 		metrics.L("path", "/route")).Observe(0.001)
 
+	// Exercise the fleet control plane (fleet instruments) into the same
+	// registry: one admitted route and one shed route materialise the
+	// tenant-labelled admission families.
+	fleet := NewFleet(WithFleetRegistry(reg))
+	defer fleet.Close()
+	tenant, err := fleet.CreateWithAgent("grammar", TenantConfig{Topology: "abilene"}, agent, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tenant.Route(ctx, testDemand(g, 7)); err != nil {
+		t.Fatal(err)
+	}
+	tenant.shed.Inc() // the shed counter is registered at create; count one
+
 	points := reg.Snapshot()
 	if len(points) == 0 {
 		t.Fatal("no metrics registered")
@@ -75,7 +89,7 @@ func TestMetricNameGrammar(t *testing.T) {
 	}
 	// The walk above only proves names conform; prove it covered the
 	// subsystems the contract enumerates.
-	for _, want := range []string{"router", "engine", "train", "lp", "http"} {
+	for _, want := range []string{"router", "engine", "train", "lp", "http", "fleet"} {
 		if !subsystems[want] {
 			t.Errorf("grammar walk never saw subsystem %q; the test lost coverage", want)
 		}

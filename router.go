@@ -137,8 +137,12 @@ type Router struct {
 	noCache     bool
 	zero        *DemandMatrix // cold-start history pad (all-zero demand)
 
-	mu      sync.Mutex
-	history []*DemandMatrix // most recent matrices, oldest first, len <= Memory
+	// hist is the sliding demand-history window. A standalone Router owns a
+	// private one; an Engine built with replicas shares a single history
+	// among every replica router of a snapshot, so each replica's decisions
+	// observe the full traffic stream rather than the fraction that happened
+	// to land on it.
+	hist *demandHistory
 
 	reqCh     chan *routeRequest
 	quit      chan struct{}
@@ -236,6 +240,77 @@ func grow(buf []float64, n int) []float64 {
 	return buf[:n]
 }
 
+// demandHistory is the sliding window of the most recently routed demand
+// matrices (oldest first, len <= memory): the policy's observation state,
+// factored out of the Router so it can be shared. A standalone Router owns
+// a private history; an Engine snapshot with N read replicas hands every
+// replica the same instance, so the observation window any replica serves
+// from is the one a single-replica engine would have seen — replicas scale
+// the compute path (batcher, caches, workers), never fork the state.
+type demandHistory struct {
+	mu     sync.Mutex
+	memory int
+	dms    []*DemandMatrix
+}
+
+func newDemandHistory(memory int) *demandHistory {
+	return &demandHistory{memory: memory}
+}
+
+// observeAndPush atomically snapshots the observation window (cold-start
+// slots padded with pad) and appends the batch's matrices, so concurrent
+// batches — including batches on sibling replicas — serialise into one
+// coherent history: each batch observes everything pushed before it and
+// nothing pushed after. The returned window is freshly allocated
+// (HistoryWindow copies the pointer slice) and safe to retain.
+func (h *demandHistory) observeAndPush(pad *DemandMatrix, batch []*routeRequest) []*DemandMatrix {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	win := env.HistoryWindow(h.dms, h.memory, pad)
+	for _, req := range batch {
+		h.dms = append(h.dms, req.dm)
+	}
+	if len(h.dms) > h.memory {
+		h.dms = h.dms[len(h.dms)-h.memory:]
+	}
+	return win
+}
+
+// window returns the current observation window without pushing anything
+// (construction-time probe).
+func (h *demandHistory) window(pad *DemandMatrix) []*DemandMatrix {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return env.HistoryWindow(h.dms, h.memory, pad)
+}
+
+// snapshot copies the raw history (no padding, oldest first).
+func (h *demandHistory) snapshot() []*DemandMatrix {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*DemandMatrix(nil), h.dms...)
+}
+
+// set replaces the history, trimming to the memory window.
+func (h *demandHistory) set(dms []*DemandMatrix) {
+	if len(dms) > h.memory {
+		dms = dms[len(dms)-h.memory:]
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.dms = append(h.dms[:0:0], dms...)
+}
+
+// push appends one matrix, trimming to the memory window.
+func (h *demandHistory) push(dm *DemandMatrix) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.dms = append(h.dms, dm)
+	if len(h.dms) > h.memory {
+		h.dms = h.dms[len(h.dms)-h.memory:]
+	}
+}
+
 type routeRequest struct {
 	ctx      context.Context
 	dm       *DemandMatrix
@@ -289,6 +364,10 @@ func newRouter(agent *Agent, g *Graph, cfg routerConfig) (*Router, error) {
 	r.observers.New = func() any { return new(env.Observer) }
 	r.scratch.New = func() any { return new(evalScratch) }
 	r.tracing = cfg.tracing
+	r.hist = cfg.hist
+	if r.hist == nil {
+		r.hist = newDemandHistory(ecfg.Memory)
+	}
 	if !cfg.noMetrics {
 		r.registry = cfg.metrics
 		if r.registry == nil {
@@ -300,7 +379,7 @@ func newRouter(agent *Agent, g *Graph, cfg routerConfig) (*Router, error) {
 		if dm == nil || dm.N != g.NumNodes() {
 			return nil, fmt.Errorf("gddr: warm-history matrix does not match the %d-node topology", g.NumNodes())
 		}
-		r.push(dm)
+		r.hist.push(dm)
 	}
 	// Probe: one decision on an empty demand matrix catches policies whose
 	// shape is bound to a different topology before serving starts. decide
@@ -308,7 +387,7 @@ func newRouter(agent *Agent, g *Graph, cfg routerConfig) (*Router, error) {
 	// so the probe leaves the caches cold and the serving counters honest
 	// (the probe's passes are simply never added).
 	if !cfg.skipProbe {
-		if _, _, _, err := r.decide(r.snapshotHistory(r.zero), nil); err != nil {
+		if _, _, _, err := r.decide(r.hist.window(r.zero), nil); err != nil {
 			return nil, fmt.Errorf("gddr: agent incompatible with topology: %w", err)
 		}
 	}
@@ -392,9 +471,7 @@ func (r *Router) Close() {
 // historySnapshot copies the current demand history (oldest first), so the
 // Engine can carry observations across a topology or model swap.
 func (r *Router) historySnapshot() []*DemandMatrix {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append([]*DemandMatrix(nil), r.history...)
+	return r.hist.snapshot()
 }
 
 // setHistory replaces the demand history (oldest first), trimming to the
@@ -402,12 +479,7 @@ func (r *Router) historySnapshot() []*DemandMatrix {
 // final history into a replacement snapshot before publishing it; the
 // matrices must already be sized for the router's topology.
 func (r *Router) setHistory(hist []*DemandMatrix) {
-	if m := r.ecfg.Memory; len(hist) > m {
-		hist = hist[len(hist)-m:]
-	}
-	r.mu.Lock()
-	r.history = append(r.history[:0], hist...)
-	r.mu.Unlock()
+	r.hist.set(hist)
 }
 
 func (r *Router) worker() {
@@ -461,21 +533,6 @@ func (r *Router) gather(first *routeRequest) []*routeRequest {
 	return batch
 }
 
-// push appends dm to the sliding demand history.
-func (r *Router) push(dm *DemandMatrix) {
-	m := r.ecfg.Memory
-	r.history = append(r.history, dm)
-	if len(r.history) > m {
-		r.history = r.history[len(r.history)-m:]
-	}
-}
-
-// snapshotHistory returns the m most recent matrices, padding a cold-start
-// history with fallback, without mutating router state.
-func (r *Router) snapshotHistory(fallback *DemandMatrix) []*DemandMatrix {
-	return env.HistoryWindow(r.history, r.ecfg.Memory, fallback)
-}
-
 // batchTrace collects the shared per-batch stage timings when tracing is
 // enabled; nil otherwise, in which case the stages pay no timing cost.
 type batchTrace struct {
@@ -522,12 +579,7 @@ func (r *Router) serve(batch []*routeRequest) {
 	// padded with zero matrices — the "no traffic observed yet" statement —
 	// never with a batch member's own demand, which would let the first
 	// decisions observe the very demand they are routing.
-	r.mu.Lock()
-	hist := r.snapshotHistory(r.zero)
-	for _, req := range live {
-		r.push(req.dm)
-	}
-	r.mu.Unlock()
+	hist := r.hist.observeAndPush(r.zero, live)
 
 	var bt *batchTrace
 	if r.tracing {

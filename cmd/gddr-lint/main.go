@@ -5,6 +5,7 @@
 //
 //	gddr-lint ./...                    # the CI gate
 //	gddr-lint -checks determinism ./internal/rl
+//	gddr-lint -json ./...              # one JSON object per finding line
 //	gddr-lint -list
 //
 // Checks:
@@ -14,6 +15,11 @@
 //	metricnames  registry metric names follow gddr_<subsystem>_<name>_<unit>
 //	ctxflow      ctx-accepting functions forward ctx, never mint Background/TODO
 //	jsonerrors   gateway handlers keep the {"error": ...} JSON contract
+//	lockguard    //gddr:guardedby fields are only touched with their mutex held
+//	atomicpub    atomic.Pointer fields follow the copy-on-write publication
+//	             contract: Store under the writer mutex, no writes through Load
+//	hotpath      //gddr:hotpath functions stay free of allocating constructs,
+//	             transitively through module-local callees
 //
 // A finding is suppressed only by an explicit in-place directive:
 //
@@ -24,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +40,16 @@ import (
 	"gddr/internal/analysis"
 )
 
+// jsonFinding is the -json wire form: one object per line so CI and editors
+// can stream-parse the report without holding it whole.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -40,6 +57,7 @@ func main() {
 func run() int {
 	checks := flag.String("checks", "all", "comma-separated checks to run (default: all)")
 	list := flag.Bool("list", false, "list the available checks and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as one JSON object per line instead of text")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: gddr-lint [-checks list] [packages]\n\n")
 		flag.PrintDefaults()
@@ -74,12 +92,26 @@ func run() int {
 	}
 	findings := analysis.Run(pkgs, analysis.DefaultConfig(loader.ModulePath()), analyzers)
 	wd, _ := os.Getwd()
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
 		name := f.Pos.Filename
 		if wd != "" {
 			if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
 				name = rel
 			}
+		}
+		if *jsonOut {
+			if err := enc.Encode(jsonFinding{
+				File:    name,
+				Line:    f.Pos.Line,
+				Column:  f.Pos.Column,
+				Check:   f.Check,
+				Message: f.Msg,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "gddr-lint:", err)
+				return 2
+			}
+			continue
 		}
 		fmt.Printf("%s:%d:%d: %s [%s]\n", name, f.Pos.Line, f.Pos.Column, f.Msg, f.Check)
 	}

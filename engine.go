@@ -34,9 +34,9 @@ type Engine struct {
 	cfg routerConfig // workers/maxBatch reused for every rebuild
 
 	mu     sync.Mutex // serialises Apply/SwapAgent/SwapCheckpoint/Close
-	closed bool
+	closed bool       //gddr:guardedby mu
 
-	state atomic.Pointer[engineState]
+	state atomic.Pointer[engineState] //gddr:guardedby mu
 
 	// rr spreads Route calls across the current snapshot's read replicas
 	// round-robin; a single counter (rather than per-state) keeps the spread
@@ -48,7 +48,7 @@ type Engine struct {
 
 	// Counters of retired snapshots, folded in as routers are replaced so
 	// Stats stays cumulative across topology and model swaps.
-	retired RouterStats
+	retired RouterStats //gddr:guardedby mu
 
 	// registry is shared with every snapshot's router, so serving counters
 	// and histograms stay cumulative across topology and model swaps; met
@@ -240,6 +240,8 @@ func (e *Engine) Metrics() *metrics.Registry { return e.registry }
 // replacement. After Close it returns ErrClosed; a demand matrix sized for
 // a stale topology returns a size-mismatch error. As with Router.Route, dm
 // joins the demand history and must not be modified after the call.
+//
+//gddr:hotpath
 func (e *Engine) Route(ctx context.Context, dm *DemandMatrix) (*Decision, error) {
 	if ctx == nil {
 		ctx = context.Background()

@@ -109,7 +109,10 @@ func fixtureConfig() *Config {
 	}
 }
 
-var fixturePackages = []string{"ctxflow", "detfiles", "determinism", "jsonerrors", "metricnames"}
+var fixturePackages = []string{
+	"atomicpub", "ctxflow", "detfiles", "determinism",
+	"hotpath", "jsonerrors", "lockguard", "metricnames",
+}
 
 var fixturesOnce struct {
 	sync.Once

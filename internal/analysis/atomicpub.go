@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicPub enforces the copy-on-write publication contract (DESIGN.md
+// "Tenant isolation contract" items 3 and 6) on atomic.Pointer fields
+// annotated with the same field directive lockguard uses:
+//
+//	state atomic.Pointer[engineState] //gddr:guardedby mu
+//
+// Here the directive names the field's designated *writer* mutex. Readers
+// are lock-free — Load() is always allowed — but:
+//
+//   - Publication happens only through Store/Swap/CompareAndSwap called
+//     while the writer mutex is write-held (lockguard's construction-window
+//     and *Locked-suffix exemptions apply: a constructor may Store into a
+//     value it just built, and a *Locked method documents that callers hold
+//     the mutex).
+//   - A snapshot obtained from Load() is immutable: no assignment may write
+//     through the Load() result or any local alias of it — including a
+//     dereferenced copy, whose map/slice fields still share the published
+//     backing store. Mutation means build-new-then-Store.
+//
+// Test files are exempt, matching lockguard: the -race stress suites cover
+// dynamic publication behaviour.
+var AtomicPub = &Analyzer{
+	Name: "atomicpub",
+	Doc:  "annotated atomic.Pointer fields publish only via Store under their writer mutex; Load() results stay immutable",
+	Run:  runAtomicPub,
+}
+
+func runAtomicPub(p *Pass) {
+	guards := parseGuards(p, false)
+	atomics := make(map[*types.Var]*guardInfo)
+	for v, gi := range guards {
+		if gi.atomic {
+			atomics[v] = gi
+		}
+	}
+	w := &guardWalker{p: p, guards: atomics, atomicMode: true}
+	w.walkPackage()
+}
+
+// checkAtomicCall intercepts method calls on annotated atomic.Pointer
+// fields. It returns true when the call was one (so the generic walk skips
+// re-inspecting the receiver chain).
+func (w *guardWalker) checkAtomicCall(call *ast.CallExpr, held lockState, fn *funcScope) bool {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fieldSel, ok := ast.Unparen(se.X).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	gi := w.guardOf(fieldSel)
+	if gi == nil || !gi.atomic {
+		return false
+	}
+	switch se.Sel.Name {
+	case "Load":
+		return true
+	case "Store", "Swap", "CompareAndSwap":
+		base, root := exprKey(w.p, fieldSel.X)
+		if root != nil && fn.fresh[root] {
+			return true // construction window: the owner is unpublished
+		}
+		field := gi.name
+		if base != "" {
+			field = base + "." + gi.name
+		}
+		if base == "" {
+			w.p.Reportf(call.Pos(), "%s.%s through an unnamed base expression: the analyzer cannot match it to writer mutex %s", field, se.Sel.Name, gi.mu)
+			return true
+		}
+		key := base + "." + gi.mu
+		if held[key] != heldWrite {
+			w.p.Reportf(call.Pos(), "%s.%s without holding writer mutex %s.Lock(): copy-on-write publication must be serialised (field is %s %s)", field, se.Sel.Name, key, guardedByPrefix, gi.mu)
+		}
+		return true
+	}
+	return false
+}
+
+// rootedInLoad reports whether the expression's value derives from a Load()
+// of an annotated atomic field: the call itself, a dereference or
+// field/index projection of it, or a local already marked as an alias.
+func (w *guardWalker) rootedInLoad(e ast.Expr, fn *funcScope) bool {
+	_, ok := w.aliasRoot(e, fn)
+	return ok
+}
+
+// aliasRoot unwraps projections to the root of an expression and reports
+// whether that root is a Load() result or a known alias, returning a
+// printable name for the root.
+func (w *guardWalker) aliasRoot(e ast.Expr, fn *funcScope) (string, bool) {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := w.p.Pkg.Info.ObjectOf(t); obj != nil && fn.aliases[obj] {
+			return t.Name, true
+		}
+	case *ast.StarExpr:
+		return w.aliasRoot(t.X, fn)
+	case *ast.SelectorExpr:
+		return w.aliasRoot(t.X, fn)
+	case *ast.IndexExpr:
+		return w.aliasRoot(t.X, fn)
+	case *ast.SliceExpr:
+		return w.aliasRoot(t.X, fn)
+	case *ast.CallExpr:
+		if se, ok := t.Fun.(*ast.SelectorExpr); ok && se.Sel.Name == "Load" {
+			if fieldSel, ok := ast.Unparen(se.X).(*ast.SelectorExpr); ok {
+				if gi := w.guardOf(fieldSel); gi != nil && gi.atomic {
+					return gi.name + ".Load()", true
+				}
+			}
+		}
+	}
+	return "", false
+}

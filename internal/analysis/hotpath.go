@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// HotPath enforces the allocation-free serving contract on functions marked
+// with a doc-comment directive:
+//
+//	//gddr:hotpath
+//	func (r *Router) serve() { ... }
+//
+// A marked function — and, transitively, every module-local function it
+// statically calls — must not contain allocating constructs:
+//
+//   - make / new
+//   - append that can grow its first argument (append(s[:n], ...) onto an
+//     explicit reslice is the sanctioned preallocated pattern)
+//   - escaping composite literals: &T{...}, slice and map literals
+//   - any call into package fmt
+//   - non-constant string concatenation
+//   - arguments boxed into interface parameters from non-pointer-shaped
+//     concrete values (pointers, maps, chans and funcs box without
+//     allocating; structs, slices, strings and numbers do not)
+//
+// Transitive findings are reported at the call site inside the marked
+// function's package, naming the callee's offending construct. Calls that
+// cannot be resolved statically (interface methods, function values) and
+// standard-library calls other than fmt are trusted. A deliberate cold
+// branch — error paths, cache-miss rebuilds, opt-in tracing — is sanctioned
+// in place with `//gddr:allow hotpath <reason>`, which also stops the site
+// from propagating to callers. Arguments of panic are exempt: a panicking
+// path is cold by definition.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//gddr:hotpath functions stay allocation-free, transitively through module-local callees",
+	Run:  runHotPath,
+}
+
+// hotPathMarker is the doc-comment directive that marks a hot function.
+const hotPathMarker = "//gddr:hotpath"
+
+func runHotPath(p *Pass) {
+	h := &hotPathChecker{
+		p:         p,
+		decls:     make(map[token.Pos]hotDecl),
+		summaries: make(map[token.Pos][]hotSite),
+		active:    make(map[token.Pos]bool),
+	}
+	for _, pkg := range p.All {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					h.decls[fd.Name.Pos()] = hotDecl{fd, pkg}
+				}
+			}
+		}
+	}
+	for _, file := range p.Pkg.Files {
+		funcDocs := make(map[*ast.CommentGroup]bool)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Doc != nil {
+				funcDocs[fd.Doc] = true
+			}
+			if fd.Body == nil || !hasHotPathMarker(fd.Doc) {
+				continue
+			}
+			for _, site := range h.summary(fd.Name.Pos()) {
+				p.Reportf(site.pos, "%s in %s function %s", site.msg, hotPathMarker, fd.Name.Name)
+			}
+		}
+		// A marker outside a function's doc comment marks nothing: surface
+		// it rather than let the contract silently not apply.
+		for _, group := range file.Comments {
+			if funcDocs[group] {
+				continue
+			}
+			for _, c := range group.List {
+				if isHotPathMarker(c.Text) {
+					p.Reportf(c.Pos(), "misplaced %s: the directive must sit in a function declaration's doc comment", hotPathMarker)
+				}
+			}
+		}
+	}
+}
+
+func isHotPathMarker(text string) bool {
+	after, ok := strings.CutPrefix(text, hotPathMarker)
+	return ok && (after == "" || after[0] == ' ' || after[0] == '\t')
+}
+
+func hasHotPathMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if isHotPathMarker(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotDecl locates a function declaration and the unit that type-checked it.
+type hotDecl struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// hotSite is one allocating construct, positioned where the reporting
+// package can see it (direct constructs in the function body, transitive
+// ones at the call site).
+type hotSite struct {
+	pos token.Pos
+	msg string
+}
+
+type hotPathChecker struct {
+	p         *Pass
+	decls     map[token.Pos]hotDecl // every module function, keyed by name position
+	summaries map[token.Pos][]hotSite
+	active    map[token.Pos]bool // recursion guard
+}
+
+// summary computes (and memoises) the allocation sites of the function
+// declared at pos, with //gddr:allow hotpath sites already filtered out so
+// a sanctioned cold branch does not propagate to callers.
+func (h *hotPathChecker) summary(pos token.Pos) []hotSite {
+	if sites, ok := h.summaries[pos]; ok {
+		return sites
+	}
+	if h.active[pos] {
+		return nil // recursion: the cycle's sites surface on its own frame
+	}
+	ref, ok := h.decls[pos]
+	if !ok {
+		return nil
+	}
+	h.active[pos] = true
+	sites := h.checkBody(ref)
+	delete(h.active, pos)
+	h.summaries[pos] = sites
+	return sites
+}
+
+// short formats a position as file:line for finding messages.
+func (h *hotPathChecker) short(pos token.Pos) string {
+	p := h.p.Pkg.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// checkBody walks one function body and collects its allocation sites.
+func (h *hotPathChecker) checkBody(ref hotDecl) []hotSite {
+	var sites []hotSite
+	info := ref.pkg.Info
+	add := func(pos token.Pos, format string, args ...any) {
+		if h.p.allowedAt(ref.pkg.Fset, pos) {
+			return
+		}
+		sites = append(sites, hotSite{pos: pos, msg: fmt.Sprintf(format, args...)})
+	}
+	flaggedLits := make(map[*ast.CompositeLit]bool)
+	ast.Inspect(ref.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					flaggedLits[lit] = true
+					add(n.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if flaggedLits[n] {
+				return true // already reported as &T{...}; still walk elements
+			}
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				add(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				add(n.Pos(), "map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) {
+				if tv, ok := info.Types[ast.Expr(n)]; !ok || tv.Value == nil {
+					add(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				add(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			h.checkCall(ref, n, add)
+		}
+		return true
+	})
+	return sites
+}
+
+// checkCall classifies one call expression inside a hot function.
+func (h *hotPathChecker) checkCall(ref hotDecl, call *ast.CallExpr, add func(token.Pos, string, ...any)) {
+	info := ref.pkg.Info
+	// Conversions: only conversion *to* an interface allocates.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := info.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at) && !pointerShaped(at) {
+				add(call.Pos(), "conversion to interface boxes a non-pointer value")
+			}
+		}
+		return
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				add(call.Pos(), "make allocates")
+			case "new":
+				add(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 {
+					if _, resliced := ast.Unparen(call.Args[0]).(*ast.SliceExpr); !resliced {
+						add(call.Pos(), "append may grow its backing array (append onto an explicit reslice of a preallocated buffer instead)")
+					}
+				}
+			}
+			return // panic/copy/len/...: no boxing check on builtins
+		}
+	}
+	// Any fmt call allocates (formatting state, boxed operands).
+	if se, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := se.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				add(call.Pos(), "fmt.%s allocates", se.Sel.Name)
+				return
+			}
+		}
+	}
+	// Interface boxing of arguments.
+	if sig, ok := info.TypeOf(call.Fun).(*types.Signature); ok && sig != nil {
+		h.checkBoxing(info, call, sig, add)
+	}
+	// Transitive: module-local callees must be allocation-free too.
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return
+	}
+	if inner := h.summary(fn.Pos()); len(inner) > 0 {
+		first := inner[0]
+		more := ""
+		if len(inner) > 1 {
+			more = fmt.Sprintf(" and %d more site(s)", len(inner)-1)
+		}
+		add(call.Pos(), "call to %s allocates: %s at %s%s", fn.Name(), first.msg, h.short(first.pos), more)
+	}
+}
+
+// checkBoxing flags concrete non-pointer-shaped arguments passed to
+// interface parameters: the conversion heap-allocates the value.
+func (h *hotPathChecker) checkBoxing(info *types.Info, call *ast.CallExpr, sig *types.Signature, add func(token.Pos, string, ...any)) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case !sig.Variadic():
+			if i >= params.Len() {
+				continue
+			}
+			pt = params.At(i).Type()
+		case i < params.Len()-1:
+			pt = params.At(i).Type()
+		case call.Ellipsis != token.NoPos:
+			continue // s... forwards an existing slice; nothing boxes here
+		default:
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if _, isTypeParam := pt.(*types.TypeParam); isTypeParam {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.IsNil() {
+			continue
+		}
+		at := tv.Type
+		if at == nil || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		add(arg.Pos(), "argument boxes a non-pointer value into an interface parameter")
+	}
+}
+
+// pointerShaped reports whether values of the type fit in an interface word
+// without allocating: pointers, channels, maps, funcs and unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// calleeOf statically resolves a call to the *types.Func it invokes:
+// package-local functions, qualified functions, and concrete methods.
+// Interface methods and function values return nil (dynamic dispatch).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

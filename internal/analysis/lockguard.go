@@ -1,0 +1,747 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+	"strings"
+)
+
+// LockGuard enforces the mutex-guarding contract declared in place by the
+// field directive
+//
+//	//gddr:guardedby <mutexField>
+//
+// trailing (or in the doc comment of) a struct field whose synchronisation
+// the named sibling sync.Mutex/sync.RWMutex owns. Every read of an annotated
+// field must happen while the mutex is held (RLock suffices on an RWMutex),
+// and every write while it is write-locked. The analysis is a linear,
+// defer-aware walk of each function body: Lock/RLock acquire, Unlock/RUnlock
+// release, a deferred Unlock holds to the end of the function, and branches
+// merge conservatively (a lock is held after a branch only if it is held on
+// every non-returning path). Closures are attributed to their definition
+// point and inherit the lock state there — except `go` closures, which run
+// concurrently and start with nothing held.
+//
+// Two sanctioned idioms need no directive:
+//
+//   - Construction window: accesses through a local variable initialised
+//     from a composite literal or new(T) in the same function — the value is
+//     not yet published, so no lock can be required.
+//   - The *Locked suffix: a method whose name ends in "Locked" documents
+//     that its callers hold the receiver's annotated mutexes, and is
+//     analysed with them write-held at entry.
+//
+// Fields of sync/atomic types are not lockguard's: atomic.Pointer fields
+// annotated with //gddr:guardedby belong to the atomicpub check (the
+// directive names their writer mutex), and other atomics synchronise
+// themselves. Test files are exempt — single-goroutine test code may poke
+// fields directly, and the -race suites cover dynamic behaviour.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "//gddr:guardedby fields are accessed only while the named sibling mutex is held",
+	Run:  runLockGuard,
+}
+
+func runLockGuard(p *Pass) {
+	guards := parseGuards(p, true)
+	w := &guardWalker{p: p, guards: guards}
+	w.walkPackage()
+}
+
+// guardedByPrefix introduces the field-guarding directive.
+const guardedByPrefix = "//gddr:guardedby"
+
+// guardInfo describes one annotated struct field.
+type guardInfo struct {
+	name   string // field name, for messages
+	mu     string // sibling mutex field name (an embedded mutex: its type name)
+	rw     bool   // the mutex is an RWMutex (reads may hold RLock)
+	atomic bool   // field is an atomic.Pointer: owned by atomicpub, not lockguard
+}
+
+// parseGuards collects every //gddr:guardedby field annotation of the
+// package, keyed by the field's *types.Var. Only the lockguard pass reports
+// malformed directives (report=true); atomicpub parses the same annotations
+// silently so a broken directive is a single finding.
+func parseGuards(p *Pass, report bool) map[*types.Var]*guardInfo {
+	guards := make(map[*types.Var]*guardInfo)
+	bad := func(pos token.Pos, format string, args ...any) {
+		if report {
+			p.Reportf(pos, format, args...)
+		}
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text, pos, ok := guardDirective(field)
+				if !ok {
+					continue
+				}
+				args := strings.Fields(text)
+				if len(args) != 1 {
+					bad(pos, "malformed %s directive: want %q", guardedByPrefix, guardedByPrefix+" <mutexField>")
+					continue
+				}
+				muName := args[0]
+				muField, muRW, found := siblingMutex(p, st, muName)
+				if !found {
+					bad(pos, "%s %s names no sibling sync.Mutex/sync.RWMutex field", guardedByPrefix, muName)
+					continue
+				}
+				_ = muField
+				if len(field.Names) == 0 {
+					bad(pos, "%s cannot guard an embedded field", guardedByPrefix)
+					continue
+				}
+				for _, name := range field.Names {
+					obj, ok := p.Pkg.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					gi := &guardInfo{name: name.Name, mu: muName, rw: muRW}
+					switch atomicKind(obj.Type()) {
+					case "Pointer":
+						gi.atomic = true
+					case "":
+					default:
+						bad(pos, "%s on an atomic.%s field: atomics synchronise themselves (only atomic.Pointer takes a writer-mutex annotation)", guardedByPrefix, atomicKind(obj.Type()))
+						continue
+					}
+					guards[obj] = gi
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardDirective extracts the //gddr:guardedby comment attached to a field,
+// from its trailing comment or doc group.
+func guardDirective(field *ast.Field) (rest string, pos token.Pos, ok bool) {
+	for _, group := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			after, found := strings.CutPrefix(c.Text, guardedByPrefix)
+			if !found || (after != "" && after[0] != ' ' && after[0] != '\t') {
+				continue
+			}
+			// A nested //-comment after the directive is commentary, not
+			// arguments.
+			if i := strings.Index(after, "//"); i >= 0 {
+				after = after[:i]
+			}
+			return after, c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// siblingMutex looks up a field of the struct by name (an embedded mutex
+// goes by its type name) and reports whether it is a sync mutex and which
+// kind.
+func siblingMutex(p *Pass, st *ast.StructType, name string) (field *ast.Field, rw bool, found bool) {
+	for _, f := range st.Fields.List {
+		match := false
+		if len(f.Names) == 0 {
+			t := f.Type
+			if se, ok := t.(*ast.SelectorExpr); ok {
+				match = se.Sel.Name == name
+			} else if id, ok := t.(*ast.Ident); ok {
+				match = id.Name == name
+			}
+		} else {
+			for _, n := range f.Names {
+				if n.Name == name {
+					match = true
+				}
+			}
+		}
+		if !match {
+			continue
+		}
+		kind := mutexKind(p.Pkg.Info.TypeOf(f.Type))
+		if kind == "" {
+			return nil, false, false
+		}
+		return f, kind == "RWMutex", true
+	}
+	return nil, false, false
+}
+
+// mutexKind returns "Mutex"/"RWMutex" when t is the sync type, else "".
+func mutexKind(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	if obj.Name() == "Mutex" || obj.Name() == "RWMutex" {
+		return obj.Name()
+	}
+	return ""
+}
+
+// atomicKind returns the sync/atomic type name of t ("Pointer", "Int64",
+// ...) or "" when t is not a sync/atomic type.
+func atomicKind(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return obj.Name()
+}
+
+// lockState maps a canonical mutex key ("e.mu") to how it is held.
+type lockState map[string]lockKind
+
+type lockKind int
+
+const (
+	heldRead lockKind = iota + 1
+	heldWrite
+)
+
+// guardWalker runs the shared lock-state analysis. With atomicMode unset it
+// checks plain guarded-field accesses (lockguard); set, it checks
+// atomic.Pointer publication and Load-alias writes (atomicpub).
+type guardWalker struct {
+	p          *Pass
+	guards     map[*types.Var]*guardInfo
+	atomicMode bool
+}
+
+func (w *guardWalker) walkPackage() {
+	if len(w.guards) == 0 {
+		return
+	}
+	for _, file := range w.p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || w.p.IsTestFile(fd) {
+				continue
+			}
+			held := lockState{}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				w.seedLockedConvention(fd, held)
+			}
+			fn := &funcScope{fresh: map[types.Object]bool{}, aliases: map[types.Object]bool{}}
+			w.scanStmts(fd.Body.List, held, fn)
+		}
+	}
+}
+
+// funcScope is per-function-body flow state shared across nested blocks:
+// construction-window locals and (atomicpub) Load-result aliases.
+type funcScope struct {
+	fresh   map[types.Object]bool
+	aliases map[types.Object]bool
+}
+
+// seedLockedConvention pre-holds the receiver's annotated mutexes: a method
+// named *Locked documents that its callers hold them.
+func (w *guardWalker) seedLockedConvention(fd *ast.FuncDecl, held lockState) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	obj := w.p.Pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	if obj == nil {
+		return
+	}
+	t := obj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if gi, ok := w.guards[st.Field(i)]; ok {
+			held[recvName+"."+gi.mu] = heldWrite
+		}
+	}
+}
+
+// scanStmts walks a statement sequence, updating held in place. It returns
+// true when the sequence definitely terminates (return/branch/panic), in
+// which case callers discard its lock effects.
+func (w *guardWalker) scanStmts(stmts []ast.Stmt, held lockState, fn *funcScope) bool {
+	for _, s := range stmts {
+		if w.scanStmt(s, held, fn) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *guardWalker) scanStmt(s ast.Stmt, held lockState, fn *funcScope) bool {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, method, ok := w.lockCall(call); ok {
+				applyLock(held, key, method)
+				return false
+			}
+			if isPanic(w.p.Pkg.Info, call) {
+				w.checkExpr(s.X, held, fn)
+				return true
+			}
+		}
+		w.checkExpr(s.X, held, fn)
+	case *ast.DeferStmt:
+		if _, method, ok := w.lockCall(s.Call); ok && (method == "Unlock" || method == "RUnlock") {
+			return false // deferred release: the lock holds to function end
+		}
+		// A deferred closure runs before any later-registered deferred
+		// Unlock, so it is checked with the state at its defer site.
+		w.checkExpr(s.Call.Fun, held, fn)
+		for _, arg := range s.Call.Args {
+			w.checkExpr(arg, held, fn)
+		}
+	case *ast.GoStmt:
+		w.checkGoCall(s.Call, fn)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.checkExpr(rhs, held, fn)
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				w.trackLocal(lhs, s.Rhs[i], fn)
+			}
+		}
+		for _, lhs := range s.Lhs {
+			w.checkWriteTarget(lhs, held, fn)
+		}
+	case *ast.IncDecStmt:
+		w.checkWriteTarget(s.X, held, fn)
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan, held, fn)
+		w.checkExpr(s.Value, held, fn)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					w.checkExpr(v, held, fn)
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						w.trackLocal(name, vs.Values[i], fn)
+					} else if len(vs.Values) == 0 {
+						// var x T: a zero value is unpublished.
+						if obj := w.p.Pkg.Info.Defs[name]; obj != nil {
+							fn.fresh[obj] = true
+						}
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkExpr(r, held, fn)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return w.scanStmts(s.List, held, fn)
+	case *ast.LabeledStmt:
+		return w.scanStmt(s.Stmt, held, fn)
+	case *ast.IfStmt:
+		w.scanStmt(s.Init, held, fn)
+		w.checkExpr(s.Cond, held, fn)
+		var posts []lockState
+		thenState := maps.Clone(held)
+		if !w.scanStmts(s.Body.List, thenState, fn) {
+			posts = append(posts, thenState)
+		}
+		if s.Else != nil {
+			elseState := maps.Clone(held)
+			if !w.scanStmt(s.Else, elseState, fn) {
+				posts = append(posts, elseState)
+			}
+		} else {
+			posts = append(posts, maps.Clone(held))
+		}
+		if len(posts) == 0 {
+			return true // both arms terminate
+		}
+		mergeInto(held, posts)
+	case *ast.ForStmt:
+		w.scanStmt(s.Init, held, fn)
+		w.checkExpr(s.Cond, held, fn)
+		body := maps.Clone(held)
+		if !w.scanStmts(s.Body.List, body, fn) {
+			w.scanStmt(s.Post, body, fn)
+		}
+		mergeInto(held, []lockState{body, maps.Clone(held)}) // zero iterations possible
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, held, fn)
+		if s.Tok == token.ASSIGN {
+			w.checkWriteTarget(s.Key, held, fn)
+			w.checkWriteTarget(s.Value, held, fn)
+		}
+		body := maps.Clone(held)
+		w.scanStmts(s.Body.List, body, fn)
+		mergeInto(held, []lockState{body, maps.Clone(held)})
+	case *ast.SwitchStmt:
+		w.scanStmt(s.Init, held, fn)
+		w.checkExpr(s.Tag, held, fn)
+		w.scanClauses(s.Body, held, fn)
+	case *ast.TypeSwitchStmt:
+		w.scanStmt(s.Init, held, fn)
+		w.scanStmt(s.Assign, held, fn)
+		w.scanClauses(s.Body, held, fn)
+	case *ast.SelectStmt:
+		w.scanClauses(s.Body, held, fn)
+	default:
+		// Unknown statement kinds: check any expressions conservatively.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.checkExpr(e, held, fn)
+				return false
+			}
+			return true
+		})
+	}
+	return false
+}
+
+// scanClauses handles switch/type-switch/select bodies: each clause runs
+// from a copy of the entry state, and the post state keeps only locks held
+// on every non-terminating path (including "no clause matched").
+func (w *guardWalker) scanClauses(body *ast.BlockStmt, held lockState, fn *funcScope) {
+	posts := []lockState{maps.Clone(held)}
+	for _, clause := range body.List {
+		cl := maps.Clone(held)
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.checkExpr(e, cl, fn)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			w.scanStmt(c.Comm, cl, fn)
+			stmts = c.Body
+		}
+		if !w.scanStmts(stmts, cl, fn) {
+			posts = append(posts, cl)
+		}
+	}
+	mergeInto(held, posts)
+}
+
+// mergeInto replaces held with the intersection of the given post states:
+// a mutex survives only if every path holds it, at the weakest kind.
+func mergeInto(held lockState, posts []lockState) {
+	for key := range held {
+		delete(held, key)
+	}
+	if len(posts) == 0 {
+		return
+	}
+	for key, kind := range posts[0] {
+		min := kind
+		onAll := true
+		for _, post := range posts[1:] {
+			k, ok := post[key]
+			if !ok {
+				onAll = false
+				break
+			}
+			if k < min {
+				min = k
+			}
+		}
+		if onAll {
+			held[key] = min
+		}
+	}
+}
+
+// trackLocal updates the construction-window and Load-alias sets for an
+// assignment of rhs to lhs (when lhs is a plain identifier).
+func (w *guardWalker) trackLocal(lhs ast.Expr, rhs ast.Expr, fn *funcScope) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := w.p.Pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	switch {
+	case isFreshValue(rhs):
+		fn.fresh[obj] = true
+		delete(fn.aliases, obj)
+	case w.atomicMode && w.rootedInLoad(rhs, fn):
+		fn.aliases[obj] = true
+		delete(fn.fresh, obj)
+	default:
+		delete(fn.fresh, obj)
+		delete(fn.aliases, obj)
+	}
+}
+
+// isFreshValue reports whether the expression constructs a brand-new value:
+// a composite literal, its address, or new(T). A local built this way is in
+// its construction window — unpublished, so guarded-field rules are waived.
+func isFreshValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// checkWriteTarget checks the left-hand side of an assignment: the
+// innermost guarded field selector is a write access; in atomic mode a
+// target rooted in a Load() alias violates copy-on-write.
+func (w *guardWalker) checkWriteTarget(e ast.Expr, held lockState, fn *funcScope) {
+	target := ast.Unparen(e)
+	if _, isIdent := target.(*ast.Ident); !isIdent && w.atomicMode {
+		// Rebinding a local alias is fine; writing *through* one is not.
+		if root, ok := w.aliasRoot(target, fn); ok {
+			w.p.Reportf(target.Pos(), "write through %s, which aliases an atomic Load() result: published copy-on-write snapshots are immutable — build a new value and Store it", root)
+			return
+		}
+	}
+	switch t := target.(type) {
+	case *ast.Ident:
+		// Rebinding a local is not a write through it.
+	case *ast.StarExpr:
+		w.checkWriteTarget(t.X, held, fn)
+	case *ast.IndexExpr:
+		w.checkExpr(t.Index, held, fn)
+		w.checkWriteTarget(t.X, held, fn)
+	case *ast.SelectorExpr:
+		if gi := w.guardOf(t); gi != nil && !gi.atomic {
+			if !w.atomicMode {
+				w.access(t, gi, held, fn, true)
+			}
+			w.checkExpr(t.X, held, fn)
+			return
+		}
+		w.checkExpr(t.X, held, fn)
+	default:
+		w.checkExpr(e, held, fn)
+	}
+}
+
+// checkGoCall analyses a go statement: the spawned function runs
+// concurrently, so a closure body starts with no locks held and no
+// construction window.
+func (w *guardWalker) checkGoCall(call *ast.CallExpr, fn *funcScope) {
+	empty := lockState{}
+	for _, arg := range call.Args {
+		w.checkExpr(arg, empty, fn)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		goScope := &funcScope{fresh: map[types.Object]bool{}, aliases: fn.aliases}
+		w.scanStmts(lit.Body.List, lockState{}, goScope)
+		return
+	}
+	w.checkExpr(call.Fun, empty, fn)
+}
+
+// checkExpr walks an expression in read position: guarded field reads are
+// checked against the current lock state, closures inherit it, and atomic
+// mode intercepts Store/Load-family calls on annotated atomic fields.
+func (w *guardWalker) checkExpr(e ast.Expr, held lockState, fn *funcScope) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.scanStmts(n.Body.List, maps.Clone(held), fn)
+			return false
+		case *ast.CallExpr:
+			if w.atomicMode {
+				if handled := w.checkAtomicCall(n, held, fn); handled {
+					for _, arg := range n.Args {
+						w.checkExpr(arg, held, fn)
+					}
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if gi := w.guardOf(n); gi != nil && !gi.atomic && !w.atomicMode {
+				w.access(n, gi, held, fn, false)
+			}
+		}
+		return true
+	})
+}
+
+// guardOf resolves a selector to the guardInfo of the field it selects.
+func (w *guardWalker) guardOf(se *ast.SelectorExpr) *guardInfo {
+	sel, ok := w.p.Pkg.Info.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := sel.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return w.guards[v]
+}
+
+// access checks one guarded-field access against the lock state.
+func (w *guardWalker) access(se *ast.SelectorExpr, gi *guardInfo, held lockState, fn *funcScope, write bool) {
+	base, root := exprKey(w.p, se.X)
+	if root != nil && fn.fresh[root] {
+		return // construction window
+	}
+	field := gi.name
+	if base != "" {
+		field = base + "." + gi.name
+	}
+	if base == "" {
+		w.p.Reportf(se.Pos(), "access to guarded field %s through an unnamed base expression: the analyzer cannot match it to %s", field, gi.mu)
+		return
+	}
+	key := base + "." + gi.mu
+	kind, ok := held[key]
+	switch {
+	case write && !ok:
+		w.p.Reportf(se.Pos(), "write to %s without holding %s.Lock() (field is %s %s)", field, key, guardedByPrefix, gi.mu)
+	case write && kind != heldWrite:
+		w.p.Reportf(se.Pos(), "write to %s while %s is only read-locked; writes need %s.Lock()", field, key, key)
+	case !write && !ok:
+		lockHint := key + ".Lock()"
+		if gi.rw {
+			lockHint = key + ".RLock()"
+		}
+		w.p.Reportf(se.Pos(), "read of %s without holding %s (field is %s %s)", field, lockHint, guardedByPrefix, gi.mu)
+	}
+}
+
+// lockCall classifies a call as a sync mutex operation and returns the
+// canonical key of the mutex it operates on. A method reached through
+// embedded fields (an embedded sync.RWMutex) keys as base.<fieldName>.
+func (w *guardWalker) lockCall(call *ast.CallExpr) (key, method string, ok bool) {
+	se, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch se.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	sel, found := w.p.Pkg.Info.Selections[se]
+	if !found || sel.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	fnObj, isFn := sel.Obj().(*types.Func)
+	if !isFn || fnObj.Pkg() == nil || fnObj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	base, _ := exprKey(w.p, se.X)
+	if base == "" {
+		return "", "", false
+	}
+	// Promotion through embedded fields: extend the key with the field path.
+	index := sel.Index()
+	if len(index) > 1 {
+		t := sel.Recv()
+		for _, i := range index[:len(index)-1] {
+			if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			st, isStruct := t.Underlying().(*types.Struct)
+			if !isStruct || i >= st.NumFields() {
+				return "", "", false
+			}
+			f := st.Field(i)
+			base += "." + f.Name()
+			t = f.Type()
+		}
+	}
+	return base, se.Sel.Name, true
+}
+
+// applyLock folds one mutex operation into the state. TryLock/TryRLock are
+// conditional and contribute nothing.
+func applyLock(held lockState, key, method string) {
+	switch method {
+	case "Lock":
+		held[key] = heldWrite
+	case "RLock":
+		if held[key] != heldWrite {
+			held[key] = heldRead
+		}
+	case "Unlock", "RUnlock":
+		delete(held, key)
+	}
+}
+
+// exprKey canonicalises a base expression to a stable string key, and when
+// the root is a plain identifier, its object (for the construction-window
+// set). Pointer dereferences and parentheses are transparent, so (*e).f and
+// e.f key identically.
+func exprKey(p *Pass, e ast.Expr) (string, types.Object) {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name, p.Pkg.Info.ObjectOf(t)
+	case *ast.SelectorExpr:
+		base, _ := exprKey(p, t.X)
+		if base == "" {
+			return "", nil
+		}
+		return base + "." + t.Sel.Name, nil
+	case *ast.ParenExpr:
+		return exprKey(p, t.X)
+	case *ast.StarExpr:
+		return exprKey(p, t.X)
+	case *ast.IndexExpr:
+		base, _ := exprKey(p, t.X)
+		if base == "" {
+			return "", nil
+		}
+		return base + "[]", nil
+	}
+	return "", nil
+}
+
+// isPanic reports whether the call is the builtin panic.
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}

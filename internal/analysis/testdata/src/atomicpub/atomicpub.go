@@ -1,0 +1,72 @@
+// Package atomicpub exercises the atomicpub analyzer.
+package atomicpub
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type snapshot struct {
+	version int
+	peers   []string
+}
+
+type engine struct {
+	mu    sync.Mutex
+	state atomic.Pointer[snapshot] //gddr:guardedby mu
+}
+
+func newEngine() *engine {
+	e := &engine{}
+	e.state.Store(&snapshot{version: 1}) // construction window: e is unpublished
+	return e
+}
+
+func (e *engine) publish(s *snapshot) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.state.Store(s) // sanctioned: writer mutex held
+}
+
+// replaceLocked documents (by the *Locked suffix) that callers hold e.mu.
+func (e *engine) replaceLocked(s *snapshot) {
+	e.state.Store(s)
+}
+
+func (e *engine) read() int {
+	return e.state.Load().version // Load is the lock-free read path
+}
+
+func (e *engine) copyOnWrite(peer string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.state.Load()
+	next := &snapshot{
+		version: cur.version + 1,
+		peers:   append(append([]string(nil), cur.peers...), peer),
+	}
+	e.state.Store(next) // build-new-then-Store is the contract
+}
+
+func (e *engine) racyPublish(s *snapshot) {
+	e.state.Store(s) // want "e\.state\.Store without holding writer mutex e\.mu\.Lock\(\)"
+}
+
+func (e *engine) racyCAS(prev, next *snapshot) bool {
+	return e.state.CompareAndSwap(prev, next) // want "e\.state\.CompareAndSwap without holding writer mutex"
+}
+
+func (e *engine) mutatesLoaded() {
+	st := e.state.Load()
+	st.version++ // want "write through st, which aliases an atomic Load\(\) result"
+}
+
+func (e *engine) mutatesThroughAlias() {
+	st := e.state.Load()
+	peers := st.peers // the slice header still shares the published backing array
+	peers[0] = "x"    // want "write through peers, which aliases an atomic Load\(\) result"
+}
+
+func (e *engine) mutatesDirectly() {
+	e.state.Load().version = 0 // want "aliases an atomic Load\(\) result"
+}

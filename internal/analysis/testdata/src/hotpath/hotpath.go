@@ -1,0 +1,86 @@
+// Package hotpath exercises the hotpath analyzer.
+package hotpath
+
+import "fmt"
+
+type ring struct {
+	buf  []float64
+	next *ring
+}
+
+// reuse is the sanctioned preallocated pattern: reset by reslicing, refill
+// in place — no construct here can allocate once buf reaches steady state.
+//
+//gddr:hotpath
+func (r *ring) reuse(vals []float64) float64 {
+	r.buf = append(r.buf[:0], vals...)
+	sum := 0.0
+	for _, v := range r.buf {
+		sum += v
+	}
+	return sum
+}
+
+//gddr:hotpath
+func grows(dst []int, v int) []int {
+	return append(dst, v) // want "append may grow its backing array"
+}
+
+//gddr:hotpath
+func fresh(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//gddr:hotpath
+func escapes() *ring {
+	return &ring{} // want "&composite literal escapes to the heap"
+}
+
+//gddr:hotpath
+func formats(v int) string {
+	return fmt.Sprintf("%d", v) // want "fmt\.Sprintf allocates"
+}
+
+//gddr:hotpath
+func concats(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+func sink(v any) any { return v }
+
+//gddr:hotpath
+func boxes(v int) any {
+	return sink(v) // want "argument boxes a non-pointer value into an interface parameter"
+}
+
+//gddr:hotpath
+func pointerArgsFine(r *ring) any {
+	return sink(r) // a pointer fits the interface word: no allocation
+}
+
+// helper allocates, so hot callers are flagged at their call site.
+func helper(n int) []int {
+	return make([]int, n)
+}
+
+//gddr:hotpath
+func callsHelper(n int) []int {
+	return helper(n) // want "call to helper allocates: make allocates at hotpath\.go:\d+"
+}
+
+// coldHelper's allocation is sanctioned in place, so it propagates to no
+// caller.
+func coldHelper(n int) []int {
+	//gddr:allow hotpath resize path runs once per capacity change, never per request
+	return make([]int, n)
+}
+
+//gddr:hotpath
+func callsColdHelper(n int) []int {
+	return coldHelper(n)
+}
+
+func misplaced() {
+	//gddr:hotpath want "misplaced //gddr:hotpath"
+	_ = 0
+}

@@ -1,0 +1,129 @@
+// Package lockguard exercises the lockguard analyzer.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int //gddr:guardedby mu
+	name string
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++ // deferred unlock: held to function end
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	v := c.n // explicit lock/unlock pair
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counter) guarded() {
+	c.mu.Lock()
+	if c.n > 10 {
+		c.mu.Unlock() // early-unlock-and-return path
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// resetLocked documents (by the *Locked suffix) that callers hold c.mu.
+func (c *counter) resetLocked() {
+	c.n = 0
+}
+
+func (c *counter) withClosure() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := func() int { return c.n } // a closure inherits its definition-point lock state
+	return f()
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 // construction window: c is unpublished
+	return c
+}
+
+func (c *counter) racyRead() int {
+	return c.n // want "read of c\.n without holding c\.mu\.Lock\(\)"
+}
+
+func (c *counter) racyWrite(v int) {
+	c.n = v // want "write to c\.n without holding c\.mu\.Lock\(\)"
+}
+
+func (c *counter) unlockedTail() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want "write to c\.n without holding c\.mu\.Lock\(\)"
+}
+
+func (c *counter) conditionalLock(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want "write to c\.n without holding c\.mu\.Lock\(\)"
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) spawns() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "write to c\.n without holding c\.mu\.Lock\(\)"
+	}()
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int //gddr:guardedby mu
+}
+
+func (t *table) lookup(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k] // RLock suffices for reads
+}
+
+func (t *table) set(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+}
+
+func (t *table) sneakyWrite(k string, v int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.m[k] = v // want "write to t\.m while t\.mu is only read-locked"
+}
+
+// global shows the embedded-mutex form: the promoted Lock/Unlock key as
+// global.RWMutex, matching the directive.
+var global = struct {
+	sync.RWMutex
+	vals map[string]int //gddr:guardedby RWMutex
+}{vals: map[string]int{}}
+
+func registerGlobal(k string, v int) {
+	global.Lock()
+	defer global.Unlock()
+	global.vals[k] = v
+}
+
+func peekGlobal(k string) int {
+	return global.vals[k] // want "read of global\.vals without holding global\.RWMutex\.RLock\(\)"
+}
+
+type broken struct {
+	mu sync.Mutex
+	a  int //gddr:guardedby lock  // want "names no sibling sync\.Mutex/sync\.RWMutex field"
+}

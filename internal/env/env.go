@@ -126,15 +126,16 @@ type Interface interface {
 // concurrent use.
 type OptimalCache struct {
 	mu sync.Mutex
-	m  map[cacheKey]float64
+	m  map[cacheKey]float64 //gddr:guardedby mu
 
 	hits   atomic.Int64
 	misses atomic.Int64
 
-	// Registry instruments, nil until Instrument is called.
-	metHits   *metrics.Counter
-	metMisses *metrics.Counter
-	metSolve  *metrics.Histogram
+	// Registry instruments, nil until Instrument is called. Readers copy
+	// them into locals under mu and use the copies after unlocking.
+	metHits   *metrics.Counter   //gddr:guardedby mu
+	metMisses *metrics.Counter   //gddr:guardedby mu
+	metSolve  *metrics.Histogram //gddr:guardedby mu
 }
 
 type cacheKey struct {

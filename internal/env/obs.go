@@ -146,11 +146,17 @@ func HistoryWindow(hist []*traffic.DemandMatrix, memory int, fallback *traffic.D
 	if len(hist) > memory {
 		hist = hist[len(hist)-memory:]
 	}
-	out := make([]*traffic.DemandMatrix, 0, memory)
-	for pad := len(hist); pad < memory; pad++ {
-		out = append(out, fallback)
+	// The window must be a stable snapshot (hist keeps mutating once the
+	// caller's lock is released), so one small allocation per batch — not
+	// per request — is the contract here.
+	//gddr:allow hotpath per-batch window snapshot; hist mutates after the caller unlocks
+	out := make([]*traffic.DemandMatrix, memory)
+	pad := memory - len(hist)
+	for i := 0; i < pad; i++ {
+		out[i] = fallback
 	}
-	return append(out, hist...)
+	copy(out[pad:], hist)
+	return out
 }
 
 // SetIterativeState overwrites the iterative-mode edge features in place:

@@ -179,16 +179,16 @@ type family struct {
 	typ  string
 
 	mu    sync.Mutex
-	order []*instrument
-	byKey map[metricKey]*instrument
+	order []*instrument             //gddr:guardedby mu
+	byKey map[metricKey]*instrument //gddr:guardedby mu
 }
 
 // Registry holds named metric families. The zero value is not usable; call
 // NewRegistry.
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
-	order    []string
+	families map[string]*family //gddr:guardedby mu
+	order    []string           //gddr:guardedby mu
 }
 
 // NewRegistry returns an empty registry.

@@ -185,18 +185,23 @@ func (r *Ratios) Loads(g *graph.Graph, dm *traffic.DemandMatrix, loads []float64
 // with zero allocations. The accumulation contract of Loads applies: loads
 // is added into, not reset. Propagation processes vertices in decreasing
 // distance order, which is a topological order of the downhill DAG.
+//
+//gddr:hotpath
 func (r *Ratios) AccumulateLoads(g *graph.Graph, dm *traffic.DemandMatrix, loads, inflow []float64) error {
 	n := g.NumNodes()
 	if inflow == nil {
+		//gddr:allow hotpath nil-scratch convenience path; serving callers pass a pooled buffer
 		inflow = make([]float64, n)
 	}
 	total := 0.0
 	for s := 0; s < n; s++ {
 		d := dm.At(s, r.Sink)
 		if d < 0 {
+			//gddr:allow hotpath invalid-demand error path, not taken by well-formed requests
 			return fmt.Errorf("routing: negative demand at (%d,%d)", s, r.Sink)
 		}
 		if d > 0 && math.IsInf(r.Dist[s], 1) {
+			//gddr:allow hotpath unreachable-sink error path, not taken by well-formed requests
 			return fmt.Errorf("routing: node %d cannot reach sink %d but has demand", s, r.Sink)
 		}
 		inflow[s] = d
@@ -208,6 +213,7 @@ func (r *Ratios) AccumulateLoads(g *graph.Graph, dm *traffic.DemandMatrix, loads
 	order := r.order
 	if order == nil {
 		// Ratios assembled by hand (tests) lack the precomputed order.
+		//gddr:allow hotpath built strategies precompute the order; only hand-assembled Ratios pay this
 		order = propagationOrder(r.Dist)
 	}
 	for _, v := range order {
@@ -244,7 +250,7 @@ type Strategy struct {
 	gamma   float64
 
 	mu    sync.RWMutex
-	sinks []*Ratios // indexed by sink; nil until first requested
+	sinks []*Ratios //gddr:guardedby mu  // indexed by sink; nil until first requested
 }
 
 // NewStrategy validates (weights, gamma) for g and returns an empty
@@ -300,6 +306,7 @@ func (s *Strategy) Ratios(sink int) (*Ratios, error) {
 	if rt != nil {
 		return rt, nil
 	}
+	//gddr:allow hotpath ratios build once per (strategy, sink) and are cached; steady state hits the read path above
 	rt, err := splittingRatiosClamped(s.g, sink, s.clamped, s.gamma)
 	if err != nil {
 		return nil, err
@@ -353,15 +360,26 @@ func EvaluateWeights(g *graph.Graph, dm *traffic.DemandMatrix, weights []float64
 // EvaluateStrategy evaluates a (possibly cached) strategy on one demand
 // matrix: per-sink demand propagated through the splitting ratios, loads
 // accumulated in sink order.
+//
+//gddr:hotpath
 func EvaluateStrategy(strat *Strategy, dm *traffic.DemandMatrix) (*Result, error) {
 	g := strat.g
 	n := g.NumNodes()
 	if dm.N != n {
+		//gddr:allow hotpath size-mismatch error path
 		return nil, fmt.Errorf("routing: demand matrix size %d != graph nodes %d", dm.N, n)
 	}
+	// The three setup buffers and the Result below are this function's
+	// contract: the caller owns Loads/Utilization, so they cannot come from
+	// a pool. The per-sink loop between them is what must stay clean — the
+	// Router's per-request path (Router.evaluate) reuses pooled scratch and
+	// pays none of these.
+	//gddr:allow hotpath caller-owned result setup, one allocation set per evaluation
 	insums := make([]float64, n)
 	dm.InSums(insums)
+	//gddr:allow hotpath caller-owned result buffer (Result.Loads)
 	loads := make([]float64, g.NumEdges())
+	//gddr:allow hotpath per-evaluation scratch; Router.evaluate passes pooled scratch instead
 	inflow := make([]float64, n)
 	for sink := 0; sink < n; sink++ {
 		if insums[sink] == 0 {
@@ -369,12 +387,15 @@ func EvaluateStrategy(strat *Strategy, dm *traffic.DemandMatrix) (*Result, error
 		}
 		ratios, err := strat.Ratios(sink)
 		if err != nil {
+			//gddr:allow hotpath error path
 			return nil, fmt.Errorf("routing: sink %d: %w", sink, err)
 		}
 		if err := ratios.AccumulateLoads(g, dm, loads, inflow); err != nil {
+			//gddr:allow hotpath error path
 			return nil, fmt.Errorf("routing: sink %d: %w", sink, err)
 		}
 	}
+	//gddr:allow hotpath caller-owned result buffer (Result.Utilization)
 	util := make([]float64, g.NumEdges())
 	uMax := 0.0
 	for ei := range util {
@@ -383,6 +404,7 @@ func EvaluateStrategy(strat *Strategy, dm *traffic.DemandMatrix) (*Result, error
 			uMax = util[ei]
 		}
 	}
+	//gddr:allow hotpath the Result envelope is the caller's, one per evaluation
 	return &Result{MaxUtilization: uMax, Loads: loads, Utilization: util}, nil
 }
 

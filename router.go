@@ -158,8 +158,8 @@ type Router struct {
 	// with the Router, so Engine.Apply/SwapAgent/SwapCheckpoint — which
 	// retire the Router wholesale — invalidate them by construction.
 	cacheMu  sync.Mutex
-	lastOut  *policyOutput
-	strategy *routing.Strategy
+	lastOut  *policyOutput     //gddr:guardedby cacheMu
+	strategy *routing.Strategy //gddr:guardedby cacheMu
 
 	observers sync.Pool // *env.Observer, one in flight per serving worker
 	scratch   sync.Pool // *evalScratch, one in flight per evaluation
@@ -235,7 +235,17 @@ type evalScratch struct {
 // grow returns buf resized to n, reusing its backing array when possible.
 func grow(buf []float64, n int) []float64 {
 	if cap(buf) < n {
+		//gddr:allow hotpath scratch resize runs once per topology change, then the buffer is reused
 		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growInt is grow for int scratch slices.
+func growInt(buf []int, n int) []int {
+	if cap(buf) < n {
+		//gddr:allow hotpath scratch resize runs once per topology change, then the buffer is reused
+		return make([]int, n)
 	}
 	return buf[:n]
 }
@@ -250,11 +260,16 @@ func grow(buf []float64, n int) []float64 {
 type demandHistory struct {
 	mu     sync.Mutex
 	memory int
-	dms    []*DemandMatrix
+	// dms is preallocated to memory capacity once and then only resliced
+	// or shifted in place, so the serving path never reallocates it.
+	dms []*DemandMatrix //gddr:guardedby mu
 }
 
 func newDemandHistory(memory int) *demandHistory {
-	return &demandHistory{memory: memory}
+	if memory < 0 {
+		memory = 0
+	}
+	return &demandHistory{memory: memory, dms: make([]*DemandMatrix, 0, memory)}
 }
 
 // observeAndPush atomically snapshots the observation window (cold-start
@@ -268,12 +283,26 @@ func (h *demandHistory) observeAndPush(pad *DemandMatrix, batch []*routeRequest)
 	defer h.mu.Unlock()
 	win := env.HistoryWindow(h.dms, h.memory, pad)
 	for _, req := range batch {
-		h.dms = append(h.dms, req.dm)
-	}
-	if len(h.dms) > h.memory {
-		h.dms = h.dms[len(h.dms)-h.memory:]
+		h.pushLocked(req.dm)
 	}
 	return win
+}
+
+// pushLocked appends one matrix to the window in place; callers hold h.mu.
+// The buffer's capacity is pinned at memory by the constructor and set, so
+// a full window shifts left instead of growing — steady-state pushes are
+// allocation-free.
+func (h *demandHistory) pushLocked(dm *DemandMatrix) {
+	if h.memory <= 0 {
+		return
+	}
+	if n := len(h.dms); n < h.memory {
+		h.dms = h.dms[:n+1]
+		h.dms[n] = dm
+	} else {
+		copy(h.dms, h.dms[1:])
+		h.dms[h.memory-1] = dm
+	}
 }
 
 // window returns the current observation window without pushing anything
@@ -291,24 +320,23 @@ func (h *demandHistory) snapshot() []*DemandMatrix {
 	return append([]*DemandMatrix(nil), h.dms...)
 }
 
-// set replaces the history, trimming to the memory window.
+// set replaces the history, trimming to the memory window. The matrices are
+// copied into the preallocated buffer (never aliased), preserving the
+// capacity invariant pushLocked relies on.
 func (h *demandHistory) set(dms []*DemandMatrix) {
 	if len(dms) > h.memory {
 		dms = dms[len(dms)-h.memory:]
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.dms = append(h.dms[:0:0], dms...)
+	h.dms = append(h.dms[:0], dms...)
 }
 
 // push appends one matrix, trimming to the memory window.
 func (h *demandHistory) push(dm *DemandMatrix) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.dms = append(h.dms, dm)
-	if len(h.dms) > h.memory {
-		h.dms = h.dms[len(h.dms)-h.memory:]
-	}
+	h.pushLocked(dm)
 }
 
 type routeRequest struct {
@@ -408,16 +436,24 @@ func newRouter(agent *Agent, g *Graph, cfg routerConfig) (*Router, error) {
 // tick instead). Route is safe for concurrent use: requests that arrive
 // while the policy is busy are batched onto one shared forward pass.
 // Cancelling ctx abandons the request.
+//
+//gddr:hotpath
 func (r *Router) Route(ctx context.Context, dm *DemandMatrix) (*Decision, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if dm == nil {
+		//gddr:allow hotpath nil-matrix validation error path
 		return nil, fmt.Errorf("gddr: route needs a demand matrix")
 	}
 	if dm.N != r.g.NumNodes() {
+		//gddr:allow hotpath size-mismatch validation error path
 		return nil, fmt.Errorf("gddr: demand matrix size %d != %d topology nodes", dm.N, r.g.NumNodes())
 	}
+	// One request envelope (struct + response channel) per call is the
+	// batching contract: the envelope crosses a channel to the serving
+	// goroutine, so it cannot live on this stack or in a pool keyed to it.
+	//gddr:allow hotpath per-request envelope crosses into the serving goroutine
 	req := &routeRequest{ctx: ctx, dm: dm, resp: make(chan routeResponse, 1)}
 	if r.met != nil || r.tracing {
 		req.enqueued = time.Now()
@@ -545,16 +581,21 @@ type batchTrace struct {
 
 // serve answers one batch: one shared observation and forward pass, then a
 // per-request routing evaluation.
+//
+//gddr:hotpath
 func (r *Router) serve(batch []*routeRequest) {
-	// Drop requests whose caller already gave up.
-	live := batch[:0]
+	// Drop requests whose caller already gave up, compacting the survivors
+	// into the front of the batch slice in place.
+	nLive := 0
 	for _, req := range batch {
 		if err := req.ctx.Err(); err != nil {
 			req.resp <- routeResponse{err: err}
 			continue
 		}
-		live = append(live, req)
+		batch[nLive] = req
+		nLive++
 	}
+	live := batch[:nLive]
 	if len(live) == 0 {
 		return
 	}
@@ -581,9 +622,13 @@ func (r *Router) serve(batch []*routeRequest) {
 	// decisions observe the very demand they are routing.
 	hist := r.hist.observeAndPush(r.zero, live)
 
+	// The batch trace lives on this stack: its fields are copied into each
+	// response's RouteTrace, never retained, so tracing adds no per-batch
+	// heap allocation here.
+	var btv batchTrace
 	var bt *batchTrace
 	if r.tracing {
-		bt = &batchTrace{}
+		bt = &btv
 	}
 	weights, gamma, err := r.decideCached(hist, bt)
 	if err != nil {
@@ -611,6 +656,7 @@ func (r *Router) serve(batch []*routeRequest) {
 		}
 		d, err := r.evaluate(req.dm, strat)
 		if d != nil && bt != nil {
+			//gddr:allow hotpath allocates only when request tracing is enabled
 			d.Trace = &RouteTrace{
 				BatchSize:        len(live),
 				QueueWaitNS:      picked.Sub(req.enqueued).Nanoseconds(),
@@ -653,6 +699,9 @@ func (r *Router) decideCached(hist []*DemandMatrix, bt *batchTrace) ([]float64, 
 		}
 		r.cacheMu.Unlock()
 	}
+	// Cache miss: run the forward pass. Steady demand takes the pointer-equal
+	// window fast path above and never reaches this.
+	//gddr:allow hotpath forward pass runs only when the observed window changed
 	weights, gamma, passes, err := r.decide(hist, bt)
 	r.forwardPasses.Add(int64(passes))
 	if r.met != nil {
@@ -663,6 +712,7 @@ func (r *Router) decideCached(hist []*DemandMatrix, bt *batchTrace) ([]float64, 
 	}
 	if !r.noCache {
 		r.cacheMu.Lock()
+		//gddr:allow hotpath cache refill happens once per window change, paired with the forward pass above
 		r.lastOut = &policyOutput{window: hist, weights: weights, gamma: gamma}
 		r.cacheMu.Unlock()
 	}
@@ -730,6 +780,7 @@ func (r *Router) buildStrategy(weights []float64, gamma float64, bt *batchTrace)
 	if bt != nil {
 		start = time.Now()
 	}
+	//gddr:allow hotpath strategy rebuilds only when the policy emits new weights; steady state hits the cache
 	s, err := routing.NewStrategy(r.g, weights, gamma)
 	if bt != nil {
 		bt.strategyNS = time.Since(start).Nanoseconds()
@@ -826,17 +877,20 @@ func (r *Router) evaluate(dm *DemandMatrix, strat *routing.Strategy) (*Decision,
 	defer r.scratch.Put(sc)
 	sc.insums = grow(sc.insums, n)
 	dm.InSums(sc.insums)
-	sinks := sc.sinks[:0]
+	sc.sinks = growInt(sc.sinks, n)
+	nSinks := 0
 	for v, in := range sc.insums {
 		if in != 0 {
-			sinks = append(sinks, v)
+			sc.sinks[nSinks] = v
+			nSinks++
 		}
 	}
-	sc.sinks = sinks
+	sinks := sc.sinks[:nSinks]
 
 	// One backing array for the two per-edge result slices; the scratch
 	// loads buffer is reset by construction, so reuse cannot double-count
 	// (see Ratios.Loads' accumulation contract).
+	//gddr:allow hotpath caller-owned Decision.Loads/Utilization backing; cannot come from the pool
 	buf := make([]float64, 2*ne)
 	loads, util := buf[:ne:ne], buf[ne:]
 	if r.evalWorkers > 1 && len(sinks) > 1 {
@@ -848,20 +902,25 @@ func (r *Router) evaluate(dm *DemandMatrix, strat *routing.Strategy) (*Decision,
 		for _, sink := range sinks {
 			rt, err := strat.Ratios(sink)
 			if err != nil {
+				//gddr:allow hotpath error path
 				return nil, fmt.Errorf("gddr: route sink %d: %w", sink, err)
 			}
 			if err := rt.AccumulateLoads(r.g, dm, loads, sc.inflow); err != nil {
+				//gddr:allow hotpath error path
 				return nil, fmt.Errorf("gddr: route sink %d: %w", sink, err)
 			}
 		}
 	}
 
+	//gddr:allow hotpath caller-owned Decision.Splits map, one per decision
 	splits := make(map[int][]float64, len(sinks))
 	for _, sink := range sinks {
 		rt, err := strat.Ratios(sink)
 		if err != nil {
+			//gddr:allow hotpath error path
 			return nil, fmt.Errorf("gddr: route sink %d: %w", sink, err)
 		}
+		//gddr:allow hotpath caller-owned copy of the cached ratios; the cache stays immutable
 		splits[sink] = append([]float64(nil), rt.Ratio...)
 	}
 	maxU := 0.0
@@ -871,7 +930,11 @@ func (r *Router) evaluate(dm *DemandMatrix, strat *routing.Strategy) (*Decision,
 			maxU = util[ei]
 		}
 	}
+	// The Decision and its Weights copy are the caller's to keep; everything
+	// reusable above came from the scratch pool.
+	//gddr:allow hotpath caller-owned Decision envelope, one per request
 	return &Decision{
+		//gddr:allow hotpath caller-owned copy of the cached weights
 		Weights:        append([]float64(nil), strat.Weights()...),
 		Gamma:          strat.Gamma(),
 		Splits:         splits,
@@ -904,6 +967,10 @@ func (r *Router) evaluateSinksParallel(dm *DemandMatrix, strat *routing.Strategy
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker needs a private inflow buffer for the whole
+			// request; one allocation per worker per request is the cost of
+			// the opt-in parallel path (WithEvalWorkers), not the default.
+			//gddr:allow hotpath per-worker scratch on the opt-in parallel path
 			inflow := make([]float64, n)
 			for {
 				i := int(next.Add(1)) - 1
@@ -919,6 +986,7 @@ func (r *Router) evaluateSinksParallel(dm *DemandMatrix, strat *routing.Strategy
 				if err != nil {
 					errMu.Lock()
 					if poolErr == nil {
+						//gddr:allow hotpath error path
 						poolErr = fmt.Errorf("gddr: route sink %d: %w", sinks[i], err)
 					}
 					errMu.Unlock()

@@ -151,8 +151,8 @@ type admission struct {
 	mu     sync.Mutex
 	rate   float64
 	burst  float64
-	tokens float64
-	last   time.Time
+	tokens float64   //gddr:guardedby mu
+	last   time.Time //gddr:guardedby mu
 }
 
 func newAdmission(cfg TenantConfig) *admission {

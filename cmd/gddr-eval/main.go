@@ -128,7 +128,8 @@ func run() error {
 		prevPasses := router.Stats().ForwardPasses
 		var seqElapsed time.Duration
 		var seqDecisions int
-		for _, dm := range seq[*memory:] {
+		for ti := *memory; ti < len(seq); ti++ {
+			dm := seq[ti]
 			start := time.Now()
 			d, err := router.Route(ctx, dm)
 			seqElapsed += time.Since(start)
@@ -137,7 +138,7 @@ func run() error {
 				return err
 			}
 			seqDecisions++
-			opt, err := cache.GetContext(ctx, g, dm)
+			opt, err := cache.GetSeqContext(ctx, g, seq, ti)
 			if err != nil {
 				router.Close()
 				return err

@@ -396,7 +396,7 @@ func runBaselines(ctx context.Context, opts ExperimentOptions, progress Progress
 	unit := g.UnitWeights()
 	for _, seq := range seqs {
 		for t := opts.Memory; t < len(seq); t++ {
-			opt, err := cache.GetContext(ctx, g, seq[t])
+			opt, err := cache.GetSeqContext(ctx, g, seq, t)
 			if err != nil {
 				return nil, err
 			}

@@ -209,7 +209,7 @@ func ShortestPathRatio(ctx context.Context, s *Scenario, memory int, cache *Opti
 				if err != nil {
 					return 0, err
 				}
-				opt, err := cache.GetContext(ctx, item.Graph, seq[t])
+				opt, err := cache.GetSeqContext(ctx, item.Graph, seq, t)
 				if err != nil {
 					return 0, err
 				}

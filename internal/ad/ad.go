@@ -5,6 +5,17 @@
 // reductions, and the pointwise arithmetic used by the PPO losses. It is a
 // from-scratch substitute for TensorFlow's gradient machinery (DESIGN.md
 // substitution #2).
+//
+// The tape is arena-backed: nodes, value/gradient matrices, and the index
+// slices recorded by gather/segment ops all come from pools owned by the
+// tape, and Reset rewinds the pools without freeing them. A serving or
+// training loop that calls Reset between forward-backward passes therefore
+// reaches a steady state where recording and differentiating a graph of the
+// same shape performs no heap allocation. The price is an ownership rule:
+// every Node, Value and Grad handed out by a tape is valid only until that
+// tape's next Reset — callers that retain results (PPO rollouts retain
+// observations, MeanAction returns an action vector) must copy out before
+// resetting.
 package ad
 
 import (
@@ -14,37 +25,192 @@ import (
 	"gddr/internal/mat"
 )
 
+// opcode identifies the operation that produced a node; Backward dispatches
+// on it instead of invoking per-node closures (closures force a heap
+// allocation per recorded op, which is exactly what the arena avoids).
+type opcode uint8
+
+const (
+	opConst opcode = iota
+	opParam
+	opMatMul
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opScale
+	opAddScalar
+	opAddRowBroadcast
+	opBroadcastRow
+	opReLU
+	opTanh
+	opSigmoid
+	opExp
+	opLog
+	opSquare
+	opSoftplus
+	opClamp
+	opMin
+	opConcatCols
+	opConcatRows
+	opGatherRows
+	opSegmentSum
+	opSumRows
+	opSumAll
+	opMean
+	opRowSums
+	opReshape
+	opMulScalar
+	opAddScalarNode
+	opGatherCols
+)
+
 // Node is a value in the computation graph with an accumulated gradient.
+// Nodes are owned by their tape and recycled on Reset.
 type Node struct {
 	Value *mat.Matrix
 	Grad  *mat.Matrix
 
-	tape     *Tape
-	backward func()
+	tape  *Tape
+	op    opcode
+	a, b  *Node   // unary/binary operands
+	ins   []*Node // concat operands (arena-backed)
+	idx   []int   // gather/segment indices (arena-backed)
+	s, s2 float64 // scalar attributes (scale factor, clamp bounds, …)
+	param *Param  // opParam only
 }
 
 // Tape records operations so that gradients can be propagated in reverse.
+// All recording state lives in rewindable arenas; see Reset. A tape is not
+// safe for concurrent use.
 type Tape struct {
-	nodes []*Node
+	nodes []*Node // node pool; nodes[:used] is the recorded tape, in order
+	used  int
+
+	mats    []*mat.Matrix // matrix pool for values and gradients
+	matUsed int
+
+	intSlab []int // backing storage for Node.idx slices
+	intOff  int
+
+	nodeSlab []*Node // backing storage for Node.ins slices
+	nodeOff  int
 }
 
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{} }
 
-func (t *Tape) node(v *mat.Matrix, backward func()) *Node {
-	n := &Node{Value: v, Grad: mat.New(v.Rows, v.Cols), tape: t, backward: backward}
-	t.nodes = append(t.nodes, n)
+// Reset rewinds the tape for reuse, keeping every arena at its high-water
+// capacity. All nodes, values and gradients previously handed out by this
+// tape are invalidated: their backing buffers will be overwritten by the
+// next recording. Replaying an identical op sequence after Reset produces
+// bit-identical values (the kernels' summation order depends only on
+// shapes), which the checkpoint bit-identity tests rely on.
+func (t *Tape) Reset() {
+	t.used = 0
+	t.matUsed = 0
+	t.intOff = 0
+	t.nodeOff = 0
+}
+
+// newNode pops a recycled node (or grows the pool) and records it.
+func (t *Tape) newNode(op opcode, v *mat.Matrix) *Node {
+	var n *Node
+	if t.used < len(t.nodes) {
+		n = t.nodes[t.used]
+		*n = Node{}
+	} else {
+		n = new(Node)
+		t.nodes = append(t.nodes, n)
+	}
+	t.used++
+	n.Value = v
+	n.Grad = t.allocZero(v.Rows, v.Cols)
+	n.tape = t
+	n.op = op
 	return n
 }
 
-// Constant introduces a matrix that requires no gradient.
-func (t *Tape) Constant(v *mat.Matrix) *Node { return t.node(v, nil) }
+// alloc hands out a rows×cols matrix from the arena without clearing it;
+// callers must fully overwrite Data. The matrix header is pooled too, so
+// the same *mat.Matrix is re-handed-out after Reset.
+func (t *Tape) alloc(rows, cols int) *mat.Matrix {
+	need := rows * cols
+	if t.matUsed < len(t.mats) {
+		m := t.mats[t.matUsed]
+		t.matUsed++
+		if cap(m.Data) < need {
+			m.Data = make([]float64, need)
+		}
+		m.Data = m.Data[:need]
+		m.Rows, m.Cols = rows, cols
+		return m
+	}
+	m := mat.New(rows, cols)
+	t.mats = append(t.mats, m)
+	t.matUsed++
+	return m
+}
+
+// allocZero is alloc plus clearing — for gradients and accumulated sums.
+func (t *Tape) allocZero(rows, cols int) *mat.Matrix {
+	m := t.alloc(rows, cols)
+	m.Zero()
+	return m
+}
+
+// allocInts hands out an n-int slice from the slab. When the slab is
+// exhausted a fresh, larger one replaces it; slices handed out earlier keep
+// the old backing array (still referenced by their nodes), so the swap is
+// invisible to them.
+func (t *Tape) allocInts(n int) []int {
+	if t.intOff+n > len(t.intSlab) {
+		size := 2 * len(t.intSlab)
+		if size < t.intOff+n+64 {
+			size = t.intOff + n + 64
+		}
+		t.intSlab = make([]int, size)
+		t.intOff = 0
+	}
+	s := t.intSlab[t.intOff : t.intOff+n : t.intOff+n]
+	t.intOff += n
+	return s
+}
+
+// allocNodes is allocInts for []*Node (concat operand lists).
+func (t *Tape) allocNodes(n int) []*Node {
+	if t.nodeOff+n > len(t.nodeSlab) {
+		size := 2 * len(t.nodeSlab)
+		if size < t.nodeOff+n+16 {
+			size = t.nodeOff + n + 16
+		}
+		t.nodeSlab = make([]*Node, size)
+		t.nodeOff = 0
+	}
+	s := t.nodeSlab[t.nodeOff : t.nodeOff+n : t.nodeOff+n]
+	t.nodeOff += n
+	return s
+}
+
+// Constant introduces a matrix that requires no gradient. The matrix is
+// used directly (not copied); the caller must not mutate it while the tape
+// is live.
+func (t *Tape) Constant(v *mat.Matrix) *Node { return t.newNode(opConst, v) }
 
 // ConstantScalar introduces a 1×1 constant.
 func (t *Tape) ConstantScalar(v float64) *Node {
-	m := mat.New(1, 1)
+	m := t.alloc(1, 1)
 	m.Data[0] = v
-	return t.Constant(m)
+	return t.newNode(opConst, m)
+}
+
+// RowConstant introduces a 1×len(v) constant copying v into the arena, so
+// hot loops can feed plain slices to the tape without building a matrix
+// (the allocation-free replacement for Constant(mat.RowVector(v))).
+func (t *Tape) RowConstant(v []float64) *Node {
+	m := t.alloc(1, len(v))
+	copy(m.Data, v)
+	return t.newNode(opConst, m)
 }
 
 // Param is a trainable parameter: a value plus its persistent gradient
@@ -66,10 +232,8 @@ func (p *Param) ZeroGrad() { p.Grad.Zero() }
 // Use introduces a parameter onto the tape; backward accumulates into the
 // parameter's persistent gradient.
 func (t *Tape) Use(p *Param) *Node {
-	var n *Node
-	n = t.node(p.Value, func() {
-		mat.AddInPlace(p.Grad, n.Grad)
-	})
+	n := t.newNode(opParam, p.Value)
+	n.param = p
 	return n
 }
 
@@ -83,98 +247,290 @@ func (t *Tape) Backward(loss *Node) error {
 		return fmt.Errorf("ad: loss node belongs to a different tape")
 	}
 	loss.Grad.Data[0] = 1
-	for i := len(t.nodes) - 1; i >= 0; i-- {
-		if t.nodes[i].backward != nil {
-			t.nodes[i].backward()
-		}
+	for i := t.used - 1; i >= 0; i-- {
+		t.nodes[i].backstep()
 	}
 	return nil
 }
 
+// backstep propagates n's gradient into its operands.
+func (n *Node) backstep() {
+	g := n.Grad
+	switch n.op {
+	case opConst:
+	case opParam:
+		mat.AddInPlace(n.param.Grad, g)
+	case opMatMul:
+		mat.MatMulTransBAccum(n.a.Grad, g, n.b.Value)
+		mat.MatMulTransAAccum(n.b.Grad, n.a.Value, g)
+	case opAdd:
+		mat.AddInPlace(n.a.Grad, g)
+		mat.AddInPlace(n.b.Grad, g)
+	case opSub:
+		mat.AddInPlace(n.a.Grad, g)
+		bg := n.b.Grad.Data
+		for i := range bg {
+			bg[i] -= g.Data[i]
+		}
+	case opMul:
+		ag, bg := n.a.Grad.Data, n.b.Grad.Data
+		av, bv := n.a.Value.Data, n.b.Value.Data
+		for i := range g.Data {
+			ag[i] += g.Data[i] * bv[i]
+			bg[i] += g.Data[i] * av[i]
+		}
+	case opDiv:
+		ag, bg := n.a.Grad.Data, n.b.Grad.Data
+		av, bv := n.a.Value.Data, n.b.Value.Data
+		for i := range g.Data {
+			ag[i] += g.Data[i] / bv[i]
+			bg[i] -= g.Data[i] * av[i] / (bv[i] * bv[i])
+		}
+	case opScale:
+		ag := n.a.Grad.Data
+		for i := range g.Data {
+			ag[i] += n.s * g.Data[i]
+		}
+	case opAddScalar:
+		mat.AddInPlace(n.a.Grad, g)
+	case opAddRowBroadcast:
+		mat.AddInPlace(n.a.Grad, g)
+		bias := n.b.Grad.Data
+		for i := 0; i < g.Rows; i++ {
+			row := g.Row(i)
+			for j, x := range row {
+				bias[j] += x
+			}
+		}
+	case opBroadcastRow:
+		ag := n.a.Grad.Data
+		for i := 0; i < g.Rows; i++ {
+			row := g.Row(i)
+			for j, x := range row {
+				ag[j] += x
+			}
+		}
+	case opReLU:
+		ag, av := n.a.Grad.Data, n.a.Value.Data
+		for i := range g.Data {
+			if av[i] > 0 {
+				ag[i] += g.Data[i]
+			}
+		}
+	case opTanh:
+		ag, y := n.a.Grad.Data, n.Value.Data
+		for i := range g.Data {
+			ag[i] += g.Data[i] * (1 - y[i]*y[i])
+		}
+	case opSigmoid:
+		ag, y := n.a.Grad.Data, n.Value.Data
+		for i := range g.Data {
+			ag[i] += g.Data[i] * y[i] * (1 - y[i])
+		}
+	case opExp:
+		ag, y := n.a.Grad.Data, n.Value.Data
+		for i := range g.Data {
+			ag[i] += g.Data[i] * y[i]
+		}
+	case opLog:
+		ag, av := n.a.Grad.Data, n.a.Value.Data
+		for i := range g.Data {
+			ag[i] += g.Data[i] / av[i]
+		}
+	case opSquare:
+		ag, av := n.a.Grad.Data, n.a.Value.Data
+		for i := range g.Data {
+			ag[i] += g.Data[i] * 2 * av[i]
+		}
+	case opSoftplus:
+		ag, av := n.a.Grad.Data, n.a.Value.Data
+		for i := range g.Data {
+			ag[i] += g.Data[i] / (1 + math.Exp(-av[i]))
+		}
+	case opClamp:
+		ag, av := n.a.Grad.Data, n.a.Value.Data
+		for i := range g.Data {
+			if av[i] > n.s && av[i] < n.s2 {
+				ag[i] += g.Data[i]
+			}
+		}
+	case opMin:
+		ag, bg := n.a.Grad.Data, n.b.Grad.Data
+		av, bv := n.a.Value.Data, n.b.Value.Data
+		for i := range g.Data {
+			if av[i] <= bv[i] {
+				ag[i] += g.Data[i]
+			} else {
+				bg[i] += g.Data[i]
+			}
+		}
+	case opConcatCols:
+		off := 0
+		for _, nd := range n.ins {
+			for i := 0; i < nd.Grad.Rows; i++ {
+				src := g.Row(i)[off : off+nd.Grad.Cols]
+				dst := nd.Grad.Row(i)
+				for j, x := range src {
+					dst[j] += x
+				}
+			}
+			off += nd.Grad.Cols
+		}
+	case opConcatRows:
+		off := 0
+		for _, nd := range n.ins {
+			cnt := len(nd.Grad.Data)
+			src := g.Data[off : off+cnt]
+			for j, x := range src {
+				nd.Grad.Data[j] += x
+			}
+			off += cnt
+		}
+	case opGatherRows:
+		for i, r := range n.idx {
+			src := g.Row(i)
+			dst := n.a.Grad.Row(r)
+			for j, x := range src {
+				dst[j] += x
+			}
+		}
+	case opSegmentSum:
+		for i, s := range n.idx {
+			src := g.Row(s)
+			dst := n.a.Grad.Row(i)
+			for j, x := range src {
+				dst[j] += x
+			}
+		}
+	case opSumRows:
+		for i := 0; i < n.a.Grad.Rows; i++ {
+			dst := n.a.Grad.Row(i)
+			for j := range dst {
+				dst[j] += g.Data[j]
+			}
+		}
+	case opSumAll:
+		gv := g.Data[0]
+		ag := n.a.Grad.Data
+		for i := range ag {
+			ag[i] += gv
+		}
+	case opMean:
+		gv := g.Data[0] / n.s
+		ag := n.a.Grad.Data
+		for i := range ag {
+			ag[i] += gv
+		}
+	case opRowSums:
+		for i := 0; i < n.a.Grad.Rows; i++ {
+			gv := g.Data[i]
+			dst := n.a.Grad.Row(i)
+			for j := range dst {
+				dst[j] += gv
+			}
+		}
+	case opReshape:
+		ag := n.a.Grad.Data
+		for i := range ag {
+			ag[i] += g.Data[i]
+		}
+	case opMulScalar:
+		ag, av := n.a.Grad.Data, n.a.Value.Data
+		var acc float64
+		for i := range g.Data {
+			ag[i] += g.Data[i] * n.s
+			acc += g.Data[i] * av[i]
+		}
+		n.b.Grad.Data[0] += acc
+	case opAddScalarNode:
+		ag := n.a.Grad.Data
+		var acc float64
+		for i := range g.Data {
+			ag[i] += g.Data[i]
+			acc += g.Data[i]
+		}
+		n.b.Grad.Data[0] += acc
+	case opGatherCols:
+		for i := 0; i < g.Rows; i++ {
+			src := g.Row(i)
+			dst := n.a.Grad.Row(i)
+			for j, c := range n.idx {
+				dst[c] += src[j]
+			}
+		}
+	default:
+		panic(fmt.Sprintf("ad: unknown opcode %d", n.op))
+	}
+}
+
 // MatMul returns a·b.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	v := mat.MatMul(a.Value, b.Value)
-	var n *Node
-	n = t.node(v, func() {
-		mat.AddInPlace(a.Grad, mat.MatMulTransB(n.Grad, b.Value))
-		mat.AddInPlace(b.Grad, mat.MatMulTransA(a.Value, n.Grad))
-	})
+	v := t.alloc(a.Value.Rows, b.Value.Cols)
+	mat.MatMulInto(v, a.Value, b.Value)
+	n := t.newNode(opMatMul, v)
+	n.a, n.b = a, b
 	return n
 }
 
 // Add returns a+b (same shape).
 func (t *Tape) Add(a, b *Node) *Node {
-	v := mat.Add(a.Value, b.Value)
-	var n *Node
-	n = t.node(v, func() {
-		mat.AddInPlace(a.Grad, n.Grad)
-		mat.AddInPlace(b.Grad, n.Grad)
-	})
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
+	mat.AddInto(v, a.Value, b.Value)
+	n := t.newNode(opAdd, v)
+	n.a, n.b = a, b
 	return n
 }
 
 // Sub returns a−b (same shape).
 func (t *Tape) Sub(a, b *Node) *Node {
-	v := mat.Sub(a.Value, b.Value)
-	var n *Node
-	n = t.node(v, func() {
-		mat.AddInPlace(a.Grad, n.Grad)
-		for i := range b.Grad.Data {
-			b.Grad.Data[i] -= n.Grad.Data[i]
-		}
-	})
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
+	mat.SubInto(v, a.Value, b.Value)
+	n := t.newNode(opSub, v)
+	n.a, n.b = a, b
 	return n
 }
 
 // Mul returns the elementwise product a⊙b.
 func (t *Tape) Mul(a, b *Node) *Node {
-	v := mat.Mul(a.Value, b.Value)
-	var n *Node
-	n = t.node(v, func() {
-		for i := range n.Grad.Data {
-			a.Grad.Data[i] += n.Grad.Data[i] * b.Value.Data[i]
-			b.Grad.Data[i] += n.Grad.Data[i] * a.Value.Data[i]
-		}
-	})
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
+	mat.MulInto(v, a.Value, b.Value)
+	n := t.newNode(opMul, v)
+	n.a, n.b = a, b
 	return n
 }
 
 // Div returns the elementwise quotient a/b.
 func (t *Tape) Div(a, b *Node) *Node {
-	v := mat.New(a.Value.Rows, a.Value.Cols)
+	if !a.Value.SameShape(b.Value) {
+		panic(fmt.Sprintf("ad: div shape mismatch %dx%d vs %dx%d",
+			a.Value.Rows, a.Value.Cols, b.Value.Rows, b.Value.Cols))
+	}
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
 	for i := range v.Data {
 		v.Data[i] = a.Value.Data[i] / b.Value.Data[i]
 	}
-	var n *Node
-	n = t.node(v, func() {
-		for i := range n.Grad.Data {
-			bv := b.Value.Data[i]
-			a.Grad.Data[i] += n.Grad.Data[i] / bv
-			b.Grad.Data[i] -= n.Grad.Data[i] * a.Value.Data[i] / (bv * bv)
-		}
-	})
+	n := t.newNode(opDiv, v)
+	n.a, n.b = a, b
 	return n
 }
 
 // Scale returns s·a for a constant scalar s.
 func (t *Tape) Scale(a *Node, s float64) *Node {
-	v := mat.Scale(a.Value, s)
-	var n *Node
-	n = t.node(v, func() {
-		for i := range n.Grad.Data {
-			a.Grad.Data[i] += s * n.Grad.Data[i]
-		}
-	})
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
+	mat.ScaleInto(v, a.Value, s)
+	n := t.newNode(opScale, v)
+	n.a, n.s = a, s
 	return n
 }
 
 // AddScalar returns a + s elementwise for a constant s.
 func (t *Tape) AddScalar(a *Node, s float64) *Node {
-	v := mat.Apply(a.Value, func(x float64) float64 { return x + s })
-	var n *Node
-	n = t.node(v, func() {
-		mat.AddInPlace(a.Grad, n.Grad)
-	})
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
+		v.Data[i] = x + s
+	}
+	n := t.newNode(opAddScalar, v)
+	n.a, n.s = a, s
 	return n
 }
 
@@ -185,7 +541,7 @@ func (t *Tape) AddRowBroadcast(a, bias *Node) *Node {
 		panic(fmt.Sprintf("ad: row broadcast shape mismatch %dx%d + %dx%d",
 			a.Value.Rows, a.Value.Cols, bias.Value.Rows, bias.Value.Cols))
 	}
-	v := mat.New(a.Value.Rows, a.Value.Cols)
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
 	for i := 0; i < a.Value.Rows; i++ {
 		row := a.Value.Row(i)
 		out := v.Row(i)
@@ -193,16 +549,8 @@ func (t *Tape) AddRowBroadcast(a, bias *Node) *Node {
 			out[j] = x + bias.Value.Data[j]
 		}
 	}
-	var n *Node
-	n = t.node(v, func() {
-		mat.AddInPlace(a.Grad, n.Grad)
-		for i := 0; i < n.Grad.Rows; i++ {
-			g := n.Grad.Row(i)
-			for j, x := range g {
-				bias.Grad.Data[j] += x
-			}
-		}
-	})
+	n := t.newNode(opAddRowBroadcast, v)
+	n.a, n.b = a, bias
 	return n
 }
 
@@ -212,277 +560,218 @@ func (t *Tape) BroadcastRow(a *Node, rows int) *Node {
 	if a.Value.Rows != 1 {
 		panic(fmt.Sprintf("ad: broadcast-row needs a 1xN node, got %dx%d", a.Value.Rows, a.Value.Cols))
 	}
-	v := mat.New(rows, a.Value.Cols)
+	v := t.alloc(rows, a.Value.Cols)
 	for i := 0; i < rows; i++ {
 		copy(v.Row(i), a.Value.Data)
 	}
-	var n *Node
-	n = t.node(v, func() {
-		for i := 0; i < rows; i++ {
-			g := n.Grad.Row(i)
-			for j, x := range g {
-				a.Grad.Data[j] += x
-			}
-		}
-	})
+	n := t.newNode(opBroadcastRow, v)
+	n.a = a
 	return n
 }
 
-func (t *Tape) unary(a *Node, f, df func(float64) float64) *Node {
-	v := mat.Apply(a.Value, f)
-	var n *Node
-	n = t.node(v, func() {
-		for i := range n.Grad.Data {
-			a.Grad.Data[i] += n.Grad.Data[i] * df(a.Value.Data[i])
-		}
-	})
+// unary records op with value f(a) elementwise; the backward rule lives in
+// backstep, keyed by op.
+func (t *Tape) unary(op opcode, a *Node, f func(float64) float64) *Node {
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
+		v.Data[i] = f(x)
+	}
+	n := t.newNode(op, v)
+	n.a = a
 	return n
 }
 
 // ReLU applies max(0,x) elementwise.
 func (t *Tape) ReLU(a *Node) *Node {
-	return t.unary(a,
-		func(x float64) float64 {
-			if x > 0 {
-				return x
-			}
-			return 0
-		},
-		func(x float64) float64 {
-			if x > 0 {
-				return 1
-			}
-			return 0
-		})
+	return t.unary(opReLU, a, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
 }
 
 // Tanh applies tanh elementwise.
-func (t *Tape) Tanh(a *Node) *Node {
-	v := mat.Apply(a.Value, math.Tanh)
-	var n *Node
-	n = t.node(v, func() {
-		for i := range n.Grad.Data {
-			y := n.Value.Data[i]
-			a.Grad.Data[i] += n.Grad.Data[i] * (1 - y*y)
-		}
-	})
-	return n
-}
+func (t *Tape) Tanh(a *Node) *Node { return t.unary(opTanh, a, math.Tanh) }
 
 // Sigmoid applies 1/(1+e^{-x}) elementwise.
 func (t *Tape) Sigmoid(a *Node) *Node {
-	v := mat.Apply(a.Value, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
-	var n *Node
-	n = t.node(v, func() {
-		for i := range n.Grad.Data {
-			y := n.Value.Data[i]
-			a.Grad.Data[i] += n.Grad.Data[i] * y * (1 - y)
-		}
-	})
-	return n
+	return t.unary(opSigmoid, a, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
 }
 
 // Exp applies e^x elementwise.
-func (t *Tape) Exp(a *Node) *Node {
-	v := mat.Apply(a.Value, math.Exp)
-	var n *Node
-	n = t.node(v, func() {
-		for i := range n.Grad.Data {
-			a.Grad.Data[i] += n.Grad.Data[i] * n.Value.Data[i]
-		}
-	})
-	return n
-}
+func (t *Tape) Exp(a *Node) *Node { return t.unary(opExp, a, math.Exp) }
 
 // Log applies the natural logarithm elementwise.
-func (t *Tape) Log(a *Node) *Node {
-	return t.unary(a, math.Log, func(x float64) float64 { return 1 / x })
-}
+func (t *Tape) Log(a *Node) *Node { return t.unary(opLog, a, math.Log) }
 
 // Square applies x² elementwise.
 func (t *Tape) Square(a *Node) *Node {
-	return t.unary(a,
-		func(x float64) float64 { return x * x },
-		func(x float64) float64 { return 2 * x })
+	return t.unary(opSquare, a, func(x float64) float64 { return x * x })
 }
 
 // Softplus applies log(1+e^x) elementwise (numerically stabilised).
 func (t *Tape) Softplus(a *Node) *Node {
-	return t.unary(a,
-		func(x float64) float64 {
-			if x > 30 {
-				return x
-			}
-			return math.Log1p(math.Exp(x))
-		},
-		func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+	return t.unary(opSoftplus, a, func(x float64) float64 {
+		if x > 30 {
+			return x
+		}
+		return math.Log1p(math.Exp(x))
+	})
 }
 
 // ClampConst clamps values into [lo,hi]; gradients pass through only inside
 // the interval (the PPO clip operator).
 func (t *Tape) ClampConst(a *Node, lo, hi float64) *Node {
-	v := mat.Apply(a.Value, func(x float64) float64 { return math.Min(hi, math.Max(lo, x)) })
-	var n *Node
-	n = t.node(v, func() {
-		for i := range n.Grad.Data {
-			x := a.Value.Data[i]
-			if x > lo && x < hi {
-				a.Grad.Data[i] += n.Grad.Data[i]
-			}
-		}
-	})
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
+		v.Data[i] = math.Min(hi, math.Max(lo, x))
+	}
+	n := t.newNode(opClamp, v)
+	n.a, n.s, n.s2 = a, lo, hi
 	return n
 }
 
 // Min returns the elementwise minimum of a and b; gradient flows to the
 // smaller argument (ties favour a).
 func (t *Tape) Min(a, b *Node) *Node {
-	v := mat.New(a.Value.Rows, a.Value.Cols)
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
 	for i := range v.Data {
 		v.Data[i] = math.Min(a.Value.Data[i], b.Value.Data[i])
 	}
-	var n *Node
-	n = t.node(v, func() {
-		for i := range n.Grad.Data {
-			if a.Value.Data[i] <= b.Value.Data[i] {
-				a.Grad.Data[i] += n.Grad.Data[i]
-			} else {
-				b.Grad.Data[i] += n.Grad.Data[i]
-			}
-		}
-	})
+	n := t.newNode(opMin, v)
+	n.a, n.b = a, b
 	return n
 }
 
 // ConcatCols concatenates nodes horizontally.
 func (t *Tape) ConcatCols(nodes ...*Node) *Node {
-	vals := make([]*mat.Matrix, len(nodes))
-	for i, nd := range nodes {
-		vals[i] = nd.Value
+	if len(nodes) == 0 {
+		return t.newNode(opConcatCols, t.alloc(0, 0))
 	}
-	v := mat.ConcatCols(vals...)
-	var n *Node
-	n = t.node(v, func() {
-		off := 0
-		for _, nd := range nodes {
-			for i := 0; i < nd.Grad.Rows; i++ {
-				src := n.Grad.Row(i)[off : off+nd.Grad.Cols]
-				dst := nd.Grad.Row(i)
-				for j, x := range src {
-					dst[j] += x
-				}
-			}
-			off += nd.Grad.Cols
+	rows := nodes[0].Value.Rows
+	cols := 0
+	for _, nd := range nodes {
+		if nd.Value.Rows != rows {
+			panic(fmt.Sprintf("mat: concat-cols row mismatch %d vs %d", nd.Value.Rows, rows))
 		}
-	})
+		cols += nd.Value.Cols
+	}
+	v := t.alloc(rows, cols)
+	for i := 0; i < rows; i++ {
+		off := 0
+		orow := v.Row(i)
+		for _, nd := range nodes {
+			copy(orow[off:off+nd.Value.Cols], nd.Value.Row(i))
+			off += nd.Value.Cols
+		}
+	}
+	n := t.newNode(opConcatCols, v)
+	n.ins = t.allocNodes(len(nodes))
+	copy(n.ins, nodes)
 	return n
 }
 
 // ConcatRows concatenates nodes vertically.
 func (t *Tape) ConcatRows(nodes ...*Node) *Node {
-	vals := make([]*mat.Matrix, len(nodes))
-	for i, nd := range nodes {
-		vals[i] = nd.Value
+	if len(nodes) == 0 {
+		return t.newNode(opConcatRows, t.alloc(0, 0))
 	}
-	v := mat.ConcatRows(vals...)
-	var n *Node
-	n = t.node(v, func() {
-		off := 0
-		for _, nd := range nodes {
-			cnt := len(nd.Grad.Data)
-			src := n.Grad.Data[off : off+cnt]
-			for j, x := range src {
-				nd.Grad.Data[j] += x
-			}
-			off += cnt
+	cols := nodes[0].Value.Cols
+	rows := 0
+	for _, nd := range nodes {
+		if nd.Value.Cols != cols {
+			panic(fmt.Sprintf("mat: concat-rows col mismatch %d vs %d", nd.Value.Cols, cols))
 		}
-	})
+		rows += nd.Value.Rows
+	}
+	v := t.alloc(rows, cols)
+	off := 0
+	for _, nd := range nodes {
+		copy(v.Data[off:off+len(nd.Value.Data)], nd.Value.Data)
+		off += len(nd.Value.Data)
+	}
+	n := t.newNode(opConcatRows, v)
+	n.ins = t.allocNodes(len(nodes))
+	copy(n.ins, nodes)
 	return n
 }
 
 // GatherRows selects rows of a by index (duplicates allowed); the backward
-// pass scatter-adds.
+// pass scatter-adds. idx is copied; the caller's slice is not retained.
 func (t *Tape) GatherRows(a *Node, idx []int) *Node {
-	v := mat.GatherRows(a.Value, idx)
-	own := append([]int(nil), idx...)
-	var n *Node
-	n = t.node(v, func() {
-		for i, r := range own {
-			src := n.Grad.Row(i)
-			dst := a.Grad.Row(r)
-			for j, x := range src {
-				dst[j] += x
-			}
-		}
-	})
+	cols := a.Value.Cols
+	v := t.alloc(len(idx), cols)
+	for i, r := range idx {
+		copy(v.Row(i), a.Value.Row(r))
+	}
+	n := t.newNode(opGatherRows, v)
+	n.a = a
+	n.idx = t.allocInts(len(idx))
+	copy(n.idx, idx)
 	return n
 }
 
 // SegmentSum sums rows of a into numSegments buckets; the graph-network ρ
-// pooling (tf.unsorted_segment_sum equivalent).
+// pooling (tf.unsorted_segment_sum equivalent). segments is copied.
 func (t *Tape) SegmentSum(a *Node, segments []int, numSegments int) *Node {
-	v := mat.SegmentSum(a.Value, segments, numSegments)
-	own := append([]int(nil), segments...)
-	var n *Node
-	n = t.node(v, func() {
-		for i, s := range own {
-			src := n.Grad.Row(s)
-			dst := a.Grad.Row(i)
-			for j, x := range src {
-				dst[j] += x
-			}
+	if len(segments) != a.Value.Rows {
+		panic(fmt.Sprintf("mat: segment-sum needs %d segment ids, got %d", a.Value.Rows, len(segments)))
+	}
+	v := t.allocZero(numSegments, a.Value.Cols)
+	for i, s := range segments {
+		if s < 0 || s >= numSegments {
+			panic(fmt.Sprintf("mat: segment id %d out of range [0,%d)", s, numSegments))
 		}
-	})
+		orow := v.Row(s)
+		arow := a.Value.Row(i)
+		for j, x := range arow {
+			orow[j] += x
+		}
+	}
+	n := t.newNode(opSegmentSum, v)
+	n.a = a
+	n.idx = t.allocInts(len(segments))
+	copy(n.idx, segments)
 	return n
 }
 
 // SumRows returns the 1×cols column-sum of a.
 func (t *Tape) SumRows(a *Node) *Node {
-	v := mat.SumRows(a.Value)
-	var n *Node
-	n = t.node(v, func() {
-		for i := 0; i < a.Grad.Rows; i++ {
-			dst := a.Grad.Row(i)
-			for j := range dst {
-				dst[j] += n.Grad.Data[j]
-			}
+	v := t.allocZero(1, a.Value.Cols)
+	for i := 0; i < a.Value.Rows; i++ {
+		row := a.Value.Row(i)
+		for j, x := range row {
+			v.Data[j] += x
 		}
-	})
+	}
+	n := t.newNode(opSumRows, v)
+	n.a = a
 	return n
 }
 
 // SumAll returns the 1×1 sum over all elements.
 func (t *Tape) SumAll(a *Node) *Node {
-	v := mat.New(1, 1)
+	v := t.alloc(1, 1)
 	v.Data[0] = mat.Sum(a.Value)
-	var n *Node
-	n = t.node(v, func() {
-		g := n.Grad.Data[0]
-		for i := range a.Grad.Data {
-			a.Grad.Data[i] += g
-		}
-	})
+	n := t.newNode(opSumAll, v)
+	n.a = a
 	return n
 }
 
 // Mean returns the 1×1 mean over all elements.
 func (t *Tape) Mean(a *Node) *Node {
 	count := float64(len(a.Value.Data))
-	v := mat.New(1, 1)
+	v := t.alloc(1, 1)
 	v.Data[0] = mat.Sum(a.Value) / count
-	var n *Node
-	n = t.node(v, func() {
-		g := n.Grad.Data[0] / count
-		for i := range a.Grad.Data {
-			a.Grad.Data[i] += g
-		}
-	})
+	n := t.newNode(opMean, v)
+	n.a, n.s = a, count
 	return n
 }
 
 // RowSums returns the rows×1 per-row sums of a.
 func (t *Tape) RowSums(a *Node) *Node {
-	v := mat.New(a.Value.Rows, 1)
+	v := t.alloc(a.Value.Rows, 1)
 	for i := 0; i < a.Value.Rows; i++ {
 		var s float64
 		for _, x := range a.Value.Row(i) {
@@ -490,16 +779,8 @@ func (t *Tape) RowSums(a *Node) *Node {
 		}
 		v.Data[i] = s
 	}
-	var n *Node
-	n = t.node(v, func() {
-		for i := 0; i < a.Grad.Rows; i++ {
-			g := n.Grad.Data[i]
-			dst := a.Grad.Row(i)
-			for j := range dst {
-				dst[j] += g
-			}
-		}
-	})
+	n := t.newNode(opRowSums, v)
+	n.a = a
 	return n
 }
 
@@ -508,13 +789,10 @@ func (t *Tape) Reshape(a *Node, rows, cols int) *Node {
 	if rows*cols != len(a.Value.Data) {
 		panic(fmt.Sprintf("ad: reshape %dx%d incompatible with %d elements", rows, cols, len(a.Value.Data)))
 	}
-	v := mat.FromSlice(rows, cols, append([]float64(nil), a.Value.Data...))
-	var n *Node
-	n = t.node(v, func() {
-		for i := range a.Grad.Data {
-			a.Grad.Data[i] += n.Grad.Data[i]
-		}
-	})
+	v := t.alloc(rows, cols)
+	copy(v.Data, a.Value.Data)
+	n := t.newNode(opReshape, v)
+	n.a = a
 	return n
 }
 
@@ -524,16 +802,10 @@ func (t *Tape) MulScalar(a, s *Node) *Node {
 		panic(fmt.Sprintf("ad: mul-scalar needs a 1x1 scalar, got %dx%d", s.Value.Rows, s.Value.Cols))
 	}
 	sv := s.Value.Data[0]
-	v := mat.Scale(a.Value, sv)
-	var n *Node
-	n = t.node(v, func() {
-		var acc float64
-		for i := range n.Grad.Data {
-			a.Grad.Data[i] += n.Grad.Data[i] * sv
-			acc += n.Grad.Data[i] * a.Value.Data[i]
-		}
-		s.Grad.Data[0] += acc
-	})
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
+	mat.ScaleInto(v, a.Value, sv)
+	n := t.newNode(opMulScalar, v)
+	n.a, n.b, n.s = a, s, sv
 	return n
 }
 
@@ -543,22 +815,18 @@ func (t *Tape) AddScalarNode(a, s *Node) *Node {
 		panic(fmt.Sprintf("ad: add-scalar needs a 1x1 scalar, got %dx%d", s.Value.Rows, s.Value.Cols))
 	}
 	sv := s.Value.Data[0]
-	v := mat.Apply(a.Value, func(x float64) float64 { return x + sv })
-	var n *Node
-	n = t.node(v, func() {
-		var acc float64
-		for i := range n.Grad.Data {
-			a.Grad.Data[i] += n.Grad.Data[i]
-			acc += n.Grad.Data[i]
-		}
-		s.Grad.Data[0] += acc
-	})
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
+		v.Data[i] = x + sv
+	}
+	n := t.newNode(opAddScalarNode, v)
+	n.a, n.b = a, s
 	return n
 }
 
-// GatherCols selects columns of a by index.
+// GatherCols selects columns of a by index. idx is copied.
 func (t *Tape) GatherCols(a *Node, idx []int) *Node {
-	v := mat.New(a.Value.Rows, len(idx))
+	v := t.alloc(a.Value.Rows, len(idx))
 	for i := 0; i < a.Value.Rows; i++ {
 		row := a.Value.Row(i)
 		out := v.Row(i)
@@ -566,16 +834,9 @@ func (t *Tape) GatherCols(a *Node, idx []int) *Node {
 			out[j] = row[c]
 		}
 	}
-	own := append([]int(nil), idx...)
-	var n *Node
-	n = t.node(v, func() {
-		for i := 0; i < n.Grad.Rows; i++ {
-			g := n.Grad.Row(i)
-			dst := a.Grad.Row(i)
-			for j, c := range own {
-				dst[c] += g[j]
-			}
-		}
-	})
+	n := t.newNode(opGatherCols, v)
+	n.a = a
+	n.idx = t.allocInts(len(idx))
+	copy(n.idx, idx)
 	return n
 }

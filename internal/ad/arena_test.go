@@ -1,0 +1,137 @@
+package ad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gddr/internal/mat"
+)
+
+// buildMLPStep runs a representative forward-backward pass on t: a two-layer
+// network over x with a scalar loss, touching matmul, bias broadcast,
+// activations, gather, segment-sum, concat and reductions — the op mix the
+// GNN policies record every step.
+func buildMLPStep(t *Tape, w1, b1, w2, b2 *Param, x []float64) float64 {
+	in := t.RowConstant(x)
+	h := t.Tanh(t.AddRowBroadcast(t.MatMul(in, t.Use(w1)), t.Use(b1)))
+	h2 := t.ConcatCols(h, t.Square(h))
+	g := t.GatherCols(h2, []int{0, 2, 1, 3})
+	out := t.AddRowBroadcast(t.MatMul(g, t.Use(w2)), t.Use(b2))
+	loss := t.Mean(t.Square(out))
+	if err := t.Backward(loss); err != nil {
+		panic(err)
+	}
+	return loss.Value.Data[0]
+}
+
+// TestResetReplayBitIdentical pins the arena determinism contract: replaying
+// the same op sequence on a Reset tape reproduces values and parameter
+// gradients bit for bit. The checkpoint bit-identity CI gates depend on
+// this holding through the blocked kernels and buffer reuse.
+func TestResetReplayBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w1 := randParam("w1", 3, 4, rng)
+	b1 := randParam("b1", 1, 4, rng)
+	w2 := randParam("w2", 4, 2, rng)
+	b2 := randParam("b2", 1, 2, rng)
+	x := []float64{0.3, -1.2, 0.8}
+
+	tape := NewTape()
+	first := buildMLPStep(tape, w1, b1, w2, b2, x)
+	firstGrads := [][]float64{
+		append([]float64(nil), w1.Grad.Data...),
+		append([]float64(nil), b1.Grad.Data...),
+		append([]float64(nil), w2.Grad.Data...),
+		append([]float64(nil), b2.Grad.Data...),
+	}
+	for rep := 0; rep < 10; rep++ {
+		tape.Reset()
+		for _, p := range []*Param{w1, b1, w2, b2} {
+			p.ZeroGrad()
+		}
+		if again := buildMLPStep(tape, w1, b1, w2, b2, x); math.Float64bits(again) != math.Float64bits(first) {
+			t.Fatalf("rep %d: loss %v differs bitwise from first %v", rep, again, first)
+		}
+		for pi, p := range []*Param{w1, b1, w2, b2} {
+			for i, g := range p.Grad.Data {
+				if math.Float64bits(g) != math.Float64bits(firstGrads[pi][i]) {
+					t.Fatalf("rep %d: param %d grad[%d] %v differs bitwise from %v", rep, pi, i, g, firstGrads[pi][i])
+				}
+			}
+		}
+	}
+}
+
+// TestResetReuseNoAllocations verifies the steady-state contract from the
+// package doc: once the arenas reach their high-water mark, an identical
+// forward-backward pass performs zero heap allocations.
+func TestResetReuseNoAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w1 := randParam("w1", 3, 4, rng)
+	b1 := randParam("b1", 1, 4, rng)
+	w2 := randParam("w2", 4, 2, rng)
+	b2 := randParam("b2", 1, 2, rng)
+	x := []float64{0.3, -1.2, 0.8}
+
+	tape := NewTape()
+	for i := 0; i < 3; i++ { // reach the arena high-water mark
+		tape.Reset()
+		buildMLPStep(tape, w1, b1, w2, b2, x)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		tape.Reset()
+		buildMLPStep(tape, w1, b1, w2, b2, x)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pass allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestResetMatchesFreshTape checks a Reset tape computes the same gradients
+// as a brand-new one even when the replayed graph has a different shape
+// than the one recorded before the Reset.
+func TestResetMatchesFreshTape(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	w := randParam("w", 5, 3, rng)
+	big := mat.RandNormal(7, 5, 1, rng)
+	small := mat.RandNormal(2, 5, 1, rng)
+
+	run := func(tape *Tape, in *mat.Matrix) []float64 {
+		w.ZeroGrad()
+		loss := tape.Mean(tape.Square(tape.MatMul(tape.Constant(in), tape.Use(w))))
+		if err := tape.Backward(loss); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), w.Grad.Data...)
+	}
+
+	reused := NewTape()
+	run(reused, big) // record a larger graph first, then shrink
+	reused.Reset()
+	got := run(reused, small)
+	want := run(NewTape(), small)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("grad[%d]: reused tape %v vs fresh tape %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRowConstant checks RowConstant matches Constant(RowVector) and does
+// not retain the caller's slice.
+func TestRowConstant(t *testing.T) {
+	tape := NewTape()
+	v := []float64{1, 2, 3}
+	n := tape.RowConstant(v)
+	v[0] = 99 // mutate after recording: the tape must hold a copy
+	want := mat.RowVector([]float64{1, 2, 3})
+	if n.Value.Rows != 1 || n.Value.Cols != 3 {
+		t.Fatalf("RowConstant shape %dx%d", n.Value.Rows, n.Value.Cols)
+	}
+	for i := range want.Data {
+		if n.Value.Data[i] != want.Data[i] {
+			t.Fatalf("RowConstant[%d] = %v, want %v", i, n.Value.Data[i], want.Data[i])
+		}
+	}
+}

@@ -199,6 +199,9 @@ func (h *hotPathChecker) checkBody(ref hotDecl) []hotSite {
 				add(n.Pos(), "string concatenation allocates")
 			}
 		case *ast.CallExpr:
+			if isPanicCall(info, n) {
+				return false // panic arguments are cold by definition
+			}
 			h.checkCall(ref, n, add)
 		}
 		return true
@@ -315,6 +318,18 @@ func pointerShaped(t types.Type) bool {
 		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
 	}
 	return false
+}
+
+// isPanicCall reports whether call invokes the panic builtin. Its arguments
+// are exempt from the hot-path contract: a panicking path is cold by
+// definition, and panic messages routinely format with fmt.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
 }
 
 // calleeOf statically resolves a call to the *types.Func it invokes:

@@ -84,3 +84,32 @@ func misplaced() {
 	//gddr:hotpath want "misplaced //gddr:hotpath"
 	_ = 0
 }
+
+// panicFormats' fmt call and string concatenation sit inside panic
+// arguments: a panicking path is cold by definition, so nothing here is
+// flagged.
+//
+//gddr:hotpath
+func panicFormats(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative n: %d", n))
+	}
+	if n > 1<<20 {
+		panic("too big: " + fmt.Sprint(n))
+	}
+	return n * 2
+}
+
+// panicky allocates only inside its panic argument, so hot callers see a
+// clean summary.
+func panicky(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative n: %d", n))
+	}
+	return n
+}
+
+//gddr:hotpath
+func callsPanicky(n int) int {
+	return panicky(n)
+}

@@ -124,9 +124,22 @@ type Interface interface {
 // matrix). Cyclical sequences reuse base matrices by pointer, so each
 // sequence costs only cycle-many LP solves. The cache is safe for
 // concurrent use.
+//
+// Sequence-aware lookups (GetSeqContext and friends) additionally chain LP
+// solves along a demand sequence: the solve for seq[i] warm-starts from the
+// final simplex basis of seq[i-1], which is near-incremental because
+// consecutive matrices differ only slightly. To keep cached values
+// deterministic regardless of worker interleaving, every chained value is
+// produced by the same canonical computation — solve seq[0] cold, then each
+// later step warm from its predecessor — serialised per sequence; the basis
+// map is populated only by these chain solves, and a sequence is identified
+// by (graph, first matrix, objective), so a demand matrix must not head two
+// different sequences on the same graph.
 type OptimalCache struct {
-	mu sync.Mutex
-	m  map[cacheKey]float64 //gddr:guardedby mu
+	mu    sync.Mutex
+	m     map[cacheKey]float64     //gddr:guardedby mu
+	basis map[cacheKey]*lp.Basis   //gddr:guardedby mu
+	chain map[chainKey]*sync.Mutex //gddr:guardedby mu
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -136,6 +149,9 @@ type OptimalCache struct {
 	metHits   *metrics.Counter   //gddr:guardedby mu
 	metMisses *metrics.Counter   //gddr:guardedby mu
 	metSolve  *metrics.Histogram //gddr:guardedby mu
+	metWarm   *metrics.Counter   //gddr:guardedby mu
+	metCold   *metrics.Counter   //gddr:guardedby mu
+	metPivots *metrics.Histogram //gddr:guardedby mu
 }
 
 type cacheKey struct {
@@ -144,9 +160,21 @@ type cacheKey struct {
 	obj Objective
 }
 
+// chainKey identifies one canonical warm-start chain: a sequence is its
+// graph, its first demand matrix, and the objective.
+type chainKey struct {
+	g    *graph.Graph
+	head *traffic.DemandMatrix
+	obj  Objective
+}
+
 // NewOptimalCache returns an empty cache.
 func NewOptimalCache() *OptimalCache {
-	return &OptimalCache{m: make(map[cacheKey]float64)}
+	return &OptimalCache{
+		m:     make(map[cacheKey]float64),
+		basis: make(map[cacheKey]*lp.Basis),
+		chain: make(map[chainKey]*sync.Mutex),
+	}
 }
 
 // CacheStats is a point-in-time summary of an OptimalCache.
@@ -172,11 +200,15 @@ func (c *OptimalCache) Instrument(reg *metrics.Registry) {
 	hits := reg.Counter("gddr_lp_cache_hits_total", "LP optimal-cache hits.")
 	misses := reg.Counter("gddr_lp_cache_misses_total", "LP optimal-cache misses (each one paid for an LP solve).")
 	solve := reg.Histogram("gddr_lp_solve_seconds", "LP solve latency on cache misses.", metrics.LatencyBuckets())
+	warm := reg.Counter("gddr_lp_warm_start_total", "LP solves that reused the previous basis in a sequence chain.")
+	cold := reg.Counter("gddr_lp_cold_start_total", "LP solves started from the slack/artificial basis.")
+	pivots := reg.Histogram("gddr_lp_solve_pivots", "Simplex pivots per LP solve.", metrics.ExpBuckets(1, 2, 16))
 	reg.GaugeFunc("gddr_lp_cache_entries", "Number of memoised LP optima.", func() float64 {
 		return float64(c.Len())
 	})
 	c.mu.Lock()
 	c.metHits, c.metMisses, c.metSolve = hits, misses, solve
+	c.metWarm, c.metCold, c.metPivots = warm, cold, pivots
 	c.mu.Unlock()
 }
 
@@ -187,8 +219,8 @@ func (c *OptimalCache) Get(g *graph.Graph, dm *traffic.DemandMatrix) (float64, e
 }
 
 // GetContext is Get with cancellation: on a cache miss the context is
-// checked before the LP solve starts, so a cancelled caller never pays for
-// an optimum it no longer needs.
+// checked before the LP solve starts and polled between simplex pivots
+// during it, so a cancelled caller stops promptly even mid-solve.
 func (c *OptimalCache) GetContext(ctx context.Context, g *graph.Graph, dm *traffic.DemandMatrix) (float64, error) {
 	return c.get(ctx, g, dm, MaxUtilization)
 }
@@ -207,7 +239,7 @@ func (c *OptimalCache) get(ctx context.Context, g *graph.Graph, dm *traffic.Dema
 	key := cacheKey{g: g, dm: dm, obj: obj}
 	c.mu.Lock()
 	v, ok := c.m[key]
-	metHits, metMisses, metSolve := c.metHits, c.metMisses, c.metSolve
+	metHits, metMisses := c.metHits, c.metMisses
 	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
@@ -223,27 +255,171 @@ func (c *OptimalCache) get(ctx context.Context, g *graph.Graph, dm *traffic.Dema
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
+	// Plain lookups always solve cold and never store a basis: only the
+	// canonical chain solves (chainTo) may populate the basis map, which is
+	// what keeps chained values deterministic.
+	opt, _, err := c.solveOne(ctx, g, dm, obj, nil)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	if prev, ok := c.m[key]; ok {
+		opt = prev // first write wins
+	} else {
+		c.m[key] = opt
+	}
+	c.mu.Unlock()
+	return opt, nil
+}
+
+// solveOne runs one instrumented LP solve, optionally warm-started.
+func (c *OptimalCache) solveOne(ctx context.Context, g *graph.Graph, dm *traffic.DemandMatrix, obj Objective, warm *lp.Basis) (float64, *lp.Basis, error) {
+	c.mu.Lock()
+	metSolve, metWarm, metCold, metPivots := c.metSolve, c.metWarm, c.metCold, c.metPivots
+	c.mu.Unlock()
 	var opt float64
+	var stats lp.MCFStats
 	var err error
 	//gddr:allow determinism LP solve wall-clock feeds the latency histogram only, never the optimum
 	solveStart := time.Now()
 	switch obj {
 	case MeanUtilization:
-		opt, _, err = lp.OptimalMeanUtilization(g, dm)
+		opt, _, stats, err = lp.OptimalMeanUtilizationCtx(ctx, g, dm, warm)
 	default:
-		opt, _, err = lp.OptimalMaxUtilization(g, dm)
+		opt, _, stats, err = lp.OptimalMaxUtilizationCtx(ctx, g, dm, warm)
 	}
 	if metSolve != nil {
 		//gddr:allow determinism LP solve wall-clock feeds the latency histogram only, never the optimum
 		metSolve.Observe(time.Since(solveStart).Seconds())
 	}
 	if err != nil {
+		return 0, nil, err
+	}
+	if stats.WarmStarted {
+		if metWarm != nil {
+			metWarm.Inc()
+		}
+	} else if metCold != nil {
+		metCold.Inc()
+	}
+	if metPivots != nil {
+		metPivots.Observe(float64(stats.Pivots))
+	}
+	return opt, stats.Basis, nil
+}
+
+// GetSeqContext returns the optimal max utilisation for seq[t] on g,
+// warm-chaining LP solves along the sequence on a miss: seq[0] is solved
+// cold and each later matrix warm-starts from its predecessor's final
+// basis. Values are identical across lookup orders because the chain is the
+// single canonical computation (see the OptimalCache doc).
+func (c *OptimalCache) GetSeqContext(ctx context.Context, g *graph.Graph, seq []*traffic.DemandMatrix, t int) (float64, error) {
+	return c.getSeq(ctx, g, seq, t, MaxUtilization)
+}
+
+// GetMeanSeqContext is GetSeqContext for the mean-utilisation objective.
+func (c *OptimalCache) GetMeanSeqContext(ctx context.Context, g *graph.Graph, seq []*traffic.DemandMatrix, t int) (float64, error) {
+	return c.getSeq(ctx, g, seq, t, MeanUtilization)
+}
+
+func (c *OptimalCache) getSeq(ctx context.Context, g *graph.Graph, seq []*traffic.DemandMatrix, t int, obj Objective) (float64, error) {
+	if t < 0 || t >= len(seq) {
+		return 0, fmt.Errorf("env: sequence index %d out of range [0,%d)", t, len(seq))
+	}
+	key := cacheKey{g: g, dm: seq[t], obj: obj}
+	c.mu.Lock()
+	v, ok := c.m[key]
+	metHits := c.metHits
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		if metHits != nil {
+			metHits.Inc()
+		}
+		return v, nil
+	}
+	if err := c.chainTo(ctx, g, seq, t, obj, nil); err != nil {
 		return 0, err
 	}
 	c.mu.Lock()
-	c.m[key] = opt
+	v, ok = c.m[key]
 	c.mu.Unlock()
-	return opt, nil
+	if !ok {
+		return 0, fmt.Errorf("env: chain solve left seq[%d] unsolved", t)
+	}
+	return v, nil
+}
+
+// WarmSequence fills the cache for an entire demand sequence in canonical
+// chain order, warm-starting each solve from the previous basis. onSolve,
+// when non-nil, is invoked after every LP actually solved (already-cached
+// steps are skipped), for progress reporting.
+func (c *OptimalCache) WarmSequence(ctx context.Context, g *graph.Graph, seq []*traffic.DemandMatrix, obj Objective, onSolve func(i int)) error {
+	if len(seq) == 0 {
+		return nil
+	}
+	return c.chainTo(ctx, g, seq, len(seq)-1, obj, onSolve)
+}
+
+// chainTo runs the canonical chain computation for seq[0..upTo] under the
+// per-sequence mutex. Steps whose value and basis are both cached are
+// skipped (their basis still feeds the chain); a step with a cached value
+// but no basis — a plain Get raced ahead of the chain — keeps its cached
+// value and only contributes its re-solved basis.
+func (c *OptimalCache) chainTo(ctx context.Context, g *graph.Graph, seq []*traffic.DemandMatrix, upTo int, obj Objective, onSolve func(i int)) error {
+	mu := c.chainMutex(chainKey{g: g, head: seq[0], obj: obj})
+	mu.Lock()
+	defer mu.Unlock()
+	var warm *lp.Basis
+	for i := 0; i <= upTo; i++ {
+		key := cacheKey{g: g, dm: seq[i], obj: obj}
+		c.mu.Lock()
+		_, haveVal := c.m[key]
+		b, haveBasis := c.basis[key]
+		metMisses := c.metMisses
+		c.mu.Unlock()
+		if haveVal && haveBasis {
+			warm = b
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		opt, nb, err := c.solveOne(ctx, g, seq[i], obj, warm)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		if !haveVal {
+			c.m[key] = opt
+		}
+		c.basis[key] = nb
+		c.mu.Unlock()
+		if !haveVal {
+			c.misses.Add(1)
+			if metMisses != nil {
+				metMisses.Inc()
+			}
+		}
+		warm = nb
+		if onSolve != nil {
+			onSolve(i)
+		}
+	}
+	return nil
+}
+
+// chainMutex returns (creating if needed) the mutex serialising one
+// sequence's canonical chain.
+func (c *OptimalCache) chainMutex(k chainKey) *sync.Mutex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mu, ok := c.chain[k]
+	if !ok {
+		mu = new(sync.Mutex)
+		c.chain[k] = mu
+	}
+	return mu
 }
 
 // Len returns the number of cached optima.
@@ -457,10 +633,10 @@ func (e *Env) rewardFor(weights []float64, gamma float64) (float64, error) {
 	switch e.cfg.Objective {
 	case MeanUtilization:
 		achieved = res.MeanUtilization()
-		opt, err = e.opt.GetMeanContext(e.ctx, e.g, dm)
+		opt, err = e.opt.GetMeanSeqContext(e.ctx, e.g, e.seq, e.t)
 	default:
 		achieved = res.MaxUtilization
-		opt, err = e.opt.GetContext(e.ctx, e.g, dm)
+		opt, err = e.opt.GetSeqContext(e.ctx, e.g, e.seq, e.t)
 	}
 	if err != nil {
 		return 0, err

@@ -53,14 +53,16 @@ func (g *Graphs) Validate() error {
 }
 
 // State carries the tuple attributes as tape nodes during a forward pass.
+// It is a plain value — blocks return fresh States by value so the
+// per-message-passing-step tuple never touches the heap.
 type State struct {
 	Nodes, Edges, Globals *ad.Node
 	Senders, Receivers    []int
 }
 
 // Lift places a graphs tuple onto the tape as constants.
-func Lift(t *ad.Tape, g *Graphs) *State {
-	return &State{
+func Lift(t *ad.Tape, g *Graphs) State {
+	return State{
 		Nodes:     t.Constant(g.Nodes),
 		Edges:     t.Constant(g.Edges),
 		Globals:   t.Constant(g.Globals),
@@ -103,7 +105,7 @@ func NewBlock(name string, in, out GraphSignature, hidden int, rng *rand.Rand) (
 }
 
 // Apply runs one message-passing step.
-func (b *Block) Apply(t *ad.Tape, s *State) *State {
+func (b *Block) Apply(t *ad.Tape, s State) State {
 	numNodes := s.Nodes.Value.Rows
 	numEdges := s.Edges.Value.Rows
 
@@ -124,7 +126,7 @@ func (b *Block) Apply(t *ad.Tape, s *State) *State {
 	globalIn := t.ConcatCols(t.SumRows(edgesOut), t.SumRows(nodesOut), s.Globals)
 	globalsOut := b.GlobalFn.Apply(t, globalIn)
 
-	return &State{
+	return State{
 		Nodes:     nodesOut,
 		Edges:     edgesOut,
 		Globals:   globalsOut,
@@ -209,8 +211,8 @@ func NewEncodeProcessDecode(name string, cfg Config, rng *rand.Rand) (*EncodePro
 }
 
 // Apply runs the full encode-process-decode forward pass.
-func (m *EncodeProcessDecode) Apply(t *ad.Tape, s *State) *State {
-	encoded := &State{
+func (m *EncodeProcessDecode) Apply(t *ad.Tape, s State) State {
+	encoded := State{
 		Nodes:     m.NodeEnc.Apply(t, s.Nodes),
 		Edges:     m.EdgeEnc.Apply(t, s.Edges),
 		Globals:   m.GlobalEnc.Apply(t, s.Globals),
@@ -219,7 +221,7 @@ func (m *EncodeProcessDecode) Apply(t *ad.Tape, s *State) *State {
 	}
 	cur := encoded
 	for i := 0; i < m.Steps; i++ {
-		coreIn := &State{
+		coreIn := State{
 			Nodes:     t.ConcatCols(encoded.Nodes, cur.Nodes),
 			Edges:     t.ConcatCols(encoded.Edges, cur.Edges),
 			Globals:   t.ConcatCols(encoded.Globals, cur.Globals),
@@ -228,7 +230,7 @@ func (m *EncodeProcessDecode) Apply(t *ad.Tape, s *State) *State {
 		}
 		cur = m.Core.Apply(t, coreIn)
 	}
-	return &State{
+	return State{
 		Nodes:     m.NodeDec.Apply(t, cur.Nodes),
 		Edges:     m.EdgeDec.Apply(t, cur.Edges),
 		Globals:   m.GlobalDec.Apply(t, cur.Globals),

@@ -1,11 +1,14 @@
 package lp
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"gddr/internal/graph"
+	"gddr/internal/topo"
 	"gddr/internal/traffic"
 )
 
@@ -157,4 +160,280 @@ func TestMCFMonotoneInCapacity(t *testing.T) {
 	if math.Abs(after-before/2) > 1e-5*(1+before) {
 		t.Fatalf("doubling all capacities should halve U_max: %g -> %g", before, after)
 	}
+}
+
+// perturbDemands returns a copy of dm with every positive entry scaled by a
+// random factor near 1. The sparsity pattern — and therefore the MCF row
+// structure the warm-start hash guards — is preserved exactly.
+func perturbDemands(dm *traffic.DemandMatrix, rng *rand.Rand) *traffic.DemandMatrix {
+	out := dm.Clone()
+	for i, v := range out.Data {
+		if v > 0 {
+			out.Data[i] = v * (0.9 + 0.2*rng.Float64())
+		}
+	}
+	return out
+}
+
+// buildMaxUtilProblem mirrors OptimalMaxUtilizationCtx's LP construction so
+// tests can run the dense-tableau oracle on the identical problem.
+func buildMaxUtilProblem(t *testing.T, g *graph.Graph, dm *traffic.DemandMatrix) *Problem {
+	t.Helper()
+	n, ne := g.NumNodes(), g.NumEdges()
+	p := NewProblem(n*ne + 1)
+	uMaxVar := n * ne
+	if err := p.SetObjectiveCoeff(uMaxVar, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := addConservationRows(p, g, dm); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < ne; e++ {
+		terms := make([]Term, 0, n+1)
+		for tt := 0; tt < n; tt++ {
+			terms = append(terms, Term{Var: tt*ne + e, Coeff: 1})
+		}
+		terms = append(terms, Term{Var: uMaxVar, Coeff: -g.Edge(e).Capacity})
+		if err := p.AddConstraint(terms, LE, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// TestRevisedMatchesDenseOracleOnTopologies cross-checks the revised simplex
+// (cold and warm-chained) against the dense tableau oracle on MCF instances
+// over all four embedded topologies, with demand sequences whose structure
+// is fixed but whose magnitudes drift step to step.
+func TestRevisedMatchesDenseOracleOnTopologies(t *testing.T) {
+	for _, name := range topo.Names() {
+		t.Run(name, func(t *testing.T) {
+			g, err := topo.Named(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			base := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+			const steps = 4
+			var warm *Basis
+			warmHits := 0
+			for step := 0; step < steps; step++ {
+				dm := perturbDemands(base, rng)
+
+				u, flows, stats, err := OptimalMaxUtilizationCtx(context.Background(), g, dm, warm)
+				if err != nil {
+					t.Fatalf("step %d revised: %v", step, err)
+				}
+				if stats.Basis == nil {
+					t.Fatalf("step %d: revised solve returned nil basis", step)
+				}
+				if stats.WarmStarted {
+					warmHits++
+				}
+				warm = stats.Basis
+
+				dense, err := buildMaxUtilProblem(t, g, dm).SolveDense()
+				if err != nil {
+					t.Fatalf("step %d dense oracle: %v", step, err)
+				}
+				tol := 1e-9 * (1 + math.Abs(dense.Objective))
+				if math.Abs(u-dense.Objective) > tol {
+					t.Fatalf("step %d: revised U=%.15g dense U=%.15g (diff %g > tol %g, warm=%v)",
+						step, u, dense.Objective, math.Abs(u-dense.Objective), tol, stats.WarmStarted)
+				}
+				if err := VerifyFlowConservation(g, dm, flows, 1e-6); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+			if warmHits == 0 {
+				t.Fatalf("no solve in the chain warm-started (expected steps 1..%d to reuse the basis)", steps-1)
+			}
+		})
+	}
+}
+
+// TestRevisedMeanUtilMatchesDense does the same cross-check for the
+// mean-utilisation objective, whose cost vector is dense over all flow
+// variables (a different pricing profile from min-max).
+func TestRevisedMeanUtilMatchesDense(t *testing.T) {
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(7))
+	base := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+	var warm *Basis
+	for step := 0; step < 3; step++ {
+		dm := perturbDemands(base, rng)
+		u, flows, stats, err := OptimalMeanUtilizationCtx(context.Background(), g, dm, warm)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		warm = stats.Basis
+
+		n, ne := g.NumNodes(), g.NumEdges()
+		p := NewProblem(n * ne)
+		for tt := 0; tt < n; tt++ {
+			for e := 0; e < ne; e++ {
+				if err := p.SetObjectiveCoeff(tt*ne+e, 1/(g.Edge(e).Capacity*float64(ne))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := addConservationRows(p, g, dm); err != nil {
+			t.Fatal(err)
+		}
+		dense, err := p.SolveDense()
+		if err != nil {
+			t.Fatalf("step %d dense: %v", step, err)
+		}
+		tol := 1e-9 * (1 + math.Abs(dense.Objective))
+		if math.Abs(u-dense.Objective) > tol {
+			t.Fatalf("step %d: revised %.15g dense %.15g (warm=%v)", step, u, dense.Objective, stats.WarmStarted)
+		}
+		if err := VerifyFlowConservation(g, dm, flows, 1e-6); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// TestWarmStartStructureMismatchFallsBackCold removes every demand toward
+// one destination between solves, which deletes that destination's
+// conservation rows; the structural hash must reject the stale basis and
+// the solve must fall back to a cold start (and still be correct).
+func TestWarmStartStructureMismatchFallsBackCold(t *testing.T) {
+	g := topo.B4()
+	rng := rand.New(rand.NewSource(3))
+	dm1 := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+	dm2 := dm1.Clone()
+	for v := 0; v < dm2.N; v++ {
+		dm2.Set(v, 0, 0) // destination 0 loses its conservation rows
+	}
+	if dm1.Equal(dm2) {
+		t.Fatal("destination 0 had no demand; pick another seed")
+	}
+
+	_, _, stats1, err := OptimalMaxUtilizationCtx(context.Background(), g, dm1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, _, stats2, err := OptimalMaxUtilizationCtx(context.Background(), g, dm2, stats1.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.WarmStarted {
+		t.Fatal("warm start accepted a basis from a structurally different problem")
+	}
+	dense, err := buildMaxUtilProblem(t, g, dm2).SolveDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u2-dense.Objective) > 1e-9*(1+math.Abs(dense.Objective)) {
+		t.Fatalf("cold fallback wrong: %g vs dense %g", u2, dense.Objective)
+	}
+}
+
+// TestRevisedAntiCyclingDegenerate is a regression for cycling under heavy
+// degeneracy: Beale's classic example cycles forever under pure Dantzig
+// pricing. The Dantzig→Bland switch must still terminate at the optimum.
+func TestRevisedAntiCyclingDegenerate(t *testing.T) {
+	// min -0.75x1 + 150x2 - 0.02x3 + 6x4
+	// s.t. 0.25x1 - 60x2 - 0.04x3 + 9x4 <= 0
+	//      0.5x1 - 90x2 - 0.02x3 + 3x4 <= 0
+	//      x3 <= 1
+	p := NewProblem(4)
+	for v, c := range []float64{-0.75, 150, -0.02, 6} {
+		if err := p.SetObjectiveCoeff(v, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd := func(terms []Term, s Sense, rhs float64) {
+		t.Helper()
+		if err := p.AddConstraint(terms, s, rhs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd([]Term{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, LE, 0)
+	mustAdd([]Term{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, LE, 0)
+	mustAdd([]Term{{2, 1}}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("revised simplex failed on Beale's cycling LP: %v", err)
+	}
+	if math.Abs(sol.Objective-(-0.05)) > 1e-9 {
+		t.Fatalf("objective %.12g, want -0.05", sol.Objective)
+	}
+}
+
+// TestSolveCancelledContext is the regression for the satellite bugfix: an
+// already-cancelled context must abort the solve promptly — the check lives
+// inside the pivot loop, not only between solves — even on a large instance.
+func TestSolveCancelledContext(t *testing.T) {
+	g := topo.Geant()
+	rng := rand.New(rand.NewSource(5))
+	dm := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := OptimalMaxUtilizationCtx(ctx, g, dm, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled in chain, got %v", err)
+	}
+}
+
+// TestWarmStartPivotSavings asserts the point of the warm path: re-solving a
+// slightly perturbed demand matrix from the previous basis must take far
+// fewer pivots than solving cold.
+func TestWarmStartPivotSavings(t *testing.T) {
+	g := topo.NSFNet()
+	rng := rand.New(rand.NewSource(9))
+	base := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+	_, _, stats0, err := OptimalMaxUtilizationCtx(context.Background(), g, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := perturbDemands(base, rng)
+	_, _, cold, err := OptimalMaxUtilizationCtx(context.Background(), g, dm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, warmS, err := OptimalMaxUtilizationCtx(context.Background(), g, dm, stats0.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmS.WarmStarted {
+		t.Fatal("warm start rejected despite identical structure")
+	}
+	if warmS.Pivots*2 >= cold.Pivots {
+		t.Fatalf("warm start saved too little: %d pivots warm vs %d cold", warmS.Pivots, cold.Pivots)
+	}
+}
+
+// BenchmarkLPWarmStart measures a full MCF re-solve of a perturbed demand
+// matrix, cold versus warm-started from the previous optimum's basis. CI
+// gates the warm/cold ratio (see .github/workflows/ci.yml).
+func BenchmarkLPWarmStart(b *testing.B) {
+	g := topo.Geant()
+	rng := rand.New(rand.NewSource(13))
+	base := traffic.Bimodal(g.NumNodes(), traffic.DefaultBimodal(), rng)
+	_, _, stats, err := OptimalMaxUtilizationCtx(context.Background(), g, base, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dm := perturbDemands(base, rng)
+
+	b.Run("start=cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := OptimalMaxUtilizationCtx(context.Background(), g, dm, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("start=warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _, s, err := OptimalMaxUtilizationCtx(context.Background(), g, dm, stats.Basis)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !s.WarmStarted {
+				b.Fatal("warm start rejected")
+			}
+		}
+	})
 }

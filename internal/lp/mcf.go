@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,40 +9,22 @@ import (
 	"gddr/internal/traffic"
 )
 
-// OptimalMaxUtilization solves the multicommodity-flow linear program of the
-// paper's §II-A and returns the minimum achievable maximum link utilisation
-// U_max for the demand matrix on the graph, together with the optimal
-// per-destination edge flows.
-//
-// The formulation is destination-aggregated, which is equivalent for
-// fractional min-max-utilisation routing and much smaller than the per-
-// commodity formulation: for every destination t and edge e there is a flow
-// variable f_t(e) >= 0, plus the scalar U_max, subject to
-//
-//	flow conservation  Σ_out f_t(v) − Σ_in f_t(v) = D[v][t]   (v ≠ t)
-//	capacity           Σ_t f_t(e) − c(e)·U_max <= 0           (every e)
-//
-// minimising U_max. Flows destined for t are absorbed at t (no conservation
-// row at the destination), matching routing constraint 2 of §IV-A.
-func OptimalMaxUtilization(g *graph.Graph, dm *traffic.DemandMatrix) (float64, [][]float64, error) {
+// MCFStats reports the solver work behind one MCF solve, for warm-start
+// chaining and instrumentation.
+type MCFStats struct {
+	Pivots      int
+	WarmStarted bool
+	Basis       *Basis // final basis, reusable as the next solve's warm start
+}
+
+// addConservationRows adds the per-destination flow-conservation rows of
+// the destination-aggregated MCF formulation. Destinations with no demand
+// contribute no rows (their flow variables stay zero for free), which means
+// the constraint structure — and therefore warm-start compatibility —
+// depends on the demand pattern, not only on the graph.
+func addConservationRows(p *Problem, g *graph.Graph, dm *traffic.DemandMatrix) error {
 	n := g.NumNodes()
 	ne := g.NumEdges()
-	if dm.N != n {
-		return 0, nil, fmt.Errorf("lp: demand matrix size %d != graph nodes %d", dm.N, n)
-	}
-	if ne == 0 {
-		return 0, nil, fmt.Errorf("lp: graph has no edges")
-	}
-
-	// Variable layout: f_t(e) at index t*ne + e, then U_max last.
-	numVars := n*ne + 1
-	uMaxVar := n * ne
-	p := NewProblem(numVars)
-	if err := p.SetObjectiveCoeff(uMaxVar, 1); err != nil {
-		return 0, nil, err
-	}
-
-	// Conservation constraints per destination and non-destination vertex.
 	for t := 0; t < n; t++ {
 		hasDemand := false
 		for v := 0; v < n; v++ {
@@ -65,9 +48,56 @@ func OptimalMaxUtilization(g *graph.Graph, dm *traffic.DemandMatrix) (float64, [
 				terms = append(terms, Term{Var: t*ne + ei, Coeff: -1})
 			}
 			if err := p.AddConstraint(terms, EQ, dm.At(v, t)); err != nil {
-				return 0, nil, err
+				return err
 			}
 		}
+	}
+	return nil
+}
+
+// OptimalMaxUtilization solves the multicommodity-flow linear program of the
+// paper's §II-A and returns the minimum achievable maximum link utilisation
+// U_max for the demand matrix on the graph, together with the optimal
+// per-destination edge flows.
+//
+// The formulation is destination-aggregated, which is equivalent for
+// fractional min-max-utilisation routing and much smaller than the per-
+// commodity formulation: for every destination t and edge e there is a flow
+// variable f_t(e) >= 0, plus the scalar U_max, subject to
+//
+//	flow conservation  Σ_out f_t(v) − Σ_in f_t(v) = D[v][t]   (v ≠ t)
+//	capacity           Σ_t f_t(e) − c(e)·U_max <= 0           (every e)
+//
+// minimising U_max. Flows destined for t are absorbed at t (no conservation
+// row at the destination), matching routing constraint 2 of §IV-A.
+func OptimalMaxUtilization(g *graph.Graph, dm *traffic.DemandMatrix) (float64, [][]float64, error) {
+	u, flows, _, err := OptimalMaxUtilizationCtx(context.Background(), g, dm, nil)
+	return u, flows, err
+}
+
+// OptimalMaxUtilizationCtx is OptimalMaxUtilization with cooperative
+// cancellation (checked between pivots) and an optional warm-start basis
+// from a previous solve of the same graph under a structurally identical
+// demand pattern. An incompatible warm basis is ignored.
+func OptimalMaxUtilizationCtx(ctx context.Context, g *graph.Graph, dm *traffic.DemandMatrix, warm *Basis) (float64, [][]float64, MCFStats, error) {
+	n := g.NumNodes()
+	ne := g.NumEdges()
+	if dm.N != n {
+		return 0, nil, MCFStats{}, fmt.Errorf("lp: demand matrix size %d != graph nodes %d", dm.N, n)
+	}
+	if ne == 0 {
+		return 0, nil, MCFStats{}, fmt.Errorf("lp: graph has no edges")
+	}
+
+	// Variable layout: f_t(e) at index t*ne + e, then U_max last.
+	numVars := n*ne + 1
+	uMaxVar := n * ne
+	p := NewProblem(numVars)
+	if err := p.SetObjectiveCoeff(uMaxVar, 1); err != nil {
+		return 0, nil, MCFStats{}, err
+	}
+	if err := addConservationRows(p, g, dm); err != nil {
+		return 0, nil, MCFStats{}, err
 	}
 
 	// Capacity constraints.
@@ -78,19 +108,20 @@ func OptimalMaxUtilization(g *graph.Graph, dm *traffic.DemandMatrix) (float64, [
 		}
 		terms = append(terms, Term{Var: uMaxVar, Coeff: -g.Edge(e).Capacity})
 		if err := p.AddConstraint(terms, LE, 0); err != nil {
-			return 0, nil, err
+			return 0, nil, MCFStats{}, err
 		}
 	}
 
-	sol, err := p.Solve()
+	sol, err := p.SolveOpts(ctx, SolveOptions{Warm: warm})
 	if err != nil {
-		return 0, nil, fmt.Errorf("lp: multicommodity flow: %w", err)
+		return 0, nil, MCFStats{}, fmt.Errorf("lp: multicommodity flow: %w", err)
 	}
 	flows := make([][]float64, n)
 	for t := 0; t < n; t++ {
 		flows[t] = sol.X[t*ne : (t+1)*ne]
 	}
-	return sol.X[uMaxVar], flows, nil
+	stats := MCFStats{Pivots: sol.Pivots, WarmStarted: sol.WarmStarted, Basis: sol.Basis}
+	return sol.X[uMaxVar], flows, stats, nil
 }
 
 // MaxUtilizationOfFlows computes max_e (Σ_t f_t(e))/c(e) for a per-

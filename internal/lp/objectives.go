@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 
 	"gddr/internal/graph"
@@ -14,57 +15,42 @@ import (
 // Minimising total (equivalently mean) utilisation is the classic
 // minimum-cost routing with cost 1/c(e) per unit flow.
 func OptimalMeanUtilization(g *graph.Graph, dm *traffic.DemandMatrix) (float64, [][]float64, error) {
+	u, flows, _, err := OptimalMeanUtilizationCtx(context.Background(), g, dm, nil)
+	return u, flows, err
+}
+
+// OptimalMeanUtilizationCtx is OptimalMeanUtilization with cooperative
+// cancellation and an optional warm-start basis, mirroring
+// OptimalMaxUtilizationCtx.
+func OptimalMeanUtilizationCtx(ctx context.Context, g *graph.Graph, dm *traffic.DemandMatrix, warm *Basis) (float64, [][]float64, MCFStats, error) {
 	n := g.NumNodes()
 	ne := g.NumEdges()
 	if dm.N != n {
-		return 0, nil, fmt.Errorf("lp: demand matrix size %d != graph nodes %d", dm.N, n)
+		return 0, nil, MCFStats{}, fmt.Errorf("lp: demand matrix size %d != graph nodes %d", dm.N, n)
 	}
 	if ne == 0 {
-		return 0, nil, fmt.Errorf("lp: graph has no edges")
+		return 0, nil, MCFStats{}, fmt.Errorf("lp: graph has no edges")
 	}
 	numVars := n * ne
 	p := NewProblem(numVars)
 	for t := 0; t < n; t++ {
 		for e := 0; e < ne; e++ {
 			if err := p.SetObjectiveCoeff(t*ne+e, 1/(g.Edge(e).Capacity*float64(ne))); err != nil {
-				return 0, nil, err
+				return 0, nil, MCFStats{}, err
 			}
 		}
 	}
-	for t := 0; t < n; t++ {
-		hasDemand := false
-		for v := 0; v < n; v++ {
-			if dm.At(v, t) > 0 {
-				hasDemand = true
-				break
-			}
-		}
-		if !hasDemand {
-			continue
-		}
-		for v := 0; v < n; v++ {
-			if v == t {
-				continue
-			}
-			terms := make([]Term, 0, len(g.OutEdges(v))+len(g.InEdges(v)))
-			for _, ei := range g.OutEdges(v) {
-				terms = append(terms, Term{Var: t*ne + ei, Coeff: 1})
-			}
-			for _, ei := range g.InEdges(v) {
-				terms = append(terms, Term{Var: t*ne + ei, Coeff: -1})
-			}
-			if err := p.AddConstraint(terms, EQ, dm.At(v, t)); err != nil {
-				return 0, nil, err
-			}
-		}
+	if err := addConservationRows(p, g, dm); err != nil {
+		return 0, nil, MCFStats{}, err
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveOpts(ctx, SolveOptions{Warm: warm})
 	if err != nil {
-		return 0, nil, fmt.Errorf("lp: mean-utilisation flow: %w", err)
+		return 0, nil, MCFStats{}, fmt.Errorf("lp: mean-utilisation flow: %w", err)
 	}
 	flows := make([][]float64, n)
 	for t := 0; t < n; t++ {
 		flows[t] = sol.X[t*ne : (t+1)*ne]
 	}
-	return sol.Objective, flows, nil
+	stats := MCFStats{Pivots: sol.Pivots, WarmStarted: sol.WarmStarted, Basis: sol.Basis}
+	return sol.Objective, flows, stats, nil
 }

@@ -1,0 +1,583 @@
+// Revised simplex: the production solver behind Problem.Solve. Instead of
+// carrying the full dense tableau through every pivot (O(m·n) per pivot,
+// with n ≈ nodes²·edges for the MCF formulation), it keeps an explicit
+// m×m basis inverse and prices candidate columns against the original
+// sparse constraint columns. The MCF constraint matrix is extremely sparse
+// (a flow variable appears in at most two conservation rows and one
+// capacity row), so pricing is cheap and each pivot costs O(m²) regardless
+// of n.
+//
+// The solver also exposes its final Basis and accepts one as a warm start:
+// sequential demand matrices in a GDDR episode differ slightly, so
+// re-solving from the previous optimum usually needs a handful of
+// dual-simplex repair pivots plus a short primal cleanup instead of
+// hundreds of cold pivots. A warm start is only attempted when the
+// structural hash of the new problem matches the basis (same rows, same
+// sparsity, same costs — only RHS magnitudes may differ); any warm-path
+// failure falls back to a cold solve, so warm starting never changes
+// feasibility or error behaviour.
+//
+// The dense tableau implementation (simplex.go) remains available as
+// SolveDense and serves as the cross-check oracle in equivalence_test.go.
+
+package lp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// SolveOptions controls a SolveOpts run.
+type SolveOptions struct {
+	// Warm, when non-nil and structurally compatible with the problem,
+	// seeds the solver with a previous solve's basis (see Solution.Basis).
+	// Incompatible or unusable bases are ignored.
+	Warm *Basis
+	// CheckCancelEvery is the number of pivots between context-cancellation
+	// polls; 0 means the default (64). The context is also checked before
+	// the first pivot, so an already-cancelled context returns immediately.
+	CheckCancelEvery int
+}
+
+const defaultCheckCancelEvery = 64
+
+// Basis is an opaque snapshot of a revised-simplex optimal basis: the basic
+// column of every row plus the factorized basis inverse, tagged with the
+// structural hash of the problem it solves. It warm-starts later solves of
+// structurally identical problems (same constraint pattern and objective,
+// different RHS). A Basis is immutable once returned and safe to share.
+type Basis struct {
+	cols []int     // basic column per row
+	binv []float64 // row-major m×m basis inverse
+	m, n int
+	hash uint64
+}
+
+// Columns returns a copy of the basic column index of every constraint row.
+func (b *Basis) Columns() []int { return append([]int(nil), b.cols...) }
+
+// spEntry is one nonzero of a standard-form constraint column.
+type spEntry struct {
+	row   int
+	coeff float64
+}
+
+// standardForm is the problem in computational standard form: the exact
+// column layout of the dense tableau (structural, then slack/surplus in row
+// order, then artificials in row order), but stored column-major and
+// sparse. hash fingerprints everything except RHS magnitudes.
+type standardForm struct {
+	m, n      int
+	numStruct int
+	artStart  int
+	cols      [][]spEntry
+	b         []float64
+	c         []float64 // phase-2 costs, length n (zero beyond numStruct)
+	initBasis []int     // slack/artificial basis from construction
+	hash      uint64
+}
+
+// newStandardForm mirrors newTableau's normalisation exactly: rows with a
+// negative RHS are sign-flipped (LE↔GE), slack/surplus and artificial
+// columns are assigned in row order, and the column space is shrunk to the
+// columns actually used.
+func newStandardForm(p *Problem) *standardForm {
+	m := len(p.rows)
+	numSlack := 0
+	for _, r := range p.rows {
+		if r.sense != EQ {
+			numSlack++
+		}
+	}
+	artStart := p.numVars + numSlack
+	sf := &standardForm{
+		m:         m,
+		numStruct: p.numVars,
+		artStart:  artStart,
+		cols:      make([][]spEntry, artStart+m),
+		b:         make([]float64, m),
+		initBasis: make([]int, m),
+	}
+	h := fnv.New64a()
+	var hb [8]byte
+	hashInt := func(v int) {
+		for i := 0; i < 8; i++ {
+			hb[i] = byte(v >> (8 * i))
+		}
+		h.Write(hb[:])
+	}
+	hashFloat := func(v float64) { hashInt(int(math.Float64bits(v))) }
+	hashInt(p.numVars)
+	hashInt(m)
+
+	// Merge duplicate structural terms per row with a dense scratch, the
+	// way the tableau's += accumulation does.
+	scratch := make([]float64, p.numVars)
+	touched := make([]int, 0, 16)
+	slack := p.numVars
+	art := artStart
+	for i, r := range p.rows {
+		sign := 1.0
+		if r.rhs < 0 {
+			sign = -1.0
+		}
+		touched = touched[:0]
+		for _, term := range r.terms {
+			if scratch[term.Var] == 0 {
+				touched = append(touched, term.Var)
+			}
+			scratch[term.Var] += sign * term.Coeff
+		}
+		sense := r.sense
+		if sign < 0 {
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		hashInt(int(sense))
+		hashFloat(sign)
+		for _, v := range touched {
+			sf.cols[v] = append(sf.cols[v], spEntry{row: i, coeff: scratch[v]})
+			hashInt(v)
+			hashFloat(scratch[v])
+			scratch[v] = 0
+		}
+		sf.b[i] = sign * r.rhs
+		switch sense {
+		case LE:
+			sf.cols[slack] = append(sf.cols[slack], spEntry{row: i, coeff: 1})
+			sf.initBasis[i] = slack
+			slack++
+		case GE:
+			sf.cols[slack] = append(sf.cols[slack], spEntry{row: i, coeff: -1})
+			slack++
+			sf.cols[art] = append(sf.cols[art], spEntry{row: i, coeff: 1})
+			sf.initBasis[i] = art
+			art++
+		case EQ:
+			sf.cols[art] = append(sf.cols[art], spEntry{row: i, coeff: 1})
+			sf.initBasis[i] = art
+			art++
+		}
+	}
+	sf.n = art
+	sf.cols = sf.cols[:art]
+	sf.c = make([]float64, sf.n)
+	copy(sf.c, p.obj)
+	for _, cv := range p.obj {
+		hashFloat(cv)
+	}
+	sf.hash = h.Sum64()
+	return sf
+}
+
+// revised is the working state of one revised-simplex solve.
+type revised struct {
+	sf      *standardForm
+	binv    []float64 // row-major m×m basis inverse
+	xb      []float64 // basic variable values, binv·b
+	basis   []int     // basic column per row
+	isBasic []bool    // length n
+	y       []float64 // dual scratch, length m
+	w       []float64 // entering column in basis coordinates, length m
+	pivots  int
+
+	ctx        context.Context
+	checkEvery int
+}
+
+func newRevised(sf *standardForm, ctx context.Context, checkEvery int) *revised {
+	if checkEvery <= 0 {
+		checkEvery = defaultCheckCancelEvery
+	}
+	return &revised{
+		sf:         sf,
+		binv:       make([]float64, sf.m*sf.m),
+		xb:         make([]float64, sf.m),
+		basis:      make([]int, sf.m),
+		isBasic:    make([]bool, sf.n),
+		y:          make([]float64, sf.m),
+		w:          make([]float64, sf.m),
+		ctx:        ctx,
+		checkEvery: checkEvery,
+	}
+}
+
+// loadInitialBasis installs the construction-time slack/artificial basis:
+// binv = I (every initial basic column is ±1 in exactly its own row; the
+// sign is +1 by construction), xb = b.
+func (r *revised) loadInitialBasis() {
+	m := r.sf.m
+	for i := range r.binv {
+		r.binv[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		r.binv[i*m+i] = 1
+		r.basis[i] = r.sf.initBasis[i]
+	}
+	for j := range r.isBasic {
+		r.isBasic[j] = false
+	}
+	for _, bcol := range r.basis {
+		r.isBasic[bcol] = true
+	}
+	copy(r.xb, r.sf.b)
+}
+
+// checkCancel polls the context; called every checkEvery pivots.
+func (r *revised) checkCancel() error {
+	if r.ctx == nil {
+		return nil
+	}
+	select {
+	case <-r.ctx.Done():
+		return r.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// computeDuals fills y = c_Bᵀ·B⁻¹ for the given cost vector, skipping
+// zero-cost basic rows (for max-utilisation MCF only U_max carries cost, so
+// this is nearly free).
+func (r *revised) computeDuals(costs []float64) {
+	m := r.sf.m
+	for i := range r.y {
+		r.y[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := costs[r.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := r.binv[i*m : (i+1)*m]
+		for k, v := range row {
+			if v != 0 {
+				r.y[k] += cb * v
+			}
+		}
+	}
+}
+
+// reducedCost returns d_j = c_j − y·A_j for column j.
+func (r *revised) reducedCost(costs []float64, j int) float64 {
+	d := costs[j]
+	for _, e := range r.sf.cols[j] {
+		d -= r.y[e.row] * e.coeff
+	}
+	return d
+}
+
+// computeColumn fills w = B⁻¹·A_j.
+func (r *revised) computeColumn(j int) {
+	m := r.sf.m
+	col := r.sf.cols[j]
+	for i := 0; i < m; i++ {
+		var s float64
+		row := r.binv[i*m:]
+		for _, e := range col {
+			s += row[e.row] * e.coeff
+		}
+		r.w[i] = s
+	}
+}
+
+// pivot makes column col basic in row prow via an eta update of B⁻¹ and xb,
+// using the already-computed w = B⁻¹·A_col. O(m²).
+func (r *revised) pivot(prow, col int) {
+	m := r.sf.m
+	inv := 1.0 / r.w[prow]
+	prowData := r.binv[prow*m : (prow+1)*m]
+	for k := range prowData {
+		prowData[k] *= inv
+	}
+	r.xb[prow] *= inv
+	for i := 0; i < m; i++ {
+		if i == prow {
+			continue
+		}
+		f := r.w[i]
+		if f == 0 {
+			continue
+		}
+		row := r.binv[i*m : (i+1)*m]
+		for k := range row {
+			row[k] -= f * prowData[k]
+		}
+		r.xb[i] -= f * r.xb[prow]
+	}
+	r.isBasic[r.basis[prow]] = false
+	r.basis[prow] = col
+	r.isBasic[col] = true
+	r.pivots++
+}
+
+// iterate runs primal simplex pivots for the given cost vector until
+// optimality. Candidate entering columns are the nonbasic columns below
+// colLimit (artificials never re-enter). Pricing is Dantzig with a switch
+// to Bland's rule for anti-cycling, and the ratio test tie-breaks on the
+// smallest basis index — both matching the dense tableau's rules exactly.
+func (r *revised) iterate(costs []float64, colLimit int) error {
+	maxIter := 200 * (r.sf.m + r.sf.n + 16)
+	blandAfter := maxIter / 2
+	for iter := 0; iter < maxIter; iter++ {
+		if iter%r.checkEvery == 0 {
+			if err := r.checkCancel(); err != nil {
+				return err
+			}
+		}
+		r.computeDuals(costs)
+		col := -1
+		if iter < blandAfter {
+			best := -eps
+			for j := 0; j < colLimit; j++ {
+				if r.isBasic[j] {
+					continue
+				}
+				if d := r.reducedCost(costs, j); d < best {
+					best = d
+					col = j
+				}
+			}
+		} else {
+			for j := 0; j < colLimit; j++ {
+				if r.isBasic[j] {
+					continue
+				}
+				if r.reducedCost(costs, j) < -eps {
+					col = j
+					break
+				}
+			}
+		}
+		if col < 0 {
+			return nil // optimal
+		}
+		r.computeColumn(col)
+		prow := -1
+		var bestRatio float64
+		for i := 0; i < r.sf.m; i++ {
+			wi := r.w[i]
+			if wi <= eps {
+				continue
+			}
+			ratio := r.xb[i] / wi
+			if prow < 0 || ratio < bestRatio-eps ||
+				(ratio < bestRatio+eps && r.basis[i] < r.basis[prow]) {
+				prow = i
+				bestRatio = ratio
+			}
+		}
+		if prow < 0 {
+			return ErrUnbounded
+		}
+		r.pivot(prow, col)
+	}
+	return ErrIterations
+}
+
+// phase1 finds a basic feasible solution by minimising the artificial sum.
+func (r *revised) phase1() error {
+	if r.sf.artStart == r.sf.n {
+		return nil // slack basis already feasible
+	}
+	costs := make([]float64, r.sf.n)
+	for j := r.sf.artStart; j < r.sf.n; j++ {
+		costs[j] = 1
+	}
+	if err := r.iterate(costs, r.sf.artStart); err != nil {
+		if errors.Is(err, ErrUnbounded) {
+			return fmt.Errorf("lp: phase-1 numerical failure: %w", err)
+		}
+		return err
+	}
+	var artSum float64
+	for i, bcol := range r.basis {
+		if bcol >= r.sf.artStart {
+			artSum += r.xb[i]
+		}
+	}
+	if artSum > 1e-7 {
+		return ErrInfeasible
+	}
+	// Drive remaining artificial basics out where possible. A row whose
+	// B⁻¹-transformed coefficients are all ~0 is redundant; its artificial
+	// stays basic at level zero and is simply never allowed to re-enter
+	// elsewhere (it can still leave during phase 2).
+	for i, bcol := range r.basis {
+		if bcol < r.sf.artStart {
+			continue
+		}
+		for j := 0; j < r.sf.artStart; j++ {
+			if r.isBasic[j] {
+				continue
+			}
+			var alpha float64
+			row := r.binv[i*r.sf.m:]
+			for _, e := range r.sf.cols[j] {
+				alpha += row[e.row] * e.coeff
+			}
+			if math.Abs(alpha) > eps {
+				r.computeColumn(j)
+				r.pivot(i, j)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// warmStart installs the given basis and repairs primal feasibility with
+// dual simplex pivots. The structural hash guarantees the cost vector
+// matches the one the basis was optimal for, so the basis is dual-feasible
+// (all reduced costs ≥ 0) and dual pivots preserve that invariant. Returns
+// an error when the basis cannot be repaired; callers fall back to a cold
+// solve.
+func (r *revised) warmStart(warm *Basis) error {
+	sf := r.sf
+	if warm.hash != sf.hash || warm.m != sf.m || warm.n != sf.n {
+		return fmt.Errorf("lp: warm basis is structurally incompatible")
+	}
+	m := sf.m
+	copy(r.basis, warm.cols)
+	copy(r.binv, warm.binv)
+	for j := range r.isBasic {
+		r.isBasic[j] = false
+	}
+	for _, bcol := range r.basis {
+		r.isBasic[bcol] = true
+	}
+	// xb = B⁻¹·b for the new RHS.
+	for i := 0; i < m; i++ {
+		var s float64
+		row := r.binv[i*m : (i+1)*m]
+		for k, v := range row {
+			s += v * sf.b[k]
+		}
+		r.xb[i] = s
+	}
+	// Dual simplex: repeatedly drive the most negative basic value out.
+	maxIter := 200 * (m + sf.n + 16)
+	for iter := 0; iter < maxIter; iter++ {
+		if iter%r.checkEvery == 0 {
+			if err := r.checkCancel(); err != nil {
+				return err
+			}
+		}
+		prow := -1
+		worst := -1e-7
+		for i := 0; i < m; i++ {
+			if r.xb[i] < worst {
+				worst = r.xb[i]
+				prow = i
+			}
+		}
+		if prow < 0 {
+			return nil // primal feasible
+		}
+		r.computeDuals(sf.c)
+		rowData := r.binv[prow*m : (prow+1)*m]
+		col := -1
+		var bestRatio float64
+		for j := 0; j < sf.artStart; j++ {
+			if r.isBasic[j] {
+				continue
+			}
+			var alpha float64
+			for _, e := range sf.cols[j] {
+				alpha += rowData[e.row] * e.coeff
+			}
+			if alpha >= -eps {
+				continue
+			}
+			ratio := r.reducedCost(sf.c, j) / (-alpha)
+			if col < 0 || ratio < bestRatio-eps || (ratio < bestRatio+eps && j < col) {
+				col = j
+				bestRatio = ratio
+			}
+		}
+		if col < 0 {
+			// No entering column: the new RHS is infeasible along this row,
+			// or the basis is numerically unusable. Let the caller re-solve
+			// cold (which reports ErrInfeasible properly if warranted).
+			return fmt.Errorf("lp: dual simplex found no entering column")
+		}
+		r.computeColumn(col)
+		if math.Abs(r.w[prow]) <= eps {
+			return fmt.Errorf("lp: dual pivot element too small")
+		}
+		r.pivot(prow, col)
+	}
+	return fmt.Errorf("lp: dual simplex iteration limit")
+}
+
+// snapshot captures the current basis for future warm starts.
+func (r *revised) snapshot() *Basis {
+	return &Basis{
+		cols: append([]int(nil), r.basis...),
+		binv: append([]float64(nil), r.binv...),
+		m:    r.sf.m,
+		n:    r.sf.n,
+		hash: r.sf.hash,
+	}
+}
+
+// extract reads structural values and the objective off the basis.
+func (r *revised) extract(p *Problem) *Solution {
+	x := make([]float64, p.numVars)
+	for i, bcol := range r.basis {
+		if bcol < p.numVars {
+			v := r.xb[i]
+			if v < 0 && v > -1e-7 {
+				v = 0
+			}
+			x[bcol] = v
+		}
+	}
+	var obj float64
+	for i, c := range p.obj {
+		obj += c * x[i]
+	}
+	return &Solution{X: x, Objective: obj, Basis: r.snapshot(), Pivots: r.pivots}
+}
+
+// SolveOpts runs the revised simplex with warm-start and cancellation
+// control. ctx may be nil, which disables cancellation checks.
+func (p *Problem) SolveOpts(ctx context.Context, opts SolveOptions) (*Solution, error) {
+	sf := newStandardForm(p)
+	if opts.Warm != nil {
+		r := newRevised(sf, ctx, opts.CheckCancelEvery)
+		err := r.warmStart(opts.Warm)
+		if err == nil {
+			if err = r.iterate(sf.c, sf.artStart); err == nil {
+				sol := r.extract(p)
+				sol.WarmStarted = true
+				return sol, nil
+			}
+			if errors.Is(err, ErrUnbounded) {
+				// Unboundedness is structural; a cold solve would only
+				// rediscover it.
+				return nil, err
+			}
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// Any other warm-path failure: re-solve cold below.
+	}
+	r := newRevised(sf, ctx, opts.CheckCancelEvery)
+	r.loadInitialBasis()
+	if err := r.phase1(); err != nil {
+		return nil, err
+	}
+	if err := r.iterate(sf.c, sf.artStart); err != nil {
+		return nil, err
+	}
+	return r.extract(p), nil
+}

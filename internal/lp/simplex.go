@@ -1,11 +1,17 @@
-// Package lp implements a dense two-phase primal simplex linear-programming
-// solver and the multicommodity-flow formulation used to compute the optimal
+// Package lp implements two-phase primal simplex linear-programming solvers
+// and the multicommodity-flow formulation used to compute the optimal
 // (minimum achievable) maximum link utilisation that anchors the GDDR reward
 // signal. It is a from-scratch substitute for Google OR-Tools (DESIGN.md
 // substitution #1).
+//
+// Solve runs the revised simplex (revised.go): sparse column pricing against
+// an explicit basis inverse, warm-startable from a previous Basis, with
+// cooperative context cancellation. SolveDense runs the original dense
+// tableau, kept as the independent cross-check oracle for the revised path.
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -89,10 +95,26 @@ func (p *Problem) NumConstraints() int { return len(p.rows) }
 type Solution struct {
 	X         []float64 // values of the structural variables
 	Objective float64   // c·x at the optimum
+
+	// Basis is the final revised-simplex basis, usable to warm-start a
+	// later solve of a structurally identical problem (nil from SolveDense).
+	Basis *Basis
+	// Pivots counts simplex pivots performed (0 from SolveDense).
+	Pivots int
+	// WarmStarted reports whether the solve reused a supplied Basis.
+	WarmStarted bool
 }
 
-// Solve runs two-phase primal simplex and returns the optimal solution.
+// Solve runs the revised two-phase primal simplex and returns the optimal
+// solution. See SolveOpts for warm starts and cancellation.
 func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveOpts(context.Background(), SolveOptions{})
+}
+
+// SolveDense runs the dense-tableau two-phase primal simplex. It is the
+// independent oracle the revised solver is cross-checked against; prefer
+// Solve everywhere else.
+func (p *Problem) SolveDense() (*Solution, error) {
 	t := newTableau(p)
 	if err := t.phase1(); err != nil {
 		return nil, err

@@ -115,67 +115,37 @@ func (m *Matrix) String() string {
 	return s + "]"
 }
 
-// MatMul returns a×b. Panics if inner dimensions disagree.
+// MatMul returns a×b. Panics if inner dimensions disagree. It allocates
+// the result; steady-path callers should reuse a destination buffer via
+// MatMulInto instead.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	matMulAccum(out, a, b)
 	return out
 }
 
-// MatMulTransA returns aᵀ×b.
+// MatMulTransA returns aᵀ×b. See MatMulTransAInto for the non-allocating
+// variant.
 func MatMulTransA(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("mat: matmulTransA shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	matMulTransAAccum(out, a, b)
 	return out
 }
 
-// MatMulTransB returns a×bᵀ.
+// MatMulTransB returns a×bᵀ. See MatMulTransBInto for the non-allocating
+// variant.
 func MatMulTransB(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: matmulTransB shape mismatch %dx%d · %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var sum float64
-			for k, av := range arow {
-				sum += av * brow[k]
-			}
-			out.Data[i*out.Cols+j] = sum
-		}
-	}
+	matMulTransBAccum(out, a, b)
 	return out
 }
 

@@ -13,7 +13,6 @@ import (
 	"gddr/internal/ad"
 	"gddr/internal/env"
 	"gddr/internal/gnn"
-	"gddr/internal/mat"
 	"gddr/internal/nn"
 )
 
@@ -112,7 +111,7 @@ func (p *MLP) Forward(t *ad.Tape, obs *env.Observation) (*ad.Node, *ad.Node, err
 	if len(obs.Flat) != p.inDim {
 		return nil, nil, fmt.Errorf("policy: mlp expects flat obs of %d values, got %d (mlp cannot generalise across topologies)", p.inDim, len(obs.Flat))
 	}
-	x := t.Constant(mat.RowVector(obs.Flat))
+	x := t.RowConstant(obs.Flat)
 	mean := p.pi.Apply(t, x)
 	value := p.vf.Apply(t, x)
 	return mean, value, nil

@@ -7,7 +7,6 @@ import (
 
 	"gddr/internal/ad"
 	"gddr/internal/env"
-	"gddr/internal/mat"
 	"gddr/internal/nn"
 )
 
@@ -96,7 +95,8 @@ func (tr *A2CTrainer) TrainWorkers(ctx context.Context, e env.Interface, totalSt
 // step applies one actor-critic gradient step over the whole rollout.
 func (tr *A2CTrainer) step(batch []*sample) error {
 	meanAdv, stdAdv := normalizeAdvantages(batch)
-	t := ad.NewTape()
+	t := getTape()
+	defer putTape(t)
 	logStdNode := t.Use(tr.logStd)
 	invStd := t.Exp(t.Scale(logStdNode, -1))
 	var total *ad.Node
@@ -107,7 +107,7 @@ func (tr *A2CTrainer) step(batch []*sample) error {
 			return fmt.Errorf("rl: a2c forward: %w", err)
 		}
 		k := float64(len(s.action))
-		actionNode := t.Constant(mat.RowVector(s.action))
+		actionNode := t.RowConstant(s.action)
 		diff := t.Sub(actionNode, mean)
 		z := t.MulScalar(diff, invStd)
 		logp := t.AddScalar(

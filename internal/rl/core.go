@@ -144,7 +144,8 @@ func (c *core) Timesteps() int { return c.timesteps }
 // sample draws an action from the current Gaussian policy using r (no
 // gradients kept).
 func (c *core) sample(obs *env.Observation, r *rand.Rand) (action []float64, logp, value float64, err error) {
-	t := ad.NewTape()
+	t := getTape()
+	defer putTape(t)
 	mean, val, err := c.pol.Forward(t, obs)
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("rl: policy forward: %w", err)
@@ -171,7 +172,8 @@ func (c *core) act(obs *env.Observation) (action []float64, logp, value float64,
 // value returns the deterministic value estimate for obs, consuming no
 // randomness (the GAE bootstrap).
 func (c *core) value(obs *env.Observation) (float64, error) {
-	t := ad.NewTape()
+	t := getTape()
+	defer putTape(t)
 	_, val, err := c.pol.Forward(t, obs)
 	if err != nil {
 		return 0, fmt.Errorf("rl: value forward: %w", err)

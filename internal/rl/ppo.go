@@ -21,7 +21,6 @@ import (
 
 	"gddr/internal/ad"
 	"gddr/internal/env"
-	"gddr/internal/mat"
 	"gddr/internal/nn"
 )
 
@@ -149,7 +148,8 @@ func (tr *Trainer) MeanAction(obs *env.Observation) ([]float64, error) {
 
 // MeanAction evaluates pol deterministically on obs.
 func MeanAction(pol Forwarder, obs *env.Observation) ([]float64, error) {
-	t := ad.NewTape()
+	t := getTape()
+	defer putTape(t)
 	mean, _, err := pol.Forward(t, obs)
 	if err != nil {
 		return nil, err
@@ -215,7 +215,8 @@ func (tr *Trainer) update(batch []*sample) error {
 // minibatch accumulates the PPO loss over the selected samples and applies
 // one Adam step.
 func (tr *Trainer) minibatch(batch []*sample, idx []int, meanAdv, stdAdv float64) error {
-	t := ad.NewTape()
+	t := getTape()
+	defer putTape(t)
 	logStdNode := t.Use(tr.logStd)
 	invStd := t.Exp(t.Scale(logStdNode, -1))
 	var total *ad.Node
@@ -227,7 +228,7 @@ func (tr *Trainer) minibatch(batch []*sample, idx []int, meanAdv, stdAdv float64
 			return fmt.Errorf("rl: minibatch forward: %w", err)
 		}
 		k := float64(len(s.action))
-		actionNode := t.Constant(mat.RowVector(s.action))
+		actionNode := t.RowConstant(s.action)
 		diff := t.Sub(actionNode, mean)
 		z := t.MulScalar(diff, invStd)
 		// log π(a|s) = -½Σz² - k·logσ - k/2·log2π

@@ -1,0 +1,24 @@
+package rl
+
+import (
+	"sync"
+
+	"gddr/internal/ad"
+)
+
+// tapePool recycles autodiff tapes across forward-backward passes. Rollout
+// workers call sample concurrently, so the pool hands each call a private
+// tape; after a few passes every worker holds an arena-warm tape and the
+// steady-state forward pass stops allocating (see the internal/ad package
+// doc for the ownership rules).
+var tapePool = sync.Pool{New: func() any { return ad.NewTape() }}
+
+// getTape pops a tape rewound for reuse. Callers must copy every value they
+// need out of the tape's nodes before returning it with putTape.
+func getTape() *ad.Tape {
+	t := tapePool.Get().(*ad.Tape)
+	t.Reset()
+	return t
+}
+
+func putTape(t *ad.Tape) { tapePool.Put(t) }

@@ -94,4 +94,19 @@ func TestMetricNameGrammar(t *testing.T) {
 			t.Errorf("grammar walk never saw subsystem %q; the test lost coverage", want)
 		}
 	}
+	// The warm-start instrumentation families must materialise from the
+	// training run's cache (Instrument registers them, the solves feed them).
+	names := map[string]bool{}
+	for _, p := range points {
+		names[p.Name] = true
+	}
+	for _, want := range []string{
+		"gddr_lp_warm_start_total",
+		"gddr_lp_cold_start_total",
+		"gddr_lp_solve_pivots",
+	} {
+		if !names[want] {
+			t.Errorf("grammar walk never saw %q; LP warm-start instrumentation lost coverage", want)
+		}
+	}
 }

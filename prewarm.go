@@ -5,15 +5,20 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"gddr/internal/env"
 )
 
-// Prewarm solves the LP optimum for every distinct demand matrix of the
-// scenario concurrently and stores the results in the cache, so training
-// and evaluation never block on an LP solve. Worker count is set with
-// WithWorkers (default GOMAXPROCS) and WithProgress reports each completed
-// solve. Cancelling ctx stops the workers before their next solve; the
-// optima already computed stay cached. It returns the number of optima
-// computed (cache hits excluded) and the first error encountered, if any.
+// Prewarm solves the LP optimum for every demand matrix of the scenario and
+// stores the results in the cache, so training and evaluation never block
+// on an LP solve. Sequences are distributed across workers (count set with
+// WithWorkers, default GOMAXPROCS); within a sequence the solves run in
+// canonical chain order, each warm-started from the previous matrix's final
+// simplex basis, which makes the fill near-incremental. WithProgress
+// reports each completed solve. Cancelling ctx stops the workers before
+// their next solve; the optima already computed stay cached. It returns the
+// number of optima computed (cache hits excluded) and the first error
+// encountered, if any.
 func Prewarm(ctx context.Context, s *Scenario, cache *OptimalCache, opts ...Option) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -34,20 +39,27 @@ func Prewarm(ctx context.Context, s *Scenario, cache *OptimalCache, opts ...Opti
 	}
 
 	type job struct {
+		g   *Graph
+		seq []*DemandMatrix
+	}
+	var jobs []job
+	// Total distinct (graph, matrix) pairs, for progress reporting —
+	// cyclical sequences repeat base matrices by pointer and cost only one
+	// solve each.
+	type pair struct {
 		g  *Graph
 		dm *DemandMatrix
 	}
-	// Deduplicate (graph, matrix) pairs — cyclical sequences repeat base
-	// matrices by pointer.
-	seen := make(map[job]bool)
-	var jobs []job
+	seen := make(map[pair]bool)
+	total := 0
 	for _, item := range s.Items {
 		for _, seq := range item.Sequences {
+			jobs = append(jobs, job{g: item.Graph, seq: seq})
 			for _, dm := range seq {
-				j := job{g: item.Graph, dm: dm}
-				if !seen[j] {
-					seen[j] = true
-					jobs = append(jobs, j)
+				p := pair{g: item.Graph, dm: dm}
+				if !seen[p] {
+					seen[p] = true
+					total++
 				}
 			}
 		}
@@ -58,6 +70,17 @@ func Prewarm(ctx context.Context, s *Scenario, cache *OptimalCache, opts ...Opti
 	errCh := make(chan error, 1)
 	var completed int
 	var progressMu sync.Mutex
+	onSolve := func(int) {
+		if set.progress == nil {
+			return
+		}
+		// The counter increment stays inside the mutex so Step values
+		// reach the callback in increasing order.
+		progressMu.Lock()
+		completed++
+		set.progress(Progress{Stage: "prewarm", Step: completed, Total: total})
+		progressMu.Unlock()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -68,21 +91,12 @@ func Prewarm(ctx context.Context, s *Scenario, cache *OptimalCache, opts ...Opti
 				if failed || ctx.Err() != nil {
 					continue // keep draining so the producer never blocks
 				}
-				if _, err := cache.GetContext(ctx, j.g, j.dm); err != nil {
+				if err := cache.WarmSequence(ctx, j.g, j.seq, env.MaxUtilization, onSolve); err != nil {
 					select {
 					case errCh <- fmt.Errorf("gddr: prewarm: %w", err):
 					default: // keep only the first error
 					}
 					failed = true
-					continue
-				}
-				if set.progress != nil {
-					// The counter increment stays inside the mutex so Step
-					// values reach the callback in increasing order.
-					progressMu.Lock()
-					completed++
-					set.progress(Progress{Stage: "prewarm", Step: completed, Total: len(jobs)})
-					progressMu.Unlock()
 				}
 			}
 		}()

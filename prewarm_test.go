@@ -88,11 +88,16 @@ func TestPrewarmMatchesSequentialValues(t *testing.T) {
 	if _, err := Prewarm(context.Background(), s, concurrent, WithWorkers(8)); err != nil {
 		t.Fatal(err)
 	}
+	// The sequential fill must use the same canonical chain computation
+	// (GetSeqContext) that prewarm uses: warm-started optima can differ from
+	// cold ones in the last ulp, and the determinism contract is defined
+	// over the chain.
+	ctx := context.Background()
 	sequential := NewOptimalCache()
 	for _, item := range s.Items {
 		for _, seq := range item.Sequences {
-			for _, dm := range seq {
-				if _, err := sequential.Get(item.Graph, dm); err != nil {
+			for ti := range seq {
+				if _, err := sequential.GetSeqContext(ctx, item.Graph, seq, ti); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -100,12 +105,12 @@ func TestPrewarmMatchesSequentialValues(t *testing.T) {
 	}
 	for _, item := range s.Items {
 		for _, seq := range item.Sequences {
-			for _, dm := range seq {
-				a, err := concurrent.Get(item.Graph, dm)
+			for ti := range seq {
+				a, err := concurrent.GetSeqContext(ctx, item.Graph, seq, ti)
 				if err != nil {
 					t.Fatal(err)
 				}
-				b, err := sequential.Get(item.Graph, dm)
+				b, err := sequential.GetSeqContext(ctx, item.Graph, seq, ti)
 				if err != nil {
 					t.Fatal(err)
 				}
